@@ -1,0 +1,61 @@
+// Command mcbench regenerates the paper's figures and tables from the
+// running system.
+//
+// Usage:
+//
+//	mcbench [-exp all|fig1|fig2|table1|table2|table3|table4|table5|tcp|mip|ablate] [-seed N]
+//
+// Each experiment prints an aligned table plus notes; EXPERIMENTS.md
+// records a reference run and compares it with the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcommerce/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
+	seed := fs.Int64("seed", 1, "simulation seed")
+	format := fs.String("format", "text", "output format: text or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (want text or csv)", *format)
+	}
+
+	registry := experiments.Registry()
+	names := experiments.Names()
+	if *exp != "all" {
+		if _, ok := registry[*exp]; !ok {
+			return fmt.Errorf("unknown experiment %q (want all, %s)", *exp, strings.Join(names, ", "))
+		}
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		for _, res := range registry[name](*seed) {
+			if *format == "csv" {
+				if err := res.WriteCSV(os.Stdout); err != nil {
+					return err
+				}
+				fmt.Println()
+				continue
+			}
+			fmt.Println(res.String())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command mcload runs the synthetic mobile commerce workload against a
+// freshly built six-component system and prints the capacity report:
+// throughput, per-operation latency percentiles and failures.
+//
+// Usage:
+//
+//	mcload [-bearer wlan|cellular] [-wlan 802.11b|...] [-cell gprs|...]
+//	       [-users N] [-duration 2m] [-think 2s] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mcommerce/internal/cellular"
+	"mcommerce/internal/core"
+	"mcommerce/internal/device"
+	"mcommerce/internal/wireless"
+	"mcommerce/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcload", flag.ContinueOnError)
+	bearer := fs.String("bearer", "wlan", "radio bearer: wlan or cellular")
+	wlanStd := fs.String("wlan", "802.11b", "WLAN standard for -bearer wlan")
+	cellStd := fs.String("cell", "gprs", "cellular standard for -bearer cellular")
+	users := fs.Int("users", 10, "virtual user population")
+	duration := fs.Duration("duration", 2*time.Minute, "virtual run duration")
+	think := fs.Duration("think", 2*time.Second, "mean think time between operations")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.MCConfig{Seed: *seed}
+	switch strings.ToLower(*bearer) {
+	case "wlan":
+		cfg.Bearer = core.BearerWLAN
+		std, err := wlanStandard(*wlanStd)
+		if err != nil {
+			return err
+		}
+		cfg.WLANStandard = std
+	case "cellular":
+		cfg.Bearer = core.BearerCellular
+		std, err := cellStandard(*cellStd)
+		if err != nil {
+			return err
+		}
+		cfg.CellStandard = std
+	default:
+		return fmt.Errorf("unknown bearer %q", *bearer)
+	}
+	profiles := device.Profiles()
+	for i := 0; i < *users; i++ {
+		cfg.Devices = append(cfg.Devices, profiles[i%len(profiles)])
+	}
+
+	mc, err := core.BuildMC(cfg)
+	if err != nil {
+		return err
+	}
+	if err := workload.RegisterHandlers(mc.Host); err != nil {
+		return err
+	}
+	runner, err := workload.NewRunner(mc, workload.Config{
+		Users: *users, ThinkMean: *think, Duration: *duration,
+	})
+	if err != nil {
+		return err
+	}
+	report, err := runner.Run()
+	if err != nil {
+		return err
+	}
+	bearerName := "WLAN " + cfg.WLANStandard.Name
+	if cfg.Bearer == core.BearerCellular {
+		bearerName = "cellular " + cfg.CellStandard.Name
+	}
+	fmt.Printf("bearer: %s\n", bearerName)
+	fmt.Print(report.String())
+	return nil
+}
+
+func wlanStandard(name string) (wireless.Standard, error) {
+	for _, std := range wireless.Standards() {
+		if strings.EqualFold(std.Name, name) ||
+			strings.EqualFold(strings.Fields(std.Name)[0], name) {
+			return std, nil
+		}
+	}
+	return wireless.Standard{}, fmt.Errorf("unknown WLAN standard %q", name)
+}
+
+func cellStandard(name string) (cellular.Standard, error) {
+	for _, std := range cellular.Standards() {
+		if strings.EqualFold(std.Name, name) {
+			return std, nil
+		}
+	}
+	return cellular.Standard{}, fmt.Errorf("unknown cellular standard %q", name)
+}

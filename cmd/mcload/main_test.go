@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunSmallLoad(t *testing.T) {
+	if err := run([]string{"-users", "3", "-duration", "30s"}); err != nil {
+		t.Errorf("wlan load: %v", err)
+	}
+}
+
+func TestRunCellularLoad(t *testing.T) {
+	if err := run([]string{"-bearer", "cellular", "-cell", "edge", "-users", "2", "-duration", "20s"}); err != nil {
+		t.Errorf("edge load: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bearer", "smoke-signals"},
+		{"-wlan", "802.11zz"},
+		{"-bearer", "cellular", "-cell", "7g"},
+		{"-users", "0"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestStandardLookupAliases(t *testing.T) {
+	if std, err := wlanStandard("802.11b"); err != nil || std.MaxRate == 0 {
+		t.Errorf("802.11b lookup: %v %v", std, err)
+	}
+	if std, err := wlanStandard("bluetooth"); err != nil || std.Name != "Bluetooth" {
+		t.Errorf("bluetooth lookup: %v %v", std, err)
+	}
+	if std, err := cellStandard("WCDMA"); err != nil || std.Name != "WCDMA" {
+		t.Errorf("wcdma lookup: %v %v", std, err)
+	}
+}

@@ -1,0 +1,231 @@
+// Command mcsim builds a complete mobile commerce system (the paper's
+// Figure 2) and drives a browsing/application workload across it, printing
+// the component inventory and per-layer statistics.
+//
+// Usage:
+//
+//	mcsim [-bearer wlan|cellular] [-wlan 802.11b|802.11a|802.11g|hiperlan2|bluetooth]
+//	      [-cell gprs|edge|gsm|cdma|cdma2000|wcdma] [-middleware wap|imode]
+//	      [-clients N] [-rounds N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mcommerce/internal/apps"
+	"mcommerce/internal/cellular"
+	"mcommerce/internal/core"
+	"mcommerce/internal/device"
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/webserver"
+	"mcommerce/internal/wireless"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcsim", flag.ContinueOnError)
+	bearer := fs.String("bearer", "wlan", "radio bearer: wlan or cellular")
+	wlanStd := fs.String("wlan", "802.11b", "WLAN standard (Table 4): bluetooth, 802.11b, 802.11a, hiperlan2, 802.11g")
+	cellStd := fs.String("cell", "gprs", "cellular standard (Table 5): gsm, tdma, cdma, gprs, edge, cdma2000, wcdma")
+	middleware := fs.String("middleware", "wap", "middleware path for the workload: wap or imode")
+	clients := fs.Int("clients", 5, "number of mobile stations (cycled through Table 2)")
+	rounds := fs.Int("rounds", 10, "browse transactions per station")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	trace := fs.Bool("trace", false, "print a packet trace of the whole run to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.MCConfig{Seed: *seed}
+	switch strings.ToLower(*bearer) {
+	case "wlan":
+		cfg.Bearer = core.BearerWLAN
+		std, err := wlanByName(*wlanStd)
+		if err != nil {
+			return err
+		}
+		cfg.WLANStandard = std
+	case "cellular":
+		cfg.Bearer = core.BearerCellular
+		std, err := cellByName(*cellStd)
+		if err != nil {
+			return err
+		}
+		cfg.CellStandard = std
+	default:
+		return fmt.Errorf("unknown bearer %q", *bearer)
+	}
+	profiles := device.Profiles()
+	for i := 0; i < *clients; i++ {
+		cfg.Devices = append(cfg.Devices, profiles[i%len(profiles)])
+	}
+
+	mc, err := core.BuildMC(cfg)
+	if err != nil {
+		return err
+	}
+	if *trace {
+		mc.Net.SetTracer(simnet.NewTextTracer(os.Stderr))
+	}
+	if err := apps.RegisterAll(mc.Host); err != nil {
+		return err
+	}
+	mc.Host.Server.Handle("/shop", func(r *webserver.Request) *webserver.Response {
+		return webserver.HTML(`<html><head><title>WidgetShop</title></head>
+<body><h1>Catalog</h1><p>Buy <a href="/item">widgets</a> now.</p></body></html>`)
+	})
+	if err := mc.Sys.Validate(); err != nil {
+		return fmt.Errorf("system model invalid: %w", err)
+	}
+	fmt.Print(mc.Sys.Describe())
+	fmt.Println()
+
+	// For circuit-switched cellular, every station needs a data call.
+	pending := 0
+	if mc.Cell != nil && mc.Cell.Standard().Switching == cellular.CircuitSwitched {
+		for _, cl := range mc.Clients {
+			cl := cl
+			pending++
+			if err := cl.CellMobile.PlaceCall(func() { pending-- }); err != nil {
+				return fmt.Errorf("place call: %w", err)
+			}
+		}
+		if err := mc.Net.Sched.RunFor(10 * time.Second); err != nil {
+			return err
+		}
+		if pending > 0 {
+			return fmt.Errorf("%d data calls failed to establish", pending)
+		}
+	}
+
+	useWAP := strings.EqualFold(*middleware, "wap")
+	var lats []time.Duration
+	okCount, errCount := 0, 0
+	for i := range mc.Clients {
+		i := i
+		var round func(n int)
+		handle := func(tr core.Transaction) {
+			if tr.Err != nil {
+				errCount++
+			} else {
+				okCount++
+				lats = append(lats, tr.Latency)
+			}
+		}
+		round = func(n int) {
+			if n == *rounds {
+				return
+			}
+			done := func(tr core.Transaction) {
+				handle(tr)
+				round(n + 1)
+			}
+			if useWAP {
+				mc.TransactWAP(i, "/shop", done)
+			} else {
+				mc.TransactIMode(i, "/shop", done)
+			}
+		}
+		round(0)
+	}
+	if err := mc.Net.Sched.RunFor(time.Hour); err != nil {
+		return err
+	}
+
+	var sum, max time.Duration
+	for _, l := range lats {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	mean := time.Duration(0)
+	if len(lats) > 0 {
+		mean = sum / time.Duration(len(lats))
+	}
+	fmt.Printf("workload: %d stations x %d rounds over %s\n", len(mc.Clients), *rounds, strings.ToUpper(*middleware))
+	fmt.Printf("transactions: %d ok, %d failed\n", okCount, errCount)
+	fmt.Printf("latency: mean %s, max %s\n", mean.Round(100*time.Microsecond), max.Round(100*time.Microsecond))
+
+	fmt.Println("\nper-layer statistics:")
+	if mc.WLAN != nil {
+		fmt.Printf("  wireless LAN (%s): delivered=%d lostErr=%d lostRange=%d queueDrop=%d handoffs=%d\n",
+			mc.WLAN.Standard().Name, mc.WLAN.Delivered, mc.WLAN.LostErrors, mc.WLAN.LostRange, mc.WLAN.DroppedQ, mc.WLAN.Handoffs)
+	}
+	if mc.Cell != nil {
+		fmt.Printf("  cellular (%s): delivered=%d lostErr=%d lostRange=%d queueDrop=%d blocked=%d\n",
+			mc.Cell.Standard().Name, mc.Cell.Delivered, mc.Cell.LostErrors, mc.Cell.LostRange, mc.Cell.DroppedQ, mc.Cell.BlockedCalls)
+	}
+	if mc.WAP != nil {
+		st := mc.WAP.Stats()
+		fmt.Printf("  WAP gateway: sessions=%d requests=%d translations=%d bytesToAir=%d\n",
+			st.Sessions, st.Requests, st.Translations, st.BytesToAir)
+	}
+	if mc.IMode != nil {
+		st := mc.IMode.Stats()
+		fmt.Printf("  i-mode portal: requests=%d filtered=%d bytesToAir=%d\n",
+			st.Requests, st.Filtered, st.BytesToAir)
+	}
+	hs := mc.Host.Server.Stats()
+	fmt.Printf("  host computer: requests=%d notFound=%d bytesServed=%d\n", hs.Requests, hs.NotFound, hs.BytesServed)
+	commits, aborts, conflicts := mc.Host.DB.Stats()
+	fmt.Printf("  database server: commits=%d aborts=%d lockConflicts=%d tables=%d\n",
+		commits, aborts, conflicts, len(mc.Host.DB.Tables()))
+	for _, cl := range mc.Clients {
+		fmt.Printf("  station %-24s battery %.4f%% used, free RAM %d MB\n",
+			cl.Station.Name()+":", (1-cl.Station.Battery())*100, cl.Station.FreeRAM()>>20)
+	}
+	return nil
+}
+
+func wlanByName(name string) (wireless.Standard, error) {
+	switch strings.ToLower(name) {
+	case "bluetooth":
+		return wireless.Bluetooth, nil
+	case "802.11b", "wifi", "wi-fi":
+		return wireless.IEEE80211b, nil
+	case "802.11a":
+		return wireless.IEEE80211a, nil
+	case "hiperlan2":
+		return wireless.HiperLAN2, nil
+	case "802.11g":
+		return wireless.IEEE80211g, nil
+	default:
+		return wireless.Standard{}, fmt.Errorf("unknown WLAN standard %q", name)
+	}
+}
+
+func cellByName(name string) (cellular.Standard, error) {
+	switch strings.ToLower(name) {
+	case "gsm":
+		return cellular.GSM, nil
+	case "tdma":
+		return cellular.TDMA, nil
+	case "cdma":
+		return cellular.CDMA, nil
+	case "gprs":
+		return cellular.GPRS, nil
+	case "edge":
+		return cellular.EDGE, nil
+	case "cdma2000":
+		return cellular.CDMA2000, nil
+	case "wcdma", "umts":
+		return cellular.WCDMA, nil
+	case "amps":
+		return cellular.AMPS, nil
+	case "tacs":
+		return cellular.TACS, nil
+	default:
+		return cellular.Standard{}, fmt.Errorf("unknown cellular standard %q", name)
+	}
+}

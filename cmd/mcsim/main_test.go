@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mcommerce/internal/cellular"
+	"mcommerce/internal/wireless"
+)
+
+func TestRunSmallWLANScenario(t *testing.T) {
+	if err := run([]string{"-clients", "2", "-rounds", "2", "-middleware", "imode"}); err != nil {
+		t.Errorf("wlan scenario: %v", err)
+	}
+}
+
+func TestRunCellularCircuitScenario(t *testing.T) {
+	if err := run([]string{"-bearer", "cellular", "-cell", "gsm", "-clients", "1", "-rounds", "1"}); err != nil {
+		t.Errorf("gsm scenario: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-bearer", "carrier-pigeon"},
+		{"-bearer", "wlan", "-wlan", "802.11zz"},
+		{"-bearer", "cellular", "-cell", "6g"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestStandardLookups(t *testing.T) {
+	if std, err := wlanByName("hiperlan2"); err != nil || std != wireless.HiperLAN2 {
+		t.Errorf("hiperlan2 lookup: %v %v", std, err)
+	}
+	if std, err := cellByName("WCDMA"); err != nil || std != cellular.WCDMA {
+		t.Errorf("wcdma lookup: %v %v", std, err)
+	}
+	if _, err := wlanByName("802.11b"); err != nil {
+		t.Errorf("802.11b lookup: %v", err)
+	}
+	names := []string{"gsm", "tdma", "cdma", "gprs", "edge", "cdma2000", "amps", "tacs"}
+	for _, n := range names {
+		if _, err := cellByName(n); err != nil {
+			t.Errorf("cellByName(%q): %v", n, err)
+		}
+	}
+}
+
+func TestAnalogBearerFailsCleanly(t *testing.T) {
+	err := run([]string{"-bearer", "cellular", "-cell", "amps", "-clients", "1", "-rounds", "1"})
+	if err == nil || !strings.Contains(err.Error(), "place call") {
+		t.Errorf("AMPS scenario err = %v", err)
+	}
+}

@@ -1,0 +1,10 @@
+// Package mcommerce is a full reproduction of "A System Model for Mobile
+// Commerce" (Lee, Hu, Yeh — ICDCSW'03): the paper's six-component mobile
+// commerce system model built as a working system on a deterministic
+// discrete-event network simulator.
+//
+// The library lives under internal/ (see DESIGN.md for the inventory),
+// with runnable entry points in cmd/mcsim, cmd/mcbench and examples/. The
+// benchmarks in bench_test.go regenerate every figure and table of the
+// paper; EXPERIMENTS.md records a reference run.
+package mcommerce

@@ -1,0 +1,106 @@
+// Mobile payments — Table 1's first row, with Section 8's security: a
+// commuter on a 3G handset buys a train ticket. The payment authorization
+// is HMAC-signed on the device and verified by the host's application
+// program before any money moves; a forged payment is rejected. The same
+// session then books the trip through the travel service.
+//
+//	go run ./examples/payments
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"mcommerce/internal/apps"
+	"mcommerce/internal/cellular"
+	"mcommerce/internal/core"
+	"mcommerce/internal/device"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "payments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	mc, err := core.BuildMC(core.MCConfig{
+		Seed:         11,
+		Bearer:       core.BearerCellular,
+		CellStandard: cellular.WCDMA, // 3G: the paper's payment-ready bearer
+		Devices:      []device.Profile{device.SonyCliePEGNR70V},
+	})
+	if err != nil {
+		return err
+	}
+	if err := apps.RegisterAll(mc.Host); err != nil {
+		return err
+	}
+
+	fetch := &device.IModeFetcher{Client: mc.Clients[0].IMode}
+	wallet := &apps.CommerceClient{
+		Fetcher: fetch, Origin: mc.Host.Addr(),
+		Key: []byte("payment-demo-key"),
+	}
+	forger := &apps.CommerceClient{
+		Fetcher: fetch, Origin: mc.Host.Addr(),
+		Key: []byte("stolen-or-guessed-key"),
+	}
+	travel := &apps.TravelClient{Fetcher: fetch, Origin: mc.Host.Addr()}
+	sched := mc.Net.Sched
+
+	// Provision accounts.
+	wallet.OpenAccount("commuter", "K. Mensah", 50_000, func(v apps.AccountView, err error) {
+		fatal("open commuter", err)
+		fmt.Printf("account %s (%s): balance %d\n", v.ID, v.Owner, v.Balance)
+	})
+	wallet.OpenAccount("railways", "Metro Railways", 0, func(v apps.AccountView, err error) {
+		fatal("open railways", err)
+	})
+
+	// A forged authorization must bounce at the host.
+	sched.After(2*time.Second, func() {
+		forger.Pay("bogus-1", "commuter", "railways", 50_000, now(sched), func(_ apps.PayReceipt, err error) {
+			if err == nil {
+				fatal("forgery", fmt.Errorf("forged payment was accepted"))
+			}
+			fmt.Printf("forged authorization rejected by host: %v\n", err)
+		})
+	})
+
+	// The genuine purchase: search, pay, book, show the ticket.
+	sched.After(4*time.Second, func() {
+		travel.Search("GSO", "ATL", func(its []apps.Itinerary, err error) {
+			fatal("search", err)
+			it := its[0]
+			fmt.Printf("found %s %s->%s departing %s for %d\n", it.ID, it.From, it.To, it.Departs, it.PriceCp)
+			wallet.Pay("trip-001", "commuter", "railways", it.PriceCp, now(sched), func(r apps.PayReceipt, err error) {
+				fatal("pay", err)
+				fmt.Printf("payment %s captured; balance now %d\n", r.OrderID, r.PayerBalance)
+				travel.Book(it.ID, "K. Mensah", func(tk apps.Ticket, err error) {
+					fatal("book", err)
+					fmt.Printf("ticket issued: %s (itinerary %s, %d)\n", tk.ID, tk.Itinerary, tk.PriceCp)
+				})
+			})
+		})
+	})
+
+	if err := sched.RunFor(time.Minute); err != nil {
+		return err
+	}
+	commits, _, _ := mc.Host.DB.Stats()
+	fmt.Printf("host database committed %d transactions; battery used %.4f%%\n",
+		commits, (1-mc.Clients[0].Station.Battery())*100)
+	return nil
+}
+
+func now(s interface{ Now() time.Duration }) int64 { return int64(s.Now()) }
+
+func fatal(what string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "payments: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}

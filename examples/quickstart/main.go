@@ -1,0 +1,77 @@
+// Quickstart: build the paper's six-component mobile commerce system, put
+// a storefront on the host computer, and run one transaction through each
+// middleware (WAP and i-mode) from two different Table 2 handhelds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"mcommerce/internal/core"
+	"mcommerce/internal/device"
+	"mcommerce/internal/webserver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Build the Figure 2 system: host computers, wired LAN/WAN, a
+	//    gateway running both middlewares, an 802.11b wireless LAN, and
+	//    two mobile stations.
+	mc, err := core.BuildMC(core.MCConfig{
+		Seed:    42,
+		Devices: []device.Profile{device.CompaqIPAQH3870, device.Nokia9290},
+	})
+	if err != nil {
+		return err
+	}
+
+	// 2. Install an application program (a CGI handler) on the host
+	//    computer's web server. It serves plain HTML — the middleware
+	//    translates it for each handset.
+	mc.Host.Server.Handle("/shop", func(r *webserver.Request) *webserver.Response {
+		return webserver.HTML(`<html><head><title>WidgetShop</title></head>
+<body><h1>Catalog</h1>
+<p>Welcome! Today: <a href="/deal">50% off widgets</a>.</p>
+</body></html>`)
+	})
+
+	// 3. Check the structure against the paper's model and print it.
+	if err := mc.Sys.Validate(); err != nil {
+		return err
+	}
+	fmt.Print(mc.Sys.Describe())
+	fmt.Println()
+
+	// 4. One transaction over WAP (session handshake + WSP GET + HTML->
+	//    WML translation + WMLC encoding)...
+	mc.TransactWAP(0, "/shop", func(tr core.Transaction) {
+		report("WAP   (iPAQ H3870)", tr)
+	})
+	// ...and one over i-mode (always-on TCP + cHTML filtering).
+	mc.TransactIMode(1, "/shop", func(tr core.Transaction) {
+		report("i-mode (Nokia 9290)", tr)
+	})
+
+	// 5. Run the virtual clock until the work drains.
+	return mc.Net.Sched.RunFor(time.Minute)
+}
+
+func report(path string, tr core.Transaction) {
+	if tr.Err != nil {
+		fmt.Printf("%s: FAILED: %v\n", path, tr.Err)
+		return
+	}
+	fmt.Printf("%s: %q (%s, %d B on air, rendered in %s, latency %s)\n",
+		path, tr.Page.Title, tr.Page.ContentType, tr.Page.WireBytes,
+		tr.Page.RenderTime.Round(10*time.Microsecond),
+		tr.Latency.Round(100*time.Microsecond))
+}

@@ -1,0 +1,3 @@
+module mcommerce
+
+go 1.22

@@ -1,0 +1,22 @@
+// Package adhoc implements multi-hop ad hoc routing for the paper's
+// Section 6.1 scenario: "if no APs are available, mobile devices can form
+// a wireless ad hoc network among themselves and exchange data packets or
+// perform business transactions as necessary."
+//
+// The protocol is AODV-shaped (on-demand distance vector):
+//
+//   - a node with traffic for an unknown destination floods a route
+//     request (RREQ) over link-local broadcast; intermediate nodes record
+//     the reverse path as the flood passes;
+//   - the destination answers with a route reply (RREP) unicast hop by
+//     hop along the reverse path, installing forward routes as it goes;
+//   - data then travels hop by hop, each relay re-addressing the frame to
+//     its next hop (multi-hop forwarding over the shared radio medium);
+//   - routes expire after a lifetime and are re-discovered on demand, so
+//     the mesh heals when devices move.
+//
+// Signalling and data ride the datagram service on port 654 (AODV's
+// registered port). Payloads are whole simnet packets, so any protocol —
+// including application transactions like the peer-to-peer signed payment
+// in the tests — runs unchanged over the mesh.
+package adhoc

@@ -1,0 +1,24 @@
+// Package apps implements every application category of the paper's Table
+// 1 ("Major mobile commerce applications") as a working service on the
+// core system model:
+//
+//	Category                            Major application
+//	Commerce                            Mobile transactions and payments
+//	Education                           Mobile classrooms and labs
+//	Enterprise resource planning        Resource management
+//	Entertainment                       Music/video/game downloads
+//	Health care                         Patient record accessing
+//	Inventory tracking and dispatching  Product tracking and dispatching
+//	Traffic                             GPS, directions, traffic advisories
+//	Travel and ticketing                Travel management
+//
+// Every service follows the paper's host-computer architecture: tables in
+// the database server, CGI-style application programs on the web server,
+// and a typed client that runs on a mobile station over either middleware
+// (it talks through a device.Fetcher, so WAP and i-mode are
+// interchangeable — requirement 5's program/data independence).
+//
+// Service payloads are JSON: the gateways pass non-markup content through
+// untranslated, so the same service endpoints also serve desktop EC
+// clients.
+package apps

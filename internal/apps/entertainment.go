@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"errors"
+	"strconv"
+
+	"mcommerce/internal/core"
+	"mcommerce/internal/database"
+	"mcommerce/internal/device"
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/webserver"
+)
+
+// Entertainment is Table 1's "Music/video/game downloads" row for the
+// entertainment industry: a media catalog whose downloads are the system's
+// bulk-transfer workload (they are what stress a bearer's bandwidth —
+// exactly the paper's 3G motivation: "allowing users to download video
+// images and other bandwidth-intensive content").
+type Entertainment struct{}
+
+// NewEntertainment returns the media-download service.
+func NewEntertainment() *Entertainment { return &Entertainment{} }
+
+var _ Service = (*Entertainment)(nil)
+
+// Category implements Service.
+func (s *Entertainment) Category() string { return "Entertainment" }
+
+// Application implements Service.
+func (s *Entertainment) Application() string { return "Music/video/game downloads" }
+
+// Clients implements Service.
+func (s *Entertainment) Clients() string { return "Entertainment industry" }
+
+// MediaItem is one downloadable title.
+type MediaItem struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Kind  string `json:"kind"` // music, video, game
+	Bytes int64  `json:"bytes"`
+}
+
+// Register implements Service.
+func (s *Entertainment) Register(h *core.Host) error {
+	if err := h.DB.CreateTable("media", database.Schema{
+		{Name: "id", Type: database.TypeString},
+		{Name: "title", Type: database.TypeString},
+		{Name: "kind", Type: database.TypeString},
+		{Name: "bytes", Type: database.TypeInt},
+	}, "id"); err != nil {
+		return err
+	}
+	seed := []database.Row{
+		{"id": "ring1", "title": "Monophonic Ringtone", "kind": "music", "bytes": int64(4 << 10)},
+		{"id": "song1", "title": "Pop Single", "kind": "music", "bytes": int64(200 << 10)},
+		{"id": "clip1", "title": "Movie Trailer", "kind": "video", "bytes": int64(900 << 10)},
+		{"id": "game1", "title": "Puzzle Game", "kind": "game", "bytes": int64(64 << 10)},
+	}
+	if err := h.DB.Atomically(0, func(tx *database.Tx) error {
+		for _, r := range seed {
+			if err := tx.Insert("media", r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	h.Server.Handle("/media/catalog", func(r *webserver.Request) *webserver.Response {
+		var out []MediaItem
+		err := h.DB.Atomically(4, func(tx *database.Tx) error {
+			out = out[:0]
+			return tx.Scan("media", func(row database.Row) bool {
+				out = append(out, mediaView(row))
+				return true
+			})
+		})
+		if err != nil {
+			return fail(500, "catalog: %v", err)
+		}
+		return respondJSON(out)
+	})
+
+	h.Server.Handle("/media/download", func(r *webserver.Request) *webserver.Response {
+		id := r.Query["id"]
+		var size int64
+		err := h.DB.Atomically(4, func(tx *database.Tx) error {
+			row, err := tx.Get("media", id)
+			if err != nil {
+				return err
+			}
+			size, _ = row["bytes"].(int64)
+			return nil
+		})
+		if errors.Is(err, database.ErrNotFound) {
+			return fail(404, "no media %s", id)
+		}
+		if err != nil {
+			return fail(500, "download: %v", err)
+		}
+		// Benchmarks may override the size (bounded to keep the handler
+		// total): n=<bytes> yields a synthetic transfer of that size.
+		if ns := r.Query["n"]; ns != "" {
+			n, perr := strconv.ParseInt(ns, 10, 64)
+			if perr != nil || n < 0 || n > 64<<20 {
+				return fail(400, "bad size %q", ns)
+			}
+			size = n
+		}
+		// Synthesize the content (a real deployment would stream from
+		// object storage); the byte pattern is verifiable by clients.
+		body := make([]byte, size)
+		for i := range body {
+			body[i] = byte(i * 131)
+		}
+		return webserver.NewResponse(200, webserver.TypeBytes, body)
+	})
+	return nil
+}
+
+func mediaView(row database.Row) MediaItem {
+	id, _ := row["id"].(string)
+	title, _ := row["title"].(string)
+	kind, _ := row["kind"].(string)
+	size, _ := row["bytes"].(int64)
+	return MediaItem{ID: id, Title: title, Kind: kind, Bytes: size}
+}
+
+// VerifyMediaContent checks a downloaded body against the service's
+// synthesis pattern.
+func VerifyMediaContent(body []byte) bool {
+	for i := range body {
+		if body[i] != byte(i*131) {
+			return false
+		}
+	}
+	return true
+}
+
+// EntertainmentClient downloads media from a station.
+type EntertainmentClient struct {
+	Fetcher device.Fetcher
+	Origin  simnet.Addr
+}
+
+// Catalog lists downloadable titles.
+func (c *EntertainmentClient) Catalog(done func([]MediaItem, error)) {
+	get[[]MediaItem](c.Fetcher, c.Origin, "/media/catalog", done)
+}
+
+// Download fetches a title's content.
+func (c *EntertainmentClient) Download(id string, done func([]byte, error)) {
+	c.Fetcher.Fetch(c.Origin, "/media/download?id="+id, func(payload []byte, _ string, err error) {
+		done(payload, err)
+	})
+}
+
+// DownloadSized fetches a synthetic item of exactly n bytes via the
+// catalog-independent size parameter (used by bandwidth benches).
+func (c *EntertainmentClient) DownloadSized(n int, done func([]byte, error)) {
+	c.Fetcher.Fetch(c.Origin, "/media/download?id=song1&n="+strconv.Itoa(n),
+		func(payload []byte, _ string, err error) { done(payload, err) })
+}

@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"mcommerce/internal/core"
+	"mcommerce/internal/device"
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/webserver"
+)
+
+// ErrService tags client-side service failures.
+var ErrService = errors.New("apps: service error")
+
+// Service is one Table 1 application: metadata plus host-side
+// registration.
+type Service interface {
+	// Category is the Table 1 category cell.
+	Category() string
+	// Application is the Table 1 "major applications" cell.
+	Application() string
+	// Clients is the Table 1 "clients" cell.
+	Clients() string
+	// Register installs the service's tables and application programs on
+	// a host computer.
+	Register(h *core.Host) error
+}
+
+// All returns one instance of every Table 1 service, in the paper's row
+// order.
+func All() []Service {
+	return []Service{
+		NewCommerce(),
+		NewEducation(),
+		NewERP(),
+		NewEntertainment(),
+		NewHealth(),
+		NewInventory(),
+		NewTraffic(),
+		NewTravel(),
+	}
+}
+
+// RegisterAll installs every Table 1 service on the host.
+func RegisterAll(h *core.Host) error {
+	for _, s := range All() {
+		if err := s.Register(h); err != nil {
+			return fmt.Errorf("apps: register %s: %w", s.Category(), err)
+		}
+	}
+	return nil
+}
+
+// --- shared server-side helpers ---
+
+// respondJSON marshals v as a 200 response.
+func respondJSON(v any) *webserver.Response {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return webserver.Error(500, "encode: "+err.Error())
+	}
+	return webserver.NewResponse(200, webserver.TypeJSON, b)
+}
+
+// readJSON unmarshals a request body.
+func readJSON(r *webserver.Request, v any) error {
+	return json.Unmarshal(r.Body, v)
+}
+
+// fail produces an error response.
+func fail(status int, format string, args ...any) *webserver.Response {
+	return webserver.Error(status, fmt.Sprintf(format, args...))
+}
+
+// --- shared client-side helpers ---
+
+// call posts a JSON request through a fetcher and decodes a JSON reply.
+func call[Req, Resp any](f device.Fetcher, origin simnet.Addr, path string, req Req, done func(Resp, error)) {
+	var zero Resp
+	body, err := json.Marshal(req)
+	if err != nil {
+		done(zero, err)
+		return
+	}
+	f.Submit(origin, path, webserver.TypeJSON, body, func(payload []byte, _ string, err error) {
+		if err != nil {
+			done(zero, err)
+			return
+		}
+		var out Resp
+		if err := json.Unmarshal(payload, &out); err != nil {
+			done(zero, fmt.Errorf("%w: decode: %v", ErrService, err))
+			return
+		}
+		done(out, nil)
+	})
+}
+
+// get fetches a path and decodes a JSON reply.
+func get[Resp any](f device.Fetcher, origin simnet.Addr, path string, done func(Resp, error)) {
+	var zero Resp
+	f.Fetch(origin, path, func(payload []byte, _ string, err error) {
+		if err != nil {
+			done(zero, err)
+			return
+		}
+		var out Resp
+		if err := json.Unmarshal(payload, &out); err != nil {
+			done(zero, fmt.Errorf("%w: decode: %v", ErrService, err))
+			return
+		}
+		done(out, nil)
+	})
+}

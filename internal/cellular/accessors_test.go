@@ -1,0 +1,73 @@
+package cellular
+
+import (
+	"testing"
+
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/wireless"
+)
+
+func TestNetAccessors(t *testing.T) {
+	simn := simnet.NewNetwork(simnet.NewScheduler(1))
+	cfg := DefaultConfig()
+	cn := New(simn, EDGE, cfg)
+	btsNode := simn.NewNode("bts")
+	mobNode := simn.NewNode("mob")
+	cell := cn.AddCell(btsNode, wireless.Position{X: 7})
+	mob := cn.AddMobile(mobNode, wireless.Position{X: 100})
+
+	if cn.Standard().Name != "EDGE" {
+		t.Errorf("Standard = %v", cn.Standard())
+	}
+	if cn.Config().CellRadius != cfg.CellRadius {
+		t.Error("Config mismatch")
+	}
+	if cell.Node() != btsNode || cell.Radio() == nil {
+		t.Error("cell wiring")
+	}
+	if cell.Pos() != (wireless.Position{X: 7}) {
+		t.Errorf("cell pos = %v", cell.Pos())
+	}
+	if len(cn.Cells()) != 1 || cn.Cells()[0] != cell {
+		t.Errorf("Cells = %v", cn.Cells())
+	}
+	if len(cn.Mobiles()) != 1 || cn.Mobiles()[0] != mob {
+		t.Errorf("Mobiles = %v", cn.Mobiles())
+	}
+	if mob.Node() != mobNode || mob.Pos() != (wireless.Position{X: 100}) {
+		t.Error("mobile wiring")
+	}
+	if mob.InCall() {
+		t.Error("InCall before any call")
+	}
+	if mob.Cell() != cell {
+		t.Error("mobile not camped")
+	}
+}
+
+func TestHangUpWithoutCallIsNoop(t *testing.T) {
+	simn := simnet.NewNetwork(simnet.NewScheduler(1))
+	cn := New(simn, GSM, DefaultConfig())
+	cell := cn.AddCell(simn.NewNode("bts"), wireless.Position{})
+	mob := cn.AddMobile(simn.NewNode("mob"), wireless.Position{X: 10})
+	mob.HangUp() // no call active: must not underflow channel counts
+	if cell.CallsInUse() != 0 {
+		t.Errorf("CallsInUse = %d", cell.CallsInUse())
+	}
+}
+
+func TestDoubleCallRejected(t *testing.T) {
+	simn := simnet.NewNetwork(simnet.NewScheduler(1))
+	cn := New(simn, GSM, DefaultConfig())
+	cn.AddCell(simn.NewNode("bts"), wireless.Position{})
+	mob := cn.AddMobile(simn.NewNode("mob"), wireless.Position{X: 10})
+	if err := mob.PlaceCall(nil); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	if err := mob.PlaceCall(nil); err != ErrCallActive {
+		t.Errorf("second call = %v, want ErrCallActive", err)
+	}
+	if !mob.InCall() {
+		t.Error("InCall false during call")
+	}
+}

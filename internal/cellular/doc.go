@@ -1,0 +1,27 @@
+// Package cellular simulates the wireless wide area networks of the
+// paper's Section 6.2 and Table 5: first-, second- and third-generation
+// cellular systems.
+//
+// Every standard in Table 5 is modelled: AMPS and TACS (1G, analog voice
+// with digital control, circuit-switched, no data service), GSM and TDMA
+// (2G digital, circuit-switched), CDMA (2G digital, packet-switched, as the
+// paper classifies it), GPRS and EDGE (2.5G packet-switched, ~100 kbps and
+// 384 kbps per the paper's prose), and CDMA2000 and WCDMA (3G
+// packet-switched with quality-of-service classes).
+//
+// The switching technique drives behaviour, as in the paper:
+//
+//   - Circuit-switched standards require call setup before any data moves,
+//     hold a dedicated traffic channel per call (calls block when a cell's
+//     channels are exhausted), and deliver data at the standard's fixed
+//     circuit rate.
+//   - Packet-switched standards are always-on after a one-time attach; all
+//     mobiles in a cell share the cell's data capacity through a base
+//     station scheduler — FIFO normally, priority-based when the 3G QoS
+//     capability is enabled ("3G systems with quality-of-service (QoS)
+//     capability will dominate wireless cellular services").
+//
+// Compared to the WLANs of internal/wireless, cells provide much longer
+// range but far lower bandwidth, reproducing the trade-off stated in the
+// paper's summary.
+package cellular

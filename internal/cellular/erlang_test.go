@@ -1,0 +1,97 @@
+package cellular
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/wireless"
+)
+
+// erlangB computes the Erlang B blocking probability for offered load a
+// (erlangs) on c channels, via the stable recurrence.
+func erlangB(a float64, c int) float64 {
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b
+}
+
+// TestCircuitBlockingMatchesErlangB validates the circuit-switched channel
+// model against queueing theory: Poisson call arrivals with exponential
+// holding times on a C-channel cell must block at the Erlang B rate. This
+// is the strongest correctness check available for the Table 5 circuit
+// model.
+func TestCircuitBlockingMatchesErlangB(t *testing.T) {
+	const channels = 8
+	const holdMean = 60.0 // seconds
+	cases := []struct {
+		offered float64 // erlangs
+	}{
+		{3.0},
+		{6.0},
+		{9.0},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		cfg.ChannelsPerCell = channels
+		simn := simnet.NewNetwork(simnet.NewScheduler(99))
+		cn := New(simn, GSM, cfg)
+		cell := cn.AddCell(simn.NewNode("bts"), wireless.Position{})
+
+		rng := simn.Sched.Rand()
+		arrivalRate := tc.offered / holdMean // calls per second
+		attempts, blocked := 0, 0
+
+		var arrive func()
+		arrive = func() {
+			attempts++
+			if cell.OccupyChannels(1) == 1 {
+				hold := time.Duration(rng.ExpFloat64() * holdMean * float64(time.Second))
+				simn.Sched.After(hold, func() { cell.ReleaseChannels(1) })
+			} else {
+				blocked++
+			}
+			gap := time.Duration(rng.ExpFloat64() / arrivalRate * float64(time.Second))
+			simn.Sched.After(gap, arrive)
+		}
+		arrive()
+
+		// Simulate ~40k calls for tight statistics (virtual time is free).
+		horizon := time.Duration(40000.0/arrivalRate) * time.Second
+		if err := simn.Sched.RunUntil(horizon); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+
+		got := float64(blocked) / float64(attempts)
+		want := erlangB(tc.offered, channels)
+		tol := 0.015 + 0.1*want // absolute + relative slack for sampling noise
+		if math.Abs(got-want) > tol {
+			t.Errorf("offered %.1f E on %d channels: blocking %.4f, Erlang B predicts %.4f",
+				tc.offered, channels, got, want)
+		}
+	}
+}
+
+// TestErlangBRecurrence sanity-checks the reference formula itself against
+// published values.
+func TestErlangBRecurrence(t *testing.T) {
+	cases := []struct {
+		a    float64
+		c    int
+		want float64
+	}{
+		{1, 1, 0.5},
+		{5, 5, 0.2849},
+		{10, 10, 0.2146},
+		{3, 8, 0.0081},
+	}
+	for _, tc := range cases {
+		got := erlangB(tc.a, tc.c)
+		if math.Abs(got-tc.want) > 0.001 {
+			t.Errorf("erlangB(%.0f, %d) = %.4f, want %.4f", tc.a, tc.c, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,545 @@
+package cellular
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/wireless"
+)
+
+// Errors returned by call management.
+var (
+	// ErrNoDataService is returned when a mobile on an analog 1G standard
+	// attempts a data call.
+	ErrNoDataService = errors.New("cellular: standard has no data service")
+	// ErrBlocked is returned when a circuit call cannot be placed because
+	// the cell has no free traffic channels.
+	ErrBlocked = errors.New("cellular: call blocked, no free channels")
+	// ErrNoCoverage is returned when the mobile is outside every cell.
+	ErrNoCoverage = errors.New("cellular: no coverage")
+	// ErrCallActive is returned when placing a call on a busy mobile.
+	ErrCallActive = errors.New("cellular: call already active")
+	// ErrNotPacketSwitched is returned when attaching on a circuit network.
+	ErrNotPacketSwitched = errors.New("cellular: standard is not packet-switched")
+)
+
+// Config tunes the cellular model.
+type Config struct {
+	// CellRadius is the coverage radius of each base station in meters.
+	// Cellular coverage is far wider than WLAN (paper summary).
+	CellRadius float64
+	// CircuitSetup is the call-establishment latency for circuit-switched
+	// standards.
+	CircuitSetup time.Duration
+	// AttachLatency is the one-time attach cost for packet-switched
+	// standards, after which the mobile is "always-on".
+	AttachLatency time.Duration
+	// ChannelsPerCell is the number of circuit traffic channels per cell.
+	ChannelsPerCell int
+	// Propagation is the one-way air propagation delay (cells are km
+	// scale; includes base-station processing).
+	Propagation time.Duration
+	// BitErrorRate is the per-bit error probability.
+	BitErrorRate float64
+	// QueueLen is the packet-scheduler queue capacity per direction.
+	QueueLen int
+	// HandoffLatency is the blackout while a mobile changes cells.
+	HandoffLatency time.Duration
+	// DisableQoS turns off priority scheduling on 3G standards (the QoS
+	// ablation experiment).
+	DisableQoS bool
+	// OnAssociate, if set, runs after a mobile attaches to a cell
+	// (initially and after each handoff).
+	OnAssociate func(m *Mobile, c *Cell)
+	// OnHandoff, if set, runs when a handoff begins.
+	OnHandoff func(m *Mobile, from, to *Cell)
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		CellRadius:      5000,
+		CircuitSetup:    1200 * time.Millisecond,
+		AttachLatency:   500 * time.Millisecond,
+		ChannelsPerCell: 16,
+		Propagation:     5 * time.Millisecond,
+		BitErrorRate:    1e-6,
+		QueueLen:        simnet.DefaultQueueLen,
+		HandoffLatency:  300 * time.Millisecond,
+	}
+}
+
+// frame is a queued transmission on a cell's shared packet channel.
+type frame struct {
+	p       *simnet.Packet
+	class   QoSClass
+	seq     uint64
+	deliver func(*simnet.Packet)
+}
+
+// xmitter is a store-and-forward transmitter with an optional
+// priority-by-QoS-class queue. One per direction per cell (packet mode) or
+// per call (circuit mode).
+type xmitter struct {
+	net   *Net
+	rate  simnet.Rate
+	qos   bool
+	queue []*frame
+	seq   uint64
+	busy  bool
+}
+
+func (x *xmitter) enqueue(f *frame) bool {
+	if len(x.queue) >= x.net.cfg.QueueLen {
+		x.net.DroppedQ++
+		return false
+	}
+	x.seq++
+	f.seq = x.seq
+	x.queue = append(x.queue, f)
+	if x.qos {
+		// Stable priority order: class first, arrival second.
+		sort.SliceStable(x.queue, func(i, j int) bool {
+			if x.queue[i].class != x.queue[j].class {
+				return x.queue[i].class < x.queue[j].class
+			}
+			return x.queue[i].seq < x.queue[j].seq
+		})
+	}
+	if !x.busy {
+		x.busy = true
+		x.next()
+	}
+	return true
+}
+
+func (x *xmitter) next() {
+	if len(x.queue) == 0 {
+		x.busy = false
+		return
+	}
+	f := x.queue[0]
+	x.queue = x.queue[1:]
+	s := x.net.sched
+	tx := x.rate.TxTime(f.p.Bytes)
+	s.After(tx, func() {
+		if !x.net.frameLost(f.p.Bytes) {
+			cp := f.p.Clone()
+			s.After(x.net.cfg.Propagation, func() {
+				x.net.Delivered++
+				f.deliver(cp)
+			})
+		} else {
+			x.net.LostErrors++
+		}
+		x.next()
+	})
+}
+
+// Net is a cellular network of one Standard: base stations (cells) and
+// mobiles. It implements simnet.Medium for the radio interfaces it creates.
+type Net struct {
+	std   Standard
+	cfg   Config
+	simn  *simnet.Network
+	sched *simnet.Scheduler
+
+	cells   []*Cell
+	mobiles []*Mobile
+	byIface map[*simnet.Iface]any
+
+	// Stats
+	Delivered    uint64
+	LostErrors   uint64
+	LostRange    uint64
+	DroppedQ     uint64
+	BlockedCalls uint64
+	Handoffs     uint64
+}
+
+var _ simnet.Medium = (*Net)(nil)
+
+// New creates an empty cellular network of the given standard.
+func New(simn *simnet.Network, std Standard, cfg Config) *Net {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = simnet.DefaultQueueLen
+	}
+	if cfg.CellRadius <= 0 {
+		cfg.CellRadius = DefaultConfig().CellRadius
+	}
+	return &Net{std: std, cfg: cfg, simn: simn, sched: simn.Sched, byIface: make(map[*simnet.Iface]any)}
+}
+
+// Standard returns the network's cellular standard.
+func (n *Net) Standard() Standard { return n.std }
+
+// Config returns the network's configuration.
+func (n *Net) Config() Config { return n.cfg }
+
+// Cell is a base station: radio coverage plus circuit channels and the
+// shared packet scheduler.
+type Cell struct {
+	net   *Net
+	node  *simnet.Node
+	radio *simnet.Iface
+	pos   wireless.Position
+
+	// circuit state
+	callsInUse int
+
+	// packet state: shared downlink/uplink transmitters.
+	down, up xmitter
+}
+
+// Node returns the node the base station radio is attached to.
+func (c *Cell) Node() *simnet.Node { return c.node }
+
+// Radio returns the base station's radio interface.
+func (c *Cell) Radio() *simnet.Iface { return c.radio }
+
+// Pos returns the base station's position.
+func (c *Cell) Pos() wireless.Position { return c.pos }
+
+// CallsInUse returns the number of occupied circuit channels.
+func (c *Cell) CallsInUse() int { return c.callsInUse }
+
+// AddCell attaches a base-station radio to node at pos. The node is marked
+// forwarding.
+func (n *Net) AddCell(node *simnet.Node, pos wireless.Position) *Cell {
+	c := &Cell{net: n, node: node, pos: pos}
+	c.radio = node.AddIface("radio-bts", n)
+	node.Forwarding = true
+	shared := n.std.DataRate
+	qos := n.std.QoS && !n.cfg.DisableQoS
+	c.down = xmitter{net: n, rate: shared, qos: qos}
+	c.up = xmitter{net: n, rate: shared, qos: qos}
+	n.cells = append(n.cells, c)
+	n.byIface[c.radio] = c
+	return c
+}
+
+// Cells returns the network's base stations. The slice is freshly
+// allocated.
+func (n *Net) Cells() []*Cell {
+	out := make([]*Cell, len(n.cells))
+	copy(out, n.cells)
+	return out
+}
+
+// Mobile is a cellular terminal: position, serving cell, call/attach state
+// and QoS subscription class.
+type Mobile struct {
+	net   *Net
+	node  *simnet.Node
+	radio *simnet.Iface
+	pos   wireless.Position
+
+	cell     *Cell
+	blackout bool
+	attached bool // packet-switched attach completed
+	inCall   bool // circuit call active
+	// circuit per-call dedicated transmitters
+	callDown, callUp *xmitter
+
+	// Class is the mobile's QoS subscription class (3G). Zero is treated
+	// as Background.
+	Class QoSClass
+}
+
+// Node returns the node the mobile radio is attached to.
+func (m *Mobile) Node() *simnet.Node { return m.node }
+
+// Pos returns the mobile's position.
+func (m *Mobile) Pos() wireless.Position { return m.pos }
+
+// Cell returns the serving cell, or nil outside coverage or in handoff.
+func (m *Mobile) Cell() *Cell {
+	if m.blackout {
+		return nil
+	}
+	return m.cell
+}
+
+// InCall reports whether a circuit call is active.
+func (m *Mobile) InCall() bool { return m.inCall }
+
+// Attached reports whether packet service is up ("always-on" after the
+// initial attach).
+func (m *Mobile) Attached() bool { return m.attached && m.cell != nil && !m.blackout }
+
+// AddMobile attaches a mobile radio to node at pos, sets the node's default
+// route out of the radio, and camps on the nearest cell in range.
+func (n *Net) AddMobile(node *simnet.Node, pos wireless.Position) *Mobile {
+	m := &Mobile{net: n, node: node, pos: pos, Class: Background}
+	m.radio = node.AddIface("radio-cell", n)
+	node.SetDefaultRoute(m.radio)
+	n.mobiles = append(n.mobiles, m)
+	n.byIface[m.radio] = m
+	m.recamp()
+	return m
+}
+
+// Mobiles returns the network's mobiles. The slice is freshly allocated.
+func (n *Net) Mobiles() []*Mobile {
+	out := make([]*Mobile, len(n.mobiles))
+	copy(out, n.mobiles)
+	return out
+}
+
+func (n *Net) bestCell(pos wireless.Position) *Cell {
+	var best *Cell
+	bestD := math.Inf(1)
+	for _, c := range n.cells {
+		d := c.pos.Dist(pos)
+		if d <= n.cfg.CellRadius && d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func (m *Mobile) recamp() {
+	n := m.net
+	best := n.bestCell(m.pos)
+	if best == m.cell {
+		return
+	}
+	old := m.cell
+	if old != nil {
+		old.node.ClearRoute(m.node.ID)
+		if m.inCall {
+			// The dedicated channel moves with the call; occupancy
+			// transfers between cells.
+			old.callsInUse--
+		}
+	}
+	m.cell = best
+	if best == nil {
+		if m.inCall {
+			m.endCallState()
+		}
+		return
+	}
+	if n.cfg.OnHandoff != nil && old != nil {
+		n.cfg.OnHandoff(m, old, best)
+	}
+	complete := func() {
+		m.blackout = false
+		best.node.SetRoute(m.node.ID, best.radio)
+		if m.inCall {
+			best.callsInUse++
+		}
+		if n.cfg.OnAssociate != nil {
+			n.cfg.OnAssociate(m, best)
+		}
+	}
+	if old == nil {
+		complete()
+		return
+	}
+	n.Handoffs++
+	m.blackout = true
+	n.sched.After(n.cfg.HandoffLatency, func() {
+		if m.cell == best {
+			complete()
+		}
+	})
+}
+
+// MoveTo repositions the mobile and re-evaluates the serving cell.
+func (m *Mobile) MoveTo(pos wireless.Position) {
+	m.pos = pos
+	m.recamp()
+}
+
+// Attach brings up packet service. The done callback (optional) fires when
+// the attach completes; afterwards the mobile is always-on. On
+// circuit-switched or analog standards it returns an error.
+func (m *Mobile) Attach(done func()) error {
+	if m.net.std.Switching != PacketSwitched {
+		return ErrNotPacketSwitched
+	}
+	if !m.net.std.SupportsData() {
+		return ErrNoDataService
+	}
+	if m.cell == nil {
+		return ErrNoCoverage
+	}
+	if m.attached {
+		if done != nil {
+			done()
+		}
+		return nil
+	}
+	m.net.sched.After(m.net.cfg.AttachLatency, func() {
+		m.attached = true
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// PlaceCall establishes a circuit data call. The done callback (optional)
+// fires when the call is up. Calls block (ErrBlocked) when the cell's
+// traffic channels are exhausted, and fail on analog standards that carry
+// no data.
+func (m *Mobile) PlaceCall(done func()) error {
+	if m.net.std.Switching != CircuitSwitched {
+		return fmt.Errorf("cellular: %s is packet-switched; use Attach", m.net.std.Name)
+	}
+	if !m.net.std.SupportsData() {
+		return ErrNoDataService
+	}
+	if m.inCall {
+		return ErrCallActive
+	}
+	cell := m.Cell()
+	if cell == nil {
+		return ErrNoCoverage
+	}
+	if cell.callsInUse >= m.net.cfg.ChannelsPerCell {
+		m.net.BlockedCalls++
+		return ErrBlocked
+	}
+	cell.callsInUse++
+	m.inCall = true
+	rate := m.net.std.DataRate
+	m.callDown = &xmitter{net: m.net, rate: rate}
+	m.callUp = &xmitter{net: m.net, rate: rate}
+	m.net.sched.After(m.net.cfg.CircuitSetup, func() {
+		if m.inCall && done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// HangUp releases an active circuit call.
+func (m *Mobile) HangUp() {
+	if !m.inCall {
+		return
+	}
+	if c := m.Cell(); c != nil {
+		c.callsInUse--
+	}
+	m.endCallState()
+}
+
+func (m *Mobile) endCallState() {
+	m.inCall = false
+	m.callDown = nil
+	m.callUp = nil
+}
+
+// OccupyChannels seizes k circuit channels on the cell (modelling ambient
+// voice load). It returns the number actually seized.
+func (c *Cell) OccupyChannels(k int) int {
+	free := c.net.cfg.ChannelsPerCell - c.callsInUse
+	if k > free {
+		k = free
+	}
+	if k < 0 {
+		k = 0
+	}
+	c.callsInUse += k
+	return k
+}
+
+// ReleaseChannels releases k previously occupied channels.
+func (c *Cell) ReleaseChannels(k int) {
+	c.callsInUse -= k
+	if c.callsInUse < 0 {
+		c.callsInUse = 0
+	}
+}
+
+// Transmit implements simnet.Medium.
+func (n *Net) Transmit(from *simnet.Iface, p *simnet.Packet) {
+	switch ep := n.byIface[from].(type) {
+	case *Mobile:
+		n.txFromMobile(ep, p)
+	case *Cell:
+		n.txFromCell(ep, p)
+	default:
+		n.LostRange++
+	}
+}
+
+func (n *Net) txFromMobile(m *Mobile, p *simnet.Packet) {
+	cell := m.Cell()
+	if cell == nil {
+		n.LostRange++
+		return
+	}
+	switch n.std.Switching {
+	case CircuitSwitched:
+		if !m.inCall || m.callUp == nil {
+			n.LostRange++
+			return
+		}
+		m.callUp.enqueue(&frame{p: p, deliver: func(q *simnet.Packet) {
+			cell.node.Deliver(q, cell.radio)
+		}})
+	case PacketSwitched:
+		if !m.Attached() {
+			n.LostRange++
+			return
+		}
+		cell.up.enqueue(&frame{p: p, class: m.classOrDefault(), deliver: func(q *simnet.Packet) {
+			cell.node.Deliver(q, cell.radio)
+		}})
+	}
+}
+
+func (n *Net) txFromCell(c *Cell, p *simnet.Packet) {
+	m := n.mobileByNode(p.Dst.Node)
+	if m == nil || m.Cell() != c {
+		n.LostRange++
+		return
+	}
+	deliver := func(q *simnet.Packet) { m.node.Deliver(q, m.radio) }
+	switch n.std.Switching {
+	case CircuitSwitched:
+		if !m.inCall || m.callDown == nil {
+			n.LostRange++
+			return
+		}
+		m.callDown.enqueue(&frame{p: p, deliver: deliver})
+	case PacketSwitched:
+		if !m.Attached() {
+			n.LostRange++
+			return
+		}
+		c.down.enqueue(&frame{p: p, class: m.classOrDefault(), deliver: deliver})
+	}
+}
+
+func (m *Mobile) classOrDefault() QoSClass {
+	if m.Class == 0 {
+		return Background
+	}
+	return m.Class
+}
+
+func (n *Net) mobileByNode(id simnet.NodeID) *Mobile {
+	for _, m := range n.mobiles {
+		if m.node.ID == id {
+			return m
+		}
+	}
+	return nil
+}
+
+func (n *Net) frameLost(bytes int) bool {
+	ber := n.cfg.BitErrorRate
+	if ber <= 0 {
+		return false
+	}
+	pLoss := 1 - math.Pow(1-ber, float64(bytes*8))
+	return n.sched.Rand().Float64() < pLoss
+}

@@ -1,0 +1,299 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mcommerce/internal/cellular"
+	"mcommerce/internal/core"
+	"mcommerce/internal/device"
+	"mcommerce/internal/webserver"
+	"mcommerce/internal/wireless"
+)
+
+func registerShop(h *core.Host) {
+	h.Server.Handle("/shop", func(r *webserver.Request) *webserver.Response {
+		return webserver.HTML(`<html><head><title>Shop</title></head>
+			<body><h1>Catalog</h1><p>Buy <a href="/buy">widgets</a>.</p></body></html>`)
+	})
+}
+
+func TestModelValidationRequiresAllSixComponents(t *testing.T) {
+	s := core.NewSystem(core.ModelMC)
+	if err := s.Validate(); err == nil {
+		t.Fatal("empty MC system validated")
+	}
+	// Add everything but middleware: still invalid.
+	app := s.Add(core.KindApplication, "app", nil)
+	st := s.Add(core.KindMobileStation, "phone", nil)
+	wl := s.Add(core.KindWirelessNetwork, "wifi", nil)
+	wd := s.Add(core.KindWiredNetwork, "lan", nil)
+	host := s.Add(core.KindHostComputer, "host", nil)
+	s.Link(app, st)
+	s.Link(app, host)
+	s.Link(wl, wd)
+	s.Link(wd, host)
+	if err := s.Validate(); err == nil {
+		t.Fatal("MC system without middleware validated")
+	}
+	mw := s.Add(core.KindMiddleware, "wap", nil)
+	s.Link(st, mw)
+	s.Link(mw, wl)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("complete MC system invalid: %v", err)
+	}
+}
+
+func TestModelValidationChecksLayering(t *testing.T) {
+	s := core.NewSystem(core.ModelMC)
+	app := s.Add(core.KindApplication, "app", nil)
+	st := s.Add(core.KindMobileStation, "phone", nil)
+	mw := s.Add(core.KindMiddleware, "wap", nil)
+	wl := s.Add(core.KindWirelessNetwork, "wifi", nil)
+	wd := s.Add(core.KindWiredNetwork, "lan", nil)
+	host := s.Add(core.KindHostComputer, "host", nil)
+	s.Link(app, st)
+	s.Link(app, host)
+	// Deliberately skip st–mw link: layering must fail.
+	s.Link(mw, wl)
+	s.Link(wl, wd)
+	s.Link(wd, host)
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no link") {
+		t.Fatalf("layering violation not caught: %v", err)
+	}
+	s.Link(st, mw)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("after fixing link: %v", err)
+	}
+}
+
+func TestBuildMCProducesValidFigure2System(t *testing.T) {
+	mc, err := core.BuildMC(core.MCConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildMC: %v", err)
+	}
+	if err := mc.Sys.Validate(); err != nil {
+		t.Fatalf("built system invalid: %v", err)
+	}
+	if len(mc.Clients) != 5 {
+		t.Errorf("clients = %d, want 5 (Table 2)", len(mc.Clients))
+	}
+	desc := mc.Sys.Describe()
+	for _, want := range []string{"mobile stations", "mobile middleware", "wireless networks", "wired networks", "host computers", "WAP gateway", "i-mode portal"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestBuildECProducesValidFigure1System(t *testing.T) {
+	ec, err := core.BuildEC(core.ECConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildEC: %v", err)
+	}
+	if err := ec.Sys.Validate(); err != nil {
+		t.Fatalf("built EC system invalid: %v", err)
+	}
+	// EC has no wireless/middleware/mobile components.
+	for _, k := range []core.Kind{core.KindMobileStation, core.KindMiddleware, core.KindWirelessNetwork} {
+		if len(ec.Sys.ByKind(k)) != 0 {
+			t.Errorf("EC system has %s components", k)
+		}
+	}
+}
+
+func TestECTransaction(t *testing.T) {
+	ec, err := core.BuildEC(core.ECConfig{Seed: 2})
+	if err != nil {
+		t.Fatalf("BuildEC: %v", err)
+	}
+	registerShop(ec.Host)
+	var resp *webserver.Response
+	var lat time.Duration
+	ec.Transact(0, "/shop", func(r *webserver.Response, d time.Duration, err error) {
+		if err != nil {
+			t.Errorf("Transact: %v", err)
+			return
+		}
+		resp, lat = r, d
+	})
+	if err := ec.Net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if resp == nil || resp.Status != 200 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if lat <= 0 {
+		t.Error("latency not measured")
+	}
+}
+
+func TestMCTransactionOverIMode(t *testing.T) {
+	mc, err := core.BuildMC(core.MCConfig{Seed: 3})
+	if err != nil {
+		t.Fatalf("BuildMC: %v", err)
+	}
+	registerShop(mc.Host)
+	var tr core.Transaction
+	got := false
+	mc.TransactIMode(0, "/shop", func(x core.Transaction) { tr, got = x, true })
+	if err := mc.Net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !got || tr.Err != nil {
+		t.Fatalf("transaction: got=%v err=%v", got, tr.Err)
+	}
+	if tr.Page.ContentType != webserver.TypeCHTML {
+		t.Errorf("content type = %s", tr.Page.ContentType)
+	}
+	if tr.Latency <= 0 {
+		t.Error("no latency")
+	}
+}
+
+func TestMCTransactionOverWAP(t *testing.T) {
+	mc, err := core.BuildMC(core.MCConfig{Seed: 4})
+	if err != nil {
+		t.Fatalf("BuildMC: %v", err)
+	}
+	registerShop(mc.Host)
+	var tr core.Transaction
+	got := false
+	mc.TransactWAP(1, "/shop", func(x core.Transaction) { tr, got = x, true })
+	if err := mc.Net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !got || tr.Err != nil {
+		t.Fatalf("transaction: got=%v err=%v", got, tr.Err)
+	}
+	if tr.Page.ContentType != webserver.TypeWMLC {
+		t.Errorf("content type = %s", tr.Page.ContentType)
+	}
+	if tr.Page.Cards < 1 {
+		t.Error("no cards")
+	}
+}
+
+// TestProgramDataIndependence is requirement 5 of Section 1.1: "the change
+// of system components does not affect the existing programs/data". The
+// SAME application handler serves every bearer x middleware combination.
+func TestProgramDataIndependence(t *testing.T) {
+	type combo struct {
+		name string
+		cfg  core.MCConfig
+		wap  bool
+	}
+	combos := []combo{
+		{"wlan-imode", core.MCConfig{Seed: 5, Bearer: core.BearerWLAN}, false},
+		{"wlan-wap", core.MCConfig{Seed: 6, Bearer: core.BearerWLAN}, true},
+		{"gprs-imode", core.MCConfig{Seed: 7, Bearer: core.BearerCellular, CellStandard: cellular.GPRS}, false},
+		{"wcdma-wap", core.MCConfig{Seed: 8, Bearer: core.BearerCellular, CellStandard: cellular.WCDMA}, true},
+		{"80211a-imode", core.MCConfig{Seed: 9, Bearer: core.BearerWLAN, WLANStandard: wireless.IEEE80211a}, false},
+	}
+	for _, c := range combos {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			mc, err := core.BuildMC(c.cfg)
+			if err != nil {
+				t.Fatalf("BuildMC: %v", err)
+			}
+			registerShop(mc.Host) // identical program every time
+			var tr core.Transaction
+			done := false
+			handle := func(x core.Transaction) { tr, done = x, true }
+			if c.wap {
+				mc.TransactWAP(0, "/shop", handle)
+			} else {
+				mc.TransactIMode(0, "/shop", handle)
+			}
+			if err := mc.Net.Sched.RunFor(2 * time.Minute); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !done || tr.Err != nil {
+				t.Fatalf("transaction failed: done=%v err=%v", done, tr.Err)
+			}
+			if !strings.Contains(tr.Page.Text, "widgets") {
+				t.Errorf("content lost: %q", tr.Page.Text)
+			}
+		})
+	}
+}
+
+// TestInteroperability is requirement 4: one host serves desktop HTML, WAP
+// WML and i-mode cHTML clients simultaneously through content negotiation.
+func TestInteroperability(t *testing.T) {
+	mc, err := core.BuildMC(core.MCConfig{Seed: 10, Devices: []device.Profile{device.PalmI705, device.Nokia9290}})
+	if err != nil {
+		t.Fatalf("BuildMC: %v", err)
+	}
+	registerShop(mc.Host)
+	types := map[string]bool{}
+	n := 0
+	mc.TransactWAP(0, "/shop", func(x core.Transaction) {
+		if x.Err != nil {
+			t.Errorf("wap: %v", x.Err)
+			return
+		}
+		types[x.Page.ContentType] = true
+		n++
+	})
+	mc.TransactIMode(1, "/shop", func(x core.Transaction) {
+		if x.Err != nil {
+			t.Errorf("imode: %v", x.Err)
+			return
+		}
+		types[x.Page.ContentType] = true
+		n++
+	})
+	if err := mc.Net.Sched.RunFor(2 * time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 2 || !types[webserver.TypeWMLC] || !types[webserver.TypeCHTML] {
+		t.Errorf("served types = %v (n=%d)", types, n)
+	}
+}
+
+func TestCircuitSwitchedBearerNeedsCall(t *testing.T) {
+	mc, err := core.BuildMC(core.MCConfig{
+		Seed: 11, Bearer: core.BearerCellular, CellStandard: cellular.GSM,
+		Devices: []device.Profile{device.PalmI705},
+	})
+	if err != nil {
+		t.Fatalf("BuildMC: %v", err)
+	}
+	registerShop(mc.Host)
+	var tr core.Transaction
+	done := false
+	// Place the data call first, then transact.
+	if err := mc.Clients[0].CellMobile.PlaceCall(func() {
+		mc.TransactIMode(0, "/shop", func(x core.Transaction) { tr, done = x, true })
+	}); err != nil {
+		t.Fatalf("PlaceCall: %v", err)
+	}
+	if err := mc.Net.Sched.RunFor(10 * time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !done || tr.Err != nil {
+		t.Fatalf("GSM transaction: done=%v err=%v", done, tr.Err)
+	}
+	// 9.6 kbps circuit data: even a small page takes hundreds of ms
+	// (the 1.2 s call setup happened before the measurement window).
+	if tr.Latency < 300*time.Millisecond {
+		t.Errorf("latency %v implausibly fast for GSM circuit data", tr.Latency)
+	}
+}
+
+func TestAnalog1GCannotCarryMC(t *testing.T) {
+	mc, err := core.BuildMC(core.MCConfig{
+		Seed: 12, Bearer: core.BearerCellular, CellStandard: cellular.AMPS,
+		Devices: []device.Profile{device.PalmI705},
+	})
+	if err != nil {
+		t.Fatalf("BuildMC: %v", err)
+	}
+	if err := mc.Clients[0].CellMobile.PlaceCall(nil); err != cellular.ErrNoDataService {
+		t.Errorf("AMPS PlaceCall = %v, want ErrNoDataService", err)
+	}
+}

@@ -1,0 +1,30 @@
+// Package core implements the paper's primary contribution: the
+// six-component mobile commerce system model of Figure 2, alongside the
+// four-component electronic commerce model of Figure 1 it extends.
+//
+// The model is reified twice:
+//
+//   - As a structural graph (System, Component, Kind) matching the figures:
+//     components have one of the paper's kinds — MC applications, mobile
+//     stations, mobile middleware, wireless networks, wired networks, host
+//     computers (plus client computers for the EC baseline) — linked by
+//     association and bidirectional data/control-flow edges. Validate
+//     checks a system against its model's required component kinds and the
+//     layering of Figure 1/Figure 2.
+//
+//   - As a running system: BuildMC assembles a complete, working mobile
+//     commerce deployment on the simulated network — host computers (web
+//     server + database server + application programs) on a wired LAN, a
+//     WAN to the operator site, WAP and i-mode middleware on a gateway, a
+//     wireless bearer (any Table 4 WLAN standard or Table 5 cellular
+//     standard), and mobile stations from Table 2 running microbrowsers.
+//     BuildEC assembles the Figure 1 baseline with desktop clients on the
+//     wired network.
+//
+// The Section 1.1 requirements map onto the API: ubiquitous transactions
+// (Transact, from any station over any bearer), interoperability (the same
+// host serves HTML, WML and cHTML clients through content negotiation),
+// and program/data independence (bearers and middleware swap without
+// touching application handlers — the ablation tests run the same service
+// over four bearer/middleware combinations).
+package core

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"mcommerce/internal/core"
+	"mcommerce/internal/device"
+	"mcommerce/internal/webserver"
+)
+
+// ExampleBuildEC assembles the paper's Figure 1 baseline and prints its
+// validated structure.
+func ExampleBuildEC() {
+	ec, err := core.BuildEC(core.ECConfig{Seed: 1, Clients: 2})
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	if err := ec.Sys.Validate(); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	fmt.Print(ec.Sys.Describe())
+	// Output:
+	// EC system structure (paper Figure 1):
+	//   applications:
+	//     - EC application programs
+	//   client computers:
+	//     - desktop-1
+	//     - desktop-2
+	//   wired networks:
+	//     - wired LAN/WAN
+	//   host computers:
+	//     - web server + database server
+}
+
+// ExampleMC_TransactIMode runs one end-to-end mobile transaction through
+// the six-component system.
+func ExampleMC_TransactIMode() {
+	mc, err := core.BuildMC(core.MCConfig{
+		Seed:    1,
+		Devices: []device.Profile{device.PalmI705},
+	})
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	mc.Host.Server.Handle("/hello", func(r *webserver.Request) *webserver.Response {
+		return webserver.HTML(`<html><head><title>Hi</title></head><body><p>hello handheld</p></body></html>`)
+	})
+	mc.TransactIMode(0, "/hello", func(tr core.Transaction) {
+		if tr.Err != nil {
+			fmt.Println("transaction:", tr.Err)
+			return
+		}
+		fmt.Printf("%s: %q\n", tr.Page.ContentType, tr.Page.Text)
+	})
+	if err := mc.Net.Sched.RunFor(time.Minute); err != nil {
+		fmt.Println("run:", err)
+	}
+	// Output:
+	// text/chtml: "hello handheld"
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"mcommerce/internal/database"
+	"mcommerce/internal/mtcp"
+	"mcommerce/internal/security"
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/webserver"
+)
+
+// WebPort is the host computers' well-known web server port.
+const WebPort simnet.Port = 80
+
+// Host is a host computer per Section 7: "a Web server, a database server,
+// and application programs and support software" on one node.
+type Host struct {
+	Node   *simnet.Node
+	Stack  *mtcp.Stack
+	Server *webserver.Server
+	DB     *database.DB
+	// Tokens signs and verifies user credentials for application
+	// programs (Section 8 authentication).
+	Tokens *security.TokenAuthority
+}
+
+// NewHost boots a host computer on a fresh node in the network.
+func NewHost(net *simnet.Network, name string, tokenKey []byte) (*Host, error) {
+	node := net.NewNode(name)
+	stack, err := mtcp.NewStack(node)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := webserver.New(stack, WebPort, mtcp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Host{
+		Node:   node,
+		Stack:  stack,
+		Server: srv,
+		DB:     database.New(),
+		Tokens: security.NewTokenAuthority(tokenKey),
+	}, nil
+}
+
+// Addr returns the host's web server address.
+func (h *Host) Addr() simnet.Addr { return h.Server.Addr() }
+
+// Now returns virtual time in nanoseconds, the timebase token expiry uses.
+func (h *Host) Now() int64 { return int64(h.Node.Sched().Now()) }

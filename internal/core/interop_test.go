@@ -1,0 +1,104 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mcommerce/internal/apps"
+	"mcommerce/internal/core"
+	"mcommerce/internal/device"
+	"mcommerce/internal/mtcp"
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/webserver"
+)
+
+// TestDesktopAndHandheldShareHost realizes Section 3's claim that mobile
+// commerce applications "not only cover [electronic commerce applications]
+// but also include new ones": one host computer serves a wired desktop
+// (HTML over plain HTTP) and a handheld (cHTML through the i-mode portal)
+// from the same application programs and database.
+func TestDesktopAndHandheldShareHost(t *testing.T) {
+	mc, err := core.BuildMC(core.MCConfig{Seed: 81, Devices: []device.Profile{device.ToshibaE740}})
+	if err != nil {
+		t.Fatalf("BuildMC: %v", err)
+	}
+	if err := apps.NewCommerce().Register(mc.Host); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	registerShop(mc.Host)
+
+	// Attach a desktop client computer to the wired side.
+	desktop := mc.Net.NewNode("desktop")
+	wire := simnet.Connect(desktop, mc.Host.Node, simnet.LAN)
+	desktop.SetDefaultRoute(wire.IfaceA())
+	mc.Host.Node.SetRoute(desktop.ID, wire.IfaceB())
+	desktopHTTP := webserver.NewClient(mtcp.MustNewStack(desktop), mtcp.Options{})
+
+	// Desktop path: plain HTML.
+	var desktopType, desktopBody string
+	desktopHTTP.Get(mc.Host.Addr(), "/shop", map[string]string{"accept": webserver.TypeHTML},
+		func(r *webserver.Response, err error) {
+			if err != nil {
+				t.Errorf("desktop get: %v", err)
+				return
+			}
+			desktopType = r.Header("content-type")
+			desktopBody = string(r.Body)
+		})
+
+	// Handheld path: the same page through the portal.
+	var handheldType string
+	mc.TransactIMode(0, "/shop", func(tr core.Transaction) {
+		if tr.Err != nil {
+			t.Errorf("handheld: %v", tr.Err)
+			return
+		}
+		handheldType = tr.Page.ContentType
+	})
+
+	// Both clients hit the same payment service against the same
+	// database rows.
+	pay := &apps.CommerceClient{
+		Fetcher: &device.IModeFetcher{Client: mc.Clients[0].IMode},
+		Origin:  mc.Host.Addr(), Key: []byte("payment-demo-key"),
+	}
+	var handheldBalance int64
+	pay.OpenAccount("shared", "S", 500, func(_ apps.AccountView, err error) {
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		// The desktop reads the same account over plain HTTP.
+		desktopHTTP.Get(mc.Host.Addr(), "/pay/balance?id=shared", nil,
+			func(r *webserver.Response, err error) {
+				if err != nil || r.Status != 200 {
+					t.Errorf("desktop balance: %v %v", r, err)
+					return
+				}
+				if !strings.Contains(string(r.Body), `"balance":500`) {
+					t.Errorf("desktop sees %s", r.Body)
+				}
+			})
+		pay.Balance("shared", func(v apps.AccountView, err error) {
+			if err != nil {
+				t.Errorf("handheld balance: %v", err)
+				return
+			}
+			handheldBalance = v.Balance
+		})
+	})
+
+	if err := mc.Net.Sched.RunFor(2 * time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if desktopType != webserver.TypeHTML || !strings.Contains(desktopBody, "<h1>") {
+		t.Errorf("desktop got %s: %.60s", desktopType, desktopBody)
+	}
+	if handheldType != webserver.TypeCHTML {
+		t.Errorf("handheld got %s", handheldType)
+	}
+	if handheldBalance != 500 {
+		t.Errorf("handheld balance = %d", handheldBalance)
+	}
+}

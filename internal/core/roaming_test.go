@@ -1,0 +1,149 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mcommerce/internal/core"
+	"mcommerce/internal/device"
+	"mcommerce/internal/wap"
+)
+
+func buildRoaming(t *testing.T, seed int64) *core.RoamingMC {
+	t.Helper()
+	r, err := core.BuildRoamingMC(core.RoamingMCConfig{Seed: seed, AuthKey: []byte("sa-key")})
+	if err != nil {
+		t.Fatalf("BuildRoamingMC: %v", err)
+	}
+	registerShop(r.Host)
+	if err := r.Sys.Validate(); err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	return r
+}
+
+func TestRoamingIModeBrowseAcrossSubnets(t *testing.T) {
+	r := buildRoaming(t, 41)
+	br := r.BrowserIMode()
+
+	var texts []string
+	browse := func(tag string, next func()) {
+		br.Browse(r.Host.Addr(), "/shop", func(p *device.Page, err error) {
+			if err != nil {
+				t.Errorf("%s browse: %v", tag, err)
+				return
+			}
+			texts = append(texts, tag+":"+p.Title)
+			if next != nil {
+				next()
+			}
+		})
+	}
+
+	browse("home", func() {
+		r.Roam(func(err error) {
+			if err != nil {
+				t.Errorf("roam: %v", err)
+				return
+			}
+			browse("foreign", func() {
+				r.ReturnHome(func(err error) {
+					if err != nil {
+						t.Errorf("return home: %v", err)
+						return
+					}
+					browse("back", nil)
+				})
+			})
+		})
+	})
+	if err := r.Net.Sched.RunFor(5 * time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := "home foreign back"
+	var tags []string
+	for _, s := range texts {
+		tags = append(tags, strings.SplitN(s, ":", 2)[0])
+	}
+	if strings.Join(tags, " ") != want {
+		t.Fatalf("browse sequence = %v, want %s", texts, want)
+	}
+	// The foreign-side fetch must have used the tunnel.
+	if r.HA.Stats().Tunneled == 0 {
+		t.Error("no tunneled datagrams during foreign browse")
+	}
+	if r.FA.Stats().Decapsulated == 0 {
+		t.Error("foreign agent decapsulated nothing")
+	}
+	// After returning home the binding must be gone.
+	if _, bound := r.HA.Binding(r.Station.Node().ID); bound {
+		t.Error("binding survived return home")
+	}
+}
+
+// TestWSPSessionSurvivesRoam is the flagship integration property: the WSP
+// session is keyed to the station's home address, so Mobile IP keeps it
+// valid across the subnet move — no reconnect, same session id, second
+// fetch arrives through the HA→FA tunnel.
+func TestWSPSessionSurvivesRoam(t *testing.T) {
+	r := buildRoaming(t, 42)
+	var sess *wap.Session
+	fetched := 0
+	r.ConnectWAP(func(br *device.Browser, s *wap.Session, err error) {
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		sess = s
+		br.Browse(r.Host.Addr(), "/shop", func(p *device.Page, err error) {
+			if err != nil {
+				t.Errorf("home browse: %v", err)
+				return
+			}
+			fetched++
+			r.Roam(func(err error) {
+				if err != nil {
+					t.Errorf("roam: %v", err)
+					return
+				}
+				// Same session object, no reconnect.
+				br.Browse(r.Host.Addr(), "/shop", func(p *device.Page, err error) {
+					if err != nil {
+						t.Errorf("foreign browse on old session: %v", err)
+						return
+					}
+					fetched++
+				})
+			})
+		})
+	})
+	if err := r.Net.Sched.RunFor(5 * time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fetched != 2 {
+		t.Fatalf("fetched %d/2 pages", fetched)
+	}
+	if sess == nil || !sess.Established() {
+		t.Error("session not established at the end")
+	}
+	if got := r.WAP.Stats().Sessions; got != 1 {
+		t.Errorf("gateway sessions = %d, want exactly 1 (no reconnect)", got)
+	}
+	if r.HA.Stats().Tunneled == 0 {
+		t.Error("foreign-side WSP reply did not use the tunnel")
+	}
+}
+
+func TestRoamingModelGraphValid(t *testing.T) {
+	r := buildRoaming(t, 43)
+	desc := r.Sys.Describe()
+	for _, want := range []string{"home WLAN + home agent", "foreign WLAN + foreign agent", "WAP gateway"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q", want)
+		}
+	}
+	if !r.AtHome() {
+		t.Error("station should start at home")
+	}
+}

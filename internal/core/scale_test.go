@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"mcommerce/internal/core"
+	"mcommerce/internal/device"
+)
+
+// TestThirtyStationsShareOneCell is the scale smoke test: thirty handhelds
+// on one 802.11b AP all transact concurrently. Everything must complete,
+// the host must see every request, and the shared channel must make
+// contended latency visibly worse than a lone station's.
+func TestThirtyStationsShareOneCell(t *testing.T) {
+	const n = 30
+	profiles := make([]device.Profile, n)
+	for i := range profiles {
+		profiles[i] = device.Profiles()[i%len(device.Profiles())]
+	}
+	mc, err := core.BuildMC(core.MCConfig{Seed: 51, Devices: profiles})
+	if err != nil {
+		t.Fatalf("BuildMC: %v", err)
+	}
+	registerShop(mc.Host)
+
+	// Lone-station baseline first.
+	var lone time.Duration
+	mc.TransactIMode(0, "/shop", func(tr core.Transaction) {
+		if tr.Err != nil {
+			t.Errorf("baseline: %v", tr.Err)
+			return
+		}
+		lone = tr.Latency
+	})
+	if err := mc.Net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// Now all thirty at once.
+	ok := 0
+	var worst, sum time.Duration
+	for i := 0; i < n; i++ {
+		mc.TransactIMode(i, "/shop", func(tr core.Transaction) {
+			if tr.Err != nil {
+				t.Errorf("station transaction: %v", tr.Err)
+				return
+			}
+			ok++
+			sum += tr.Latency
+			if tr.Latency > worst {
+				worst = tr.Latency
+			}
+		})
+	}
+	if err := mc.Net.Sched.RunFor(10 * time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ok != n {
+		t.Fatalf("completed %d/%d transactions", ok, n)
+	}
+	if got := mc.Host.Server.Stats().Requests; got != n+1 {
+		t.Errorf("host requests = %d, want %d", got, n+1)
+	}
+	mean := sum / n
+	if mean <= lone {
+		t.Errorf("contended mean latency %v not above lone latency %v", mean, lone)
+	}
+	if worst > 30*time.Second {
+		t.Errorf("worst latency %v implausibly high — starvation?", worst)
+	}
+	if mc.WLAN.DroppedQ > 0 {
+		t.Logf("note: %d frames dropped at the shared channel under load", mc.WLAN.DroppedQ)
+	}
+}

@@ -1,0 +1,111 @@
+package database
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDBStatsAndTables(t *testing.T) {
+	db := accountsDB(t)
+	if err := db.CreateTable("orders", Schema{{Name: "id", Type: TypeString}}, "id"); err != nil {
+		t.Fatal(err)
+	}
+	tables := db.Tables()
+	if fmt.Sprint(tables) != "[accounts orders]" {
+		t.Errorf("Tables = %v", tables)
+	}
+	mustInsert(t, db, "accounts", Row{"id": "a", "owner": "x", "balance": int64(1)})
+	tx := db.Begin()
+	tx.Abort()
+	// Force one conflict.
+	t1 := db.Begin()
+	t2 := db.Begin()
+	if _, err := t1.GetForUpdate("accounts", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.GetForUpdate("accounts", "a"); err == nil {
+		t.Fatal("no conflict")
+	}
+	t1.Abort()
+	t2.Abort()
+	commits, aborts, conflicts := db.Stats()
+	if commits != 1 || aborts < 3 || conflicts != 1 {
+		t.Errorf("stats = %d/%d/%d", commits, aborts, conflicts)
+	}
+}
+
+func TestColTypeStrings(t *testing.T) {
+	for typ, want := range map[ColType]string{
+		TypeString: "string", TypeInt: "int", TypeFloat: "float",
+		TypeBool: "bool", TypeBytes: "bytes", ColType(0): "invalid",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}
+
+func TestIntKeyedTableScanOrder(t *testing.T) {
+	db := New()
+	if err := db.CreateTable("seq", Schema{
+		{Name: "n", Type: TypeInt},
+		{Name: "v", Type: TypeString},
+	}, "n"); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	for _, n := range []int64{30, 10, 20} {
+		if err := tx.Insert("seq", Row{"n": n, "v": "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := db.Begin()
+	defer tx2.Abort()
+	var order []int64
+	if err := tx2.Scan("seq", func(r Row) bool {
+		order = append(order, r["n"].(int64))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[10 20 30]" {
+		t.Errorf("int-key scan order = %v", order)
+	}
+}
+
+func TestBytesColumnRoundTrip(t *testing.T) {
+	db := New()
+	if err := db.CreateTable("blobs", Schema{
+		{Name: "k", Type: TypeString},
+		{Name: "b", Type: TypeBytes},
+	}, "k"); err != nil {
+		t.Fatal(err)
+	}
+	orig := []byte{0, 1, 2, 255}
+	if err := db.Atomically(0, func(tx *Tx) error {
+		return tx.Insert("blobs", Row{"k": "x", "b": orig})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's slice must not affect the stored row.
+	orig[0] = 99
+	tx := db.Begin()
+	defer tx.Abort()
+	row, err := tx.Get("blobs", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := row["b"].([]byte)
+	if b[0] != 0 {
+		t.Errorf("stored blob aliased caller slice: %v", b)
+	}
+	// And mutating the returned copy must not affect storage either.
+	b[1] = 99
+	row2, _ := tx.Get("blobs", "x")
+	if row2["b"].([]byte)[1] != 1 {
+		t.Error("returned blob aliased storage")
+	}
+}

@@ -1,0 +1,530 @@
+package database
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// table is the in-memory storage for one table.
+type table struct {
+	name   string
+	schema Schema
+	key    string // primary key column (TypeString or TypeInt)
+	rows   map[any]Row
+	// locks maps primary key -> lock state.
+	locks map[any]*rowLock
+}
+
+type rowLock struct {
+	exclusive uint64          // tx holding exclusive, 0 if none
+	shared    map[uint64]bool // txs holding shared
+}
+
+// DB is the embedded database engine.
+type DB struct {
+	mu      sync.Mutex
+	tables  map[string]*table
+	nextTx  uint64
+	wal     []LogRecord
+	walSink *WALWriter
+
+	// Stats
+	commits, aborts, conflicts uint64
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*table)}
+}
+
+// Stats reports cumulative commits, aborts and lock conflicts.
+func (db *DB) Stats() (commits, aborts, conflicts uint64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.commits, db.aborts, db.conflicts
+}
+
+// CreateTable declares a table. key names the primary-key column, which
+// must exist in the schema and be a string or int column.
+func (db *DB) CreateTable(name string, schema Schema, key string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return fmt.Errorf("%w: table %q", ErrExists, name)
+	}
+	var keyCol *Column
+	for i := range schema {
+		if schema[i].Name == key {
+			keyCol = &schema[i]
+		}
+	}
+	if keyCol == nil {
+		return fmt.Errorf("%w: key column %q", ErrNotFound, key)
+	}
+	if keyCol.Type != TypeString && keyCol.Type != TypeInt {
+		return fmt.Errorf("%w: key column must be string or int", ErrType)
+	}
+	sc := make(Schema, len(schema))
+	copy(sc, schema)
+	db.tables[name] = &table{
+		name:   name,
+		schema: sc,
+		key:    key,
+		rows:   make(map[any]Row),
+		locks:  make(map[any]*rowLock),
+	}
+	return nil
+}
+
+// Tables lists table names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WAL returns a copy of the committed write-ahead log.
+func (db *DB) WAL() []LogRecord {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]LogRecord, len(db.wal))
+	copy(out, db.wal)
+	return out
+}
+
+// OpKind distinguishes logged operations.
+type OpKind int
+
+// Logged operation kinds.
+const (
+	OpInsert OpKind = iota + 1
+	OpUpdate
+	OpDelete
+)
+
+// Op is one logged mutation.
+type Op struct {
+	Kind  OpKind
+	Table string
+	Key   any
+	Row   Row // nil for deletes
+}
+
+// LogRecord is one committed transaction in the write-ahead log.
+type LogRecord struct {
+	TxID uint64
+	Ops  []Op
+}
+
+// Recover rebuilds a database from table declarations plus a committed log.
+// The declare function must create the same tables as the original; the log
+// is then replayed in order.
+func Recover(declare func(*DB) error, wal []LogRecord) (*DB, error) {
+	db := New()
+	if err := declare(db); err != nil {
+		return nil, fmt.Errorf("database: recovery declare: %w", err)
+	}
+	for _, rec := range wal {
+		for _, op := range rec.Ops {
+			t, ok := db.tables[op.Table]
+			if !ok {
+				return nil, fmt.Errorf("database: recovery: %w: table %q", ErrNotFound, op.Table)
+			}
+			switch op.Kind {
+			case OpInsert, OpUpdate:
+				t.rows[op.Key] = op.Row.Clone()
+			case OpDelete:
+				delete(t.rows, op.Key)
+			}
+		}
+		db.wal = append(db.wal, rec)
+	}
+	return db, nil
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.nextTx++
+	return &Tx{db: db, id: db.nextTx, writes: make(map[string]map[any]*Op)}
+}
+
+// Tx is a transaction: reads take shared locks, writes take exclusive
+// locks, all released at Commit or Abort (strict 2PL). Lock conflicts fail
+// immediately with ErrLocked (no-wait).
+type Tx struct {
+	db     *DB
+	id     uint64
+	done   bool
+	locked []lockRef // locks held, for release
+	writes map[string]map[any]*Op
+}
+
+type lockRef struct {
+	t   *table
+	key any
+}
+
+func (tx *Tx) table(name string) (*table, error) {
+	t, ok := tx.db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: table %q", ErrNotFound, name)
+	}
+	return t, nil
+}
+
+// lock acquires a shared or exclusive lock, upgrading if needed.
+func (tx *Tx) lock(t *table, key any, exclusive bool) error {
+	l, ok := t.locks[key]
+	if !ok {
+		l = &rowLock{shared: make(map[uint64]bool)}
+		t.locks[key] = l
+	}
+	switch {
+	case l.exclusive == tx.id:
+		return nil
+	case l.exclusive != 0:
+		tx.db.conflicts++
+		return ErrLocked
+	case exclusive:
+		if len(l.shared) > 1 || (len(l.shared) == 1 && !l.shared[tx.id]) {
+			tx.db.conflicts++
+			return ErrLocked
+		}
+		delete(l.shared, tx.id)
+		l.exclusive = tx.id
+	default:
+		if l.shared[tx.id] {
+			return nil
+		}
+		l.shared[tx.id] = true
+	}
+	tx.locked = append(tx.locked, lockRef{t: t, key: key})
+	return nil
+}
+
+// Get returns a copy of a row by primary key, taking a shared lock. A
+// write earlier in the same transaction is visible.
+func (tx *Tx) Get(tableName string, key any) (Row, error) {
+	return tx.get(tableName, key, false)
+}
+
+// GetForUpdate is Get with an exclusive lock, for read-modify-write
+// transactions: taking the write lock up front avoids the shared-to-
+// exclusive upgrade that two concurrent readers can never both win.
+func (tx *Tx) GetForUpdate(tableName string, key any) (Row, error) {
+	return tx.get(tableName, key, true)
+}
+
+func (tx *Tx) get(tableName string, key any, exclusive bool) (Row, error) {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.done {
+		return nil, ErrDone
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.lock(t, key, exclusive); err != nil {
+		return nil, err
+	}
+	if ops, ok := tx.writes[tableName]; ok {
+		if op, ok := ops[key]; ok {
+			if op.Kind == OpDelete {
+				return nil, ErrNotFound
+			}
+			return op.Row.Clone(), nil
+		}
+	}
+	r, ok := t.rows[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return r.Clone(), nil
+}
+
+// Insert adds a new row; the primary key must not exist.
+func (tx *Tx) Insert(tableName string, row Row) error {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.done {
+		return ErrDone
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := t.schema.validate(row); err != nil {
+		return err
+	}
+	key := row[t.key]
+	if err := tx.lock(t, key, true); err != nil {
+		return err
+	}
+	exists := false
+	if _, ok := t.rows[key]; ok {
+		exists = true
+	}
+	if ops, ok := tx.writes[tableName]; ok {
+		if op, ok := ops[key]; ok {
+			exists = op.Kind != OpDelete
+		}
+	}
+	if exists {
+		return fmt.Errorf("%w: key %v in %q", ErrExists, key, tableName)
+	}
+	tx.bufferWrite(tableName, &Op{Kind: OpInsert, Table: tableName, Key: key, Row: row.Clone()})
+	return nil
+}
+
+// Update replaces an existing row (matched by the row's primary key).
+func (tx *Tx) Update(tableName string, row Row) error {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.done {
+		return ErrDone
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := t.schema.validate(row); err != nil {
+		return err
+	}
+	key := row[t.key]
+	if err := tx.lock(t, key, true); err != nil {
+		return err
+	}
+	if !tx.rowVisible(t, tableName, key) {
+		return fmt.Errorf("%w: key %v in %q", ErrNotFound, key, tableName)
+	}
+	tx.bufferWrite(tableName, &Op{Kind: OpUpdate, Table: tableName, Key: key, Row: row.Clone()})
+	return nil
+}
+
+// Delete removes a row by primary key.
+func (tx *Tx) Delete(tableName string, key any) error {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.done {
+		return ErrDone
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := tx.lock(t, key, true); err != nil {
+		return err
+	}
+	if !tx.rowVisible(t, tableName, key) {
+		return fmt.Errorf("%w: key %v in %q", ErrNotFound, key, tableName)
+	}
+	tx.bufferWrite(tableName, &Op{Kind: OpDelete, Table: tableName, Key: key})
+	return nil
+}
+
+// rowVisible reports whether the row exists from this tx's perspective.
+// Caller holds db.mu.
+func (tx *Tx) rowVisible(t *table, tableName string, key any) bool {
+	if ops, ok := tx.writes[tableName]; ok {
+		if op, ok := ops[key]; ok {
+			return op.Kind != OpDelete
+		}
+	}
+	_, ok := t.rows[key]
+	return ok
+}
+
+func (tx *Tx) bufferWrite(tableName string, op *Op) {
+	ops, ok := tx.writes[tableName]
+	if !ok {
+		ops = make(map[any]*Op)
+		tx.writes[tableName] = ops
+	}
+	if prev, ok := ops[op.Key]; ok {
+		// Collapse: insert+update stays insert; insert+delete vanishes
+		// only if the row did not pre-exist (keep delete for safety).
+		if prev.Kind == OpInsert && op.Kind == OpUpdate {
+			op = &Op{Kind: OpInsert, Table: op.Table, Key: op.Key, Row: op.Row}
+		}
+	}
+	ops[op.Key] = op
+}
+
+// Scan iterates rows in primary-key-sorted order, taking shared locks as it
+// goes. fn returns false to stop early. Uncommitted writes of this
+// transaction are visible.
+func (tx *Tx) Scan(tableName string, fn func(Row) bool) error {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.done {
+		return ErrDone
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	keys := make([]any, 0, len(t.rows))
+	for k := range t.rows {
+		keys = append(keys, k)
+	}
+	if ops, ok := tx.writes[tableName]; ok {
+		for k, op := range ops {
+			if op.Kind == OpInsert {
+				if _, exists := t.rows[k]; !exists {
+					keys = append(keys, k)
+				}
+			}
+		}
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		if err := tx.lock(t, k, false); err != nil {
+			return err
+		}
+		var row Row
+		if ops, ok := tx.writes[tableName]; ok {
+			if op, ok := ops[k]; ok {
+				if op.Kind == OpDelete {
+					continue
+				}
+				row = op.Row
+			}
+		}
+		if row == nil {
+			row = t.rows[k]
+		}
+		if !fn(row.Clone()) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func sortKeys(keys []any) {
+	sort.Slice(keys, func(i, j int) bool {
+		switch a := keys[i].(type) {
+		case string:
+			b, ok := keys[j].(string)
+			return ok && a < b
+		case int64:
+			b, ok := keys[j].(int64)
+			return ok && a < b
+		default:
+			return false
+		}
+	})
+}
+
+// Commit applies buffered writes atomically, appends the WAL record and
+// releases all locks.
+func (tx *Tx) Commit() error {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.done {
+		return ErrDone
+	}
+	var rec LogRecord
+	rec.TxID = tx.id
+	tables := make([]string, 0, len(tx.writes))
+	for name := range tx.writes {
+		tables = append(tables, name)
+	}
+	sort.Strings(tables)
+	for _, name := range tables {
+		t := tx.db.tables[name]
+		keys := make([]any, 0, len(tx.writes[name]))
+		for k := range tx.writes[name] {
+			keys = append(keys, k)
+		}
+		sortKeys(keys)
+		for _, k := range keys {
+			op := tx.writes[name][k]
+			switch op.Kind {
+			case OpInsert, OpUpdate:
+				t.rows[k] = op.Row.Clone()
+			case OpDelete:
+				delete(t.rows, k)
+			}
+			rec.Ops = append(rec.Ops, *op)
+		}
+	}
+	if len(rec.Ops) > 0 {
+		tx.db.wal = append(tx.db.wal, rec)
+		if tx.db.walSink != nil {
+			if err := tx.db.walSink.write(rec); err != nil {
+				// The in-memory state is already updated; surface the
+				// durability failure to the committer.
+				tx.release()
+				tx.db.commits++
+				return err
+			}
+		}
+	}
+	tx.release()
+	tx.db.commits++
+	return nil
+}
+
+// Abort discards buffered writes and releases all locks.
+func (tx *Tx) Abort() {
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.done {
+		return
+	}
+	tx.release()
+	tx.db.aborts++
+}
+
+// release drops locks and marks the tx finished. Caller holds db.mu.
+func (tx *Tx) release() {
+	for _, ref := range tx.locked {
+		l, ok := ref.t.locks[ref.key]
+		if !ok {
+			continue
+		}
+		if l.exclusive == tx.id {
+			l.exclusive = 0
+		}
+		delete(l.shared, tx.id)
+		if l.exclusive == 0 && len(l.shared) == 0 {
+			delete(ref.t.locks, ref.key)
+		}
+	}
+	tx.locked = nil
+	tx.writes = nil
+	tx.done = true
+}
+
+// Atomically runs fn in a transaction, retrying on ErrLocked up to retries
+// times. fn's error aborts; nil commits.
+func (db *DB) Atomically(retries int, fn func(*Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		tx := db.Begin()
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		}
+		if err == nil {
+			return nil
+		}
+		tx.Abort()
+		if attempt >= retries || !errors.Is(err, ErrLocked) {
+			return err
+		}
+		// Yield so a competing transaction can finish before the retry
+		// (no-wait locking livelocks otherwise under tight contention).
+		runtime.Gosched()
+	}
+}

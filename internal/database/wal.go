@@ -1,0 +1,117 @@
+package database
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Disk persistence for the write-ahead log: committed transactions stream
+// to an io.Writer as gob-encoded records, and a database rebuilds from the
+// stream on restart. (Section 7's database server "produces and stores all
+// the information"; storing it durably is table stakes.)
+
+// walRecord is the on-disk framing of one committed transaction.
+type walRecord struct {
+	TxID uint64
+	Ops  []walOp
+}
+
+// walOp flattens Op for gob (the Row's any-typed values are concrete
+// string/int64/float64/bool/[]byte, all gob-encodable).
+type walOp struct {
+	Kind  OpKind
+	Table string
+	Key   any
+	Row   Row
+}
+
+// WALWriter streams committed transactions to w as they commit. Attach at
+// most one per database.
+type WALWriter struct {
+	enc *gob.Encoder
+	db  *DB
+	err error
+}
+
+// PersistTo attaches a WAL writer: every transaction that commits from now
+// on is encoded to w before Commit returns (write-ahead durability).
+// Existing WAL records are written out first, so attaching to a populated
+// database checkpoints it.
+func (db *DB) PersistTo(w io.Writer) (*WALWriter, error) {
+	ww := &WALWriter{enc: gob.NewEncoder(w), db: db}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.walSink != nil {
+		return nil, errors.New("database: WAL writer already attached")
+	}
+	for _, rec := range db.wal {
+		if err := ww.write(rec); err != nil {
+			return nil, err
+		}
+	}
+	db.walSink = ww
+	return ww, nil
+}
+
+// Err returns the first write error, if any. After an error the database
+// keeps running but durability is lost; callers should treat it as fatal.
+func (ww *WALWriter) Err() error { return ww.err }
+
+// write encodes one record.
+func (ww *WALWriter) write(rec LogRecord) error {
+	if ww.err != nil {
+		return ww.err
+	}
+	out := walRecord{TxID: rec.TxID, Ops: make([]walOp, len(rec.Ops))}
+	for i, op := range rec.Ops {
+		out.Ops[i] = walOp{Kind: op.Kind, Table: op.Table, Key: op.Key, Row: op.Row}
+	}
+	if err := ww.enc.Encode(&out); err != nil {
+		ww.err = fmt.Errorf("database: wal write: %w", err)
+		return ww.err
+	}
+	return nil
+}
+
+// ReadWAL decodes a WAL stream back into log records. A truncated tail
+// (torn final record after a crash) is tolerated: complete records up to
+// the corruption are returned along with ErrTruncatedWAL.
+func ReadWAL(r io.Reader) ([]LogRecord, error) {
+	dec := gob.NewDecoder(r)
+	var out []LogRecord
+	for {
+		var rec walRecord
+		err := dec.Decode(&rec)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, fmt.Errorf("%w: %v", ErrTruncatedWAL, err)
+		}
+		lr := LogRecord{TxID: rec.TxID, Ops: make([]Op, len(rec.Ops))}
+		for i, op := range rec.Ops {
+			lr.Ops[i] = Op{Kind: op.Kind, Table: op.Table, Key: op.Key, Row: op.Row}
+		}
+		out = append(out, lr)
+	}
+}
+
+// ErrTruncatedWAL reports a WAL stream that ends mid-record (a torn write
+// from a crash); the records decoded before the tear are still valid.
+var ErrTruncatedWAL = errors.New("database: truncated WAL")
+
+// RecoverFrom rebuilds a database from a WAL stream: declare creates the
+// schema, then the stream replays. Torn tails are tolerated per ReadWAL.
+func RecoverFrom(declare func(*DB) error, r io.Reader) (*DB, error) {
+	wal, err := ReadWAL(r)
+	if err != nil && !errors.Is(err, ErrTruncatedWAL) {
+		return nil, err
+	}
+	db, rerr := Recover(declare, wal)
+	if rerr != nil {
+		return nil, rerr
+	}
+	return db, err // nil or ErrTruncatedWAL — caller decides
+}

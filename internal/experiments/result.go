@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Result is one experiment's output: a titled table plus free-form notes.
+type Result struct {
+	Name    string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+	// Values carries machine-readable measurements keyed by "row/metric"
+	// for benchmark assertions.
+	Values map[string]float64
+}
+
+// newResult allocates a result shell.
+func newResult(name, title string, headers ...string) *Result {
+	return &Result{Name: name, Title: title, Headers: headers, Values: make(map[string]float64)}
+}
+
+// AddRow appends a table row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Note appends a free-form note line.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Set records a machine-readable value.
+func (r *Result) Set(key string, v float64) { r.Values[key] = v }
+
+// Get returns a recorded value (0 if absent).
+func (r *Result) Get(key string) float64 { return r.Values[key] }
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.Name, r.Title)
+	if len(r.Headers) > 0 {
+		widths := make([]int, len(r.Headers))
+		for i, h := range r.Headers {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, c := range cells {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+			}
+			b.WriteByte('\n')
+		}
+		writeRow(r.Headers)
+		for i, w := range widths {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat("-", w))
+		}
+		b.WriteByte('\n')
+		for _, row := range r.Rows {
+			writeRow(row)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the result's table as CSV: a comment line with the
+// title, the header row, then the data rows. Machine-readable values and
+// notes are omitted (use Values for programmatic access).
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", r.Name, r.Title); err != nil {
+		return err
+	}
+	if err := cw.Write(r.Headers); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// fmtDur renders a duration with millisecond precision.
+func fmtDur(d time.Duration) string {
+	return d.Round(100 * time.Microsecond).String()
+}
+
+// fmtRate renders bits/second human-readably.
+func fmtRate(bps float64) string {
+	switch {
+	case bps >= 1e6:
+		return fmt.Sprintf("%.2f Mbps", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.1f kbps", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0f bps", bps)
+	}
+}
+
+// fmtBytes renders a byte count human-readably.
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// median returns the median of ds (0 for empty input).
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// Registry maps experiment names to their runners, for the CLI.
+func Registry() map[string]func(seed int64) []*Result {
+	return map[string]func(seed int64) []*Result{
+		"fig1":    func(seed int64) []*Result { return []*Result{Figure1(seed)} },
+		"fig2":    func(seed int64) []*Result { return []*Result{Figure2(seed)} },
+		"table1":  func(seed int64) []*Result { return []*Result{Table1(seed)} },
+		"table2":  func(seed int64) []*Result { return []*Result{Table2(seed)} },
+		"table3":  func(seed int64) []*Result { return []*Result{Table3(seed)} },
+		"table4":  func(seed int64) []*Result { return []*Result{Table4(seed)} },
+		"table5":  func(seed int64) []*Result { return []*Result{Table5(seed)} },
+		"tcp":     func(seed int64) []*Result { return TCPVariants(seed) },
+		"handoff": func(seed int64) []*Result { return []*Result{HandoffSweep(seed)} },
+		"adhoc":   func(seed int64) []*Result { return []*Result{AdHocHops(seed)} },
+		"mip":     func(seed int64) []*Result { return []*Result{MobileIPRoaming(seed)} },
+		"stream":  func(seed int64) []*Result { return []*Result{Streaming(seed)} },
+		"cap":     func(seed int64) []*Result { return []*Result{Capacity(seed)} },
+		"ablate":  Ablations,
+	}
+}
+
+// Names returns registry keys in run order.
+func Names() []string {
+	return []string{"fig1", "fig2", "table1", "table2", "table3", "table4", "table5", "tcp", "handoff", "adhoc", "mip", "stream", "cap", "ablate"}
+}

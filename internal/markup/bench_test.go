@@ -1,0 +1,67 @@
+package markup
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchPage() string {
+	var b strings.Builder
+	b.WriteString(`<html><head><title>Catalog</title></head><body>`)
+	for i := 0; i < 40; i++ {
+		b.WriteString(`<h2>Section</h2><p>Some <b>bold</b> text with a <a href="/x">link</a> and more prose to parse.</p>`)
+	}
+	b.WriteString(`</body></html>`)
+	return b.String()
+}
+
+// BenchmarkParseHTML measures the gateway-side HTML parse.
+func BenchmarkParseHTML(b *testing.B) {
+	src := benchPage()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(src)
+	}
+}
+
+// BenchmarkHTMLToWML measures the full gateway translation.
+func BenchmarkHTMLToWML(b *testing.B) {
+	doc := Parse(benchPage())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HTMLToWML(doc, 1024)
+	}
+}
+
+// BenchmarkHTMLToCHTML measures the i-mode portal filter.
+func BenchmarkHTMLToCHTML(b *testing.B) {
+	doc := Parse(benchPage())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HTMLToCHTML(doc)
+	}
+}
+
+// BenchmarkEncodeWMLC measures binary deck encoding.
+func BenchmarkEncodeWMLC(b *testing.B) {
+	deck := HTMLToWML(Parse(benchPage()), 1024)
+	b.ReportAllocs()
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		out = EncodeWMLC(deck)
+	}
+	b.SetBytes(int64(len(out)))
+}
+
+// BenchmarkDecodeWMLC measures microbrowser-side binary decoding.
+func BenchmarkDecodeWMLC(b *testing.B) {
+	enc := EncodeWMLC(HTMLToWML(Parse(benchPage()), 1024))
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeWMLC(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package markup
+
+import "strings"
+
+// chtmlAllowed is the Compact HTML tag subset (i-mode's host language in
+// Table 3): cHTML is standard HTML minus tables, frames, image maps,
+// stylesheets and scripting, so that phones with tiny memories can render
+// it. The set below follows the W3C cHTML note.
+var chtmlAllowed = map[string]bool{
+	"html": true, "head": true, "title": true, "body": true, "meta": true,
+	"p": true, "br": true, "div": true, "center": true, "blockquote": true,
+	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+	"a": true, "img": true, "hr": true, "pre": true, "plaintext": true,
+	"ul": true, "ol": true, "li": true, "dl": true, "dt": true, "dd": true,
+	"form": true, "input": true, "select": true, "option": true, "textarea": true,
+	"b": true, "i": true, "u": true, "em": true, "strong": true, "blink": true, "marquee": true,
+	"dir": true, "menu": true, "base": true,
+}
+
+// chtmlDroppedWithContent lists tags whose entire subtree is dropped (not
+// just the tag): scripts and styles carry no renderable text.
+var chtmlDropSubtree = map[string]bool{
+	"script": true, "style": true, "applet": true, "object": true,
+	"frameset": true, "frame": true, "iframe": true,
+}
+
+// HTMLToCHTML filters an HTML tree down to the cHTML subset, in the way the
+// i-mode service prepares content: unsupported containers are unwrapped
+// (their text survives), scripts/styles/frames are removed, and attributes
+// cHTML does not define (style, class, javascript handlers) are stripped.
+func HTMLToCHTML(html *Node) *Node {
+	out := &Node{Type: ElementNode, Tag: "#root"}
+	for _, c := range html.Children {
+		filterCHTML(c, out)
+	}
+	return out
+}
+
+func filterCHTML(n *Node, dst *Node) {
+	if n.Type == TextNode {
+		dst.Append(NewText(n.Text))
+		return
+	}
+	if chtmlDropSubtree[n.Tag] {
+		return
+	}
+	if !chtmlAllowed[n.Tag] {
+		// Unwrap: keep the children, drop the element (tables become
+		// linear content, spans dissolve, and so on).
+		for _, c := range n.Children {
+			filterCHTML(c, dst)
+		}
+		return
+	}
+	el := &Node{Type: ElementNode, Tag: n.Tag}
+	for k, v := range n.Attrs {
+		if chtmlAttrAllowed(n.Tag, k) {
+			el.SetAttr(k, v)
+		}
+	}
+	dst.Append(el)
+	for _, c := range n.Children {
+		filterCHTML(c, el)
+	}
+}
+
+// chtmlAttrAllowed keeps the small attribute set cHTML defines.
+func chtmlAttrAllowed(tag, attr string) bool {
+	if strings.HasPrefix(attr, "on") || attr == "style" || attr == "class" || attr == "id" {
+		return false
+	}
+	switch tag {
+	case "a":
+		return attr == "href" || attr == "name" || attr == "accesskey"
+	case "img":
+		return attr == "src" || attr == "alt" || attr == "align" || attr == "width" || attr == "height"
+	case "input":
+		return attr == "type" || attr == "name" || attr == "value" || attr == "size" || attr == "maxlength" || attr == "checked"
+	case "form":
+		return attr == "action" || attr == "method"
+	case "select", "textarea":
+		return attr == "name" || attr == "multiple" || attr == "rows" || attr == "cols"
+	case "option":
+		return attr == "value" || attr == "selected"
+	case "meta":
+		return attr == "name" || attr == "content" || attr == "http-equiv"
+	default:
+		return attr == "align"
+	}
+}
+
+// RenderCHTML serializes a cHTML tree.
+func RenderCHTML(n *Node) string { return n.Render() }

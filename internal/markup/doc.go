@@ -1,0 +1,18 @@
+// Package markup provides the content formats of the paper's middleware
+// layer (Section 5.1, Table 3) and the translations between them:
+//
+//   - a small, tolerant HTML parser (host computers serve HTML);
+//   - WML (Wireless Markup Language), WAP's host language, modelled as
+//     decks of cards, with a WBXML-style binary encoding (WMLC) that the
+//     WAP gateway uses to shrink content before it crosses the low-rate
+//     wireless link;
+//   - cHTML (Compact HTML), i-mode's host language, produced by filtering
+//     HTML down to the cHTML tag subset;
+//   - the two gateway translations: HTML -> WML ("responses are sent from
+//     the Web server to the WAP Gateway in HTML and are then translated in
+//     WML and sent to the mobile stations") and HTML -> cHTML.
+//
+// The binary encoding follows WBXML in spirit (tag tokens, inline strings)
+// but is not byte-compatible with the OMA specification; DESIGN.md records
+// the substitution.
+package markup

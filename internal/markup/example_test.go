@@ -1,0 +1,38 @@
+package markup_test
+
+import (
+	"fmt"
+
+	"mcommerce/internal/markup"
+)
+
+// ExampleHTMLToWML shows the WAP gateway's translation: an HTML page
+// becomes a WML deck of cards.
+func ExampleHTMLToWML() {
+	html := markup.Parse(`<html><head><title>Shop</title></head>
+<body><h1>Deals</h1><p>Buy <a href="/w">widgets</a> today.</p></body></html>`)
+	deck := markup.HTMLToWML(html, 0)
+	fmt.Println(deck.WML())
+	// Output:
+	// <?xml version="1.0"?><wml><card id="c1" title="Deals"><p><b>Deals</b></p><p>Buy <a href="/w">widgets</a> today.</p></card></wml>
+}
+
+// ExampleEncodeWMLC shows the binary encoding's size advantage on the air
+// interface.
+func ExampleEncodeWMLC() {
+	deck := markup.HTMLToWML(markup.Parse(
+		`<html><body><p>Buy <a href="/w">widgets</a> today, while stocks last.</p></body></html>`), 0)
+	text := deck.WML()
+	binary := markup.EncodeWMLC(deck)
+	fmt.Printf("text WML %d bytes, WMLC %d bytes\n", len(text), len(binary))
+
+	decoded, err := markup.DecodeWMLC(binary)
+	if err != nil {
+		fmt.Println("decode:", err)
+		return
+	}
+	fmt.Println("round trip intact:", decoded.WML() == text)
+	// Output:
+	// text WML 131 bytes, WMLC 76 bytes
+	// round trip intact: true
+}

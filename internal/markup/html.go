@@ -1,0 +1,397 @@
+package markup
+
+import (
+	"sort"
+	"strings"
+)
+
+// NodeType distinguishes element nodes from text nodes.
+type NodeType int
+
+// Node types.
+const (
+	ElementNode NodeType = iota + 1
+	TextNode
+)
+
+// Node is a parsed markup node: an element with attributes and children, or
+// a text run.
+type Node struct {
+	Type     NodeType
+	Tag      string // lower-cased element name (ElementNode)
+	Attrs    map[string]string
+	Children []*Node
+	Text     string // TextNode payload
+}
+
+// NewElement returns an element node.
+func NewElement(tag string, children ...*Node) *Node {
+	return &Node{Type: ElementNode, Tag: strings.ToLower(tag), Children: children}
+}
+
+// NewText returns a text node.
+func NewText(s string) *Node { return &Node{Type: TextNode, Text: s} }
+
+// Attr returns the value of an attribute, or "".
+func (n *Node) Attr(name string) string {
+	if n.Attrs == nil {
+		return ""
+	}
+	return n.Attrs[strings.ToLower(name)]
+}
+
+// SetAttr sets an attribute.
+func (n *Node) SetAttr(name, value string) {
+	if n.Attrs == nil {
+		n.Attrs = make(map[string]string)
+	}
+	n.Attrs[strings.ToLower(name)] = value
+}
+
+// Append adds children.
+func (n *Node) Append(children ...*Node) { n.Children = append(n.Children, children...) }
+
+// Find returns the first descendant element with the given tag
+// (depth-first), or nil.
+func (n *Node) Find(tag string) *Node {
+	tag = strings.ToLower(tag)
+	if n.Type == ElementNode && n.Tag == tag {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := c.Find(tag); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindAll returns all descendant elements with the given tag in document
+// order.
+func (n *Node) FindAll(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	var out []*Node
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Type == ElementNode && m.Tag == tag {
+			out = append(out, m)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// InnerText returns the concatenated text content of the subtree.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Type == TextNode {
+			b.WriteString(m.Text)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+// voidElements never have children (HTML void elements plus WML's).
+var voidElements = map[string]bool{
+	"br": true, "hr": true, "img": true, "input": true, "meta": true,
+	"link": true, "area": true, "base": true, "col": true, "embed": true,
+	"source": true, "wbr": true, "setvar": true, "prev": true, "refresh": true,
+}
+
+// impliedClose lists tags that implicitly close an open element of the same
+// (or listed) tag: opening <p> closes an open <p>, <li> closes <li>, etc.
+var impliedClose = map[string][]string{
+	"p":      {"p"},
+	"li":     {"li"},
+	"tr":     {"tr", "td", "th"},
+	"td":     {"td", "th"},
+	"th":     {"td", "th"},
+	"option": {"option"},
+	"card":   {"card"}, // WML decks
+}
+
+// entities maps the named character references the parser decodes.
+var entities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'", "nbsp": " ",
+}
+
+// Parse parses HTML-ish markup (it is equally used for WML and cHTML
+// sources) into a tree rooted at a synthetic "#root" element. The parser is
+// tolerant in the browser tradition: unknown tags are kept, unclosed tags
+// auto-close, stray close tags are ignored, comments and doctypes are
+// skipped.
+func Parse(src string) *Node {
+	root := &Node{Type: ElementNode, Tag: "#root"}
+	stack := []*Node{root}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	i := 0
+	for i < len(src) {
+		if src[i] != '<' {
+			j := strings.IndexByte(src[i:], '<')
+			if j < 0 {
+				j = len(src) - i
+			}
+			text := decodeEntities(src[i : i+j])
+			if strings.TrimSpace(text) != "" {
+				top().Append(NewText(collapseSpace(text)))
+			}
+			i += j
+			continue
+		}
+		// Comment or doctype.
+		if strings.HasPrefix(src[i:], "<!--") {
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i += 4 + end + 3
+			continue
+		}
+		if strings.HasPrefix(src[i:], "<!") || strings.HasPrefix(src[i:], "<?") {
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				break
+			}
+			i += end + 1
+			continue
+		}
+		end := strings.IndexByte(src[i:], '>')
+		if end < 0 {
+			break
+		}
+		raw := src[i+1 : i+end]
+		i += end + 1
+
+		if strings.HasPrefix(raw, "/") {
+			// Close tag: pop to the matching element if present.
+			tag := strings.ToLower(strings.TrimSpace(raw[1:]))
+			for k := len(stack) - 1; k >= 1; k-- {
+				if stack[k].Tag == tag {
+					stack = stack[:k]
+					break
+				}
+			}
+			continue
+		}
+
+		selfClose := strings.HasSuffix(raw, "/")
+		raw = strings.TrimSuffix(raw, "/")
+		tag, attrs := parseTag(raw)
+		if tag == "" {
+			continue
+		}
+		// Implied closes (e.g. <p> closes an open <p>).
+		if closers, ok := impliedClose[tag]; ok {
+			for k := len(stack) - 1; k >= 1; k-- {
+				match := false
+				for _, ct := range closers {
+					if stack[k].Tag == ct {
+						match = true
+						break
+					}
+				}
+				if match {
+					stack = stack[:k]
+					break
+				}
+			}
+		}
+		el := &Node{Type: ElementNode, Tag: tag, Attrs: attrs}
+		top().Append(el)
+		if !selfClose && !voidElements[tag] {
+			stack = append(stack, el)
+		}
+	}
+	return root
+}
+
+// parseTag splits `name attr="v" flag` into the tag name and attributes.
+func parseTag(raw string) (string, map[string]string) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", nil
+	}
+	nameEnd := len(raw)
+	for k := 0; k < len(raw); k++ {
+		if raw[k] == ' ' || raw[k] == '\t' || raw[k] == '\n' || raw[k] == '\r' {
+			nameEnd = k
+			break
+		}
+	}
+	tag := strings.ToLower(raw[:nameEnd])
+	rest := strings.TrimSpace(raw[nameEnd:])
+	if rest == "" {
+		return tag, nil
+	}
+	attrs := make(map[string]string)
+	k := 0
+	for k < len(rest) {
+		// Skip whitespace.
+		for k < len(rest) && (rest[k] == ' ' || rest[k] == '\t' || rest[k] == '\n' || rest[k] == '\r') {
+			k++
+		}
+		if k >= len(rest) {
+			break
+		}
+		// Attribute name.
+		start := k
+		for k < len(rest) && rest[k] != '=' && rest[k] != ' ' && rest[k] != '\t' {
+			k++
+		}
+		name := strings.ToLower(rest[start:k])
+		if name == "" {
+			k++
+			continue
+		}
+		// Optional value.
+		for k < len(rest) && (rest[k] == ' ' || rest[k] == '\t') {
+			k++
+		}
+		if k >= len(rest) || rest[k] != '=' {
+			attrs[name] = "" // boolean attribute
+			continue
+		}
+		k++ // consume '='
+		for k < len(rest) && (rest[k] == ' ' || rest[k] == '\t') {
+			k++
+		}
+		var val string
+		if k < len(rest) && (rest[k] == '"' || rest[k] == '\'') {
+			q := rest[k]
+			k++
+			vend := strings.IndexByte(rest[k:], q)
+			if vend < 0 {
+				val = rest[k:]
+				k = len(rest)
+			} else {
+				val = rest[k : k+vend]
+				k += vend + 1
+			}
+		} else {
+			start = k
+			for k < len(rest) && rest[k] != ' ' && rest[k] != '\t' {
+				k++
+			}
+			val = rest[start:k]
+		}
+		attrs[name] = decodeEntities(val)
+	}
+	if len(attrs) == 0 {
+		return tag, nil
+	}
+	return tag, attrs
+}
+
+func decodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 8 {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		name := s[i+1 : i+semi]
+		if rep, ok := entities[name]; ok {
+			b.WriteString(rep)
+			i += semi + 1
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+// collapseSpace collapses internal whitespace runs to single spaces while
+// preserving one boundary space on each side, so that text split across
+// inline elements ("Buy <b>now</b>") keeps its word separation.
+func collapseSpace(s string) string {
+	out := strings.Join(strings.Fields(s), " ")
+	if out == "" {
+		return out
+	}
+	if s[0] == ' ' || s[0] == '\t' || s[0] == '\n' || s[0] == '\r' {
+		out = " " + out
+	}
+	last := s[len(s)-1]
+	if last == ' ' || last == '\t' || last == '\n' || last == '\r' {
+		out += " "
+	}
+	return out
+}
+
+// Render serializes the subtree back to markup. Attributes are emitted in
+// sorted order for deterministic output.
+func (n *Node) Render() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	switch n.Type {
+	case TextNode:
+		b.WriteString(escapeText(n.Text))
+		return
+	case ElementNode:
+		if n.Tag != "#root" {
+			b.WriteByte('<')
+			b.WriteString(n.Tag)
+			names := make([]string, 0, len(n.Attrs))
+			for k := range n.Attrs {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			for _, k := range names {
+				b.WriteByte(' ')
+				b.WriteString(k)
+				b.WriteString(`="`)
+				b.WriteString(escapeAttr(n.Attrs[k]))
+				b.WriteByte('"')
+			}
+			if voidElements[n.Tag] && len(n.Children) == 0 {
+				b.WriteString("/>")
+				return
+			}
+			b.WriteByte('>')
+		}
+		for _, c := range n.Children {
+			c.render(b)
+		}
+		if n.Tag != "#root" {
+			b.WriteString("</")
+			b.WriteString(n.Tag)
+			b.WriteByte('>')
+		}
+	}
+}
+
+func escapeText(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}
+
+func escapeAttr(s string) string {
+	return strings.ReplaceAll(escapeText(s), `"`, "&quot;")
+}

@@ -1,0 +1,144 @@
+package markup
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleDocument(t *testing.T) {
+	doc := Parse(`<html><head><title>Shop</title></head>
+		<body><h1>Catalog</h1><p>Buy <b>now</b>!</p></body></html>`)
+	if got := doc.Find("title").InnerText(); got != "Shop" {
+		t.Errorf("title = %q", got)
+	}
+	if got := doc.Find("h1").InnerText(); got != "Catalog" {
+		t.Errorf("h1 = %q", got)
+	}
+	p := doc.Find("p")
+	if p == nil || p.Find("b") == nil {
+		t.Fatal("nested <b> lost")
+	}
+	if got := p.InnerText(); got != "Buy now!" {
+		t.Errorf("p text = %q", got)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	doc := Parse(`<a href="/buy?id=3&amp;q=2" class='big' disabled>Buy</a>`)
+	a := doc.Find("a")
+	if a == nil {
+		t.Fatal("no <a>")
+	}
+	if got := a.Attr("href"); got != "/buy?id=3&q=2" {
+		t.Errorf("href = %q (entity decoding)", got)
+	}
+	if got := a.Attr("class"); got != "big" {
+		t.Errorf("class = %q (single quotes)", got)
+	}
+	if _, ok := a.Attrs["disabled"]; !ok {
+		t.Error("boolean attribute lost")
+	}
+}
+
+func TestParseToleratesBrokenMarkup(t *testing.T) {
+	// Unclosed tags, stray close tags, comments, doctype.
+	doc := Parse(`<!DOCTYPE html><!-- note --><body><p>one<p>two</div><br>three`)
+	ps := doc.FindAll("p")
+	if len(ps) != 2 {
+		t.Fatalf("p count = %d, want 2 (implied close)", len(ps))
+	}
+	// The stray </div> is ignored, so (as in browsers) the second <p>
+	// stays open and absorbs the trailing content.
+	if ps[0].InnerText() != "one" || !strings.HasPrefix(ps[1].InnerText(), "two") {
+		t.Errorf("paragraphs = %q, %q", ps[0].InnerText(), ps[1].InnerText())
+	}
+	if doc.Find("br") == nil {
+		t.Error("void element lost")
+	}
+	if !strings.Contains(doc.InnerText(), "three") {
+		t.Error("trailing text lost")
+	}
+}
+
+func TestParseVoidElements(t *testing.T) {
+	doc := Parse(`<p>a<br>b<img src="x.gif">c</p>`)
+	p := doc.Find("p")
+	if p == nil {
+		t.Fatal("no p")
+	}
+	// br and img must not swallow following text as children.
+	if br := p.Find("br"); br == nil || len(br.Children) != 0 {
+		t.Error("br should be empty")
+	}
+	if img := p.Find("img"); img == nil || len(img.Children) != 0 {
+		t.Error("img should be empty")
+	}
+	if got := p.InnerText(); got != "abc" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	doc := Parse(`<p>fish &amp; chips &lt;3 &gt; &quot;q&quot; &nbsp;x</p>`)
+	got := doc.Find("p").InnerText()
+	want := `fish & chips <3 > "q" x`
+	if got != want {
+		t.Errorf("entities: got %q, want %q", got, want)
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	src := `<body><p align="center">Hello <b>world</b></p><br/></body>`
+	doc := Parse(src)
+	out := doc.Render()
+	re := Parse(out)
+	if re.Find("p") == nil || re.Find("b") == nil || re.Find("br") == nil {
+		t.Fatalf("reparse of render lost structure: %s", out)
+	}
+	if re.Find("p").Attr("align") != "center" {
+		t.Error("attribute lost in round trip")
+	}
+	if re.Find("b").InnerText() != "world" {
+		t.Error("text lost in round trip")
+	}
+}
+
+func TestRenderEscapes(t *testing.T) {
+	n := NewElement("p", NewText(`a<b>&"c`))
+	n.SetAttr("title", `x"y`)
+	out := n.Render()
+	if strings.Contains(out, `a<b>`) {
+		t.Errorf("unescaped text: %s", out)
+	}
+	re := Parse(out)
+	if got := re.Find("p").InnerText(); got != `a<b>&"c` {
+		t.Errorf("round trip text = %q", got)
+	}
+	if got := re.Find("p").Attr("title"); got != `x"y` {
+		t.Errorf("round trip attr = %q", got)
+	}
+}
+
+func TestFindAllDocumentOrder(t *testing.T) {
+	doc := Parse(`<ul><li>1</li><li>2</li><li>3</li></ul>`)
+	lis := doc.FindAll("li")
+	if len(lis) != 3 {
+		t.Fatalf("li count = %d", len(lis))
+	}
+	for i, li := range lis {
+		if li.InnerText() != string(rune('1'+i)) {
+			t.Errorf("li[%d] = %q", i, li.InnerText())
+		}
+	}
+}
+
+func TestCollapseWhitespace(t *testing.T) {
+	doc := Parse("<p>  a \n\t b  </p>")
+	got := doc.Find("p").InnerText()
+	if strings.TrimSpace(got) != "a b" {
+		t.Errorf("collapsed text = %q", got)
+	}
+	if strings.Contains(got, "\n") || strings.Contains(got, "  ") {
+		t.Errorf("internal whitespace not collapsed: %q", got)
+	}
+}

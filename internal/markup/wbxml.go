@@ -1,0 +1,292 @@
+package markup
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// WMLC is a WBXML-style binary encoding of WML decks. It exists for the
+// reason the real one does: WML text is verbose and the wireless hop is the
+// narrowest link in the system, so the WAP gateway compacts decks into tag
+// tokens before transmission. (The ablation experiment measures exactly
+// this saving.)
+//
+// Encoding, loosely after WBXML:
+//
+//	header:  version (0x03), public id (0x01)
+//	element: tagToken | 0x40 (has content) | 0x80 (has attributes)
+//	         [attributes... END] [content... END]
+//	text:    STR_I (0x03) uvarint(len) bytes
+//	unknown: LITERAL (0x04) uvarint(len) name-bytes, then as element
+//
+// Strings are length-prefixed rather than null-terminated; the format is
+// not byte-compatible with OMA WBXML (see DESIGN.md substitutions).
+const (
+	wbxmlVersion  = 0x03
+	wbxmlPublicID = 0x01
+
+	tokEnd     = 0x01
+	tokStrI    = 0x03
+	tokLiteral = 0x04
+
+	flagContent = 0x40
+	flagAttrs   = 0x80
+)
+
+// Tag tokens (values 0x05.. are free in the global space).
+var wmlTagTokens = map[string]byte{
+	"wml": 0x05, "card": 0x06, "p": 0x07, "br": 0x08, "a": 0x09,
+	"b": 0x0A, "i": 0x0B, "u": 0x0C, "big": 0x0D, "small": 0x0E,
+	"em": 0x0F, "strong": 0x10, "input": 0x11, "select": 0x12,
+	"option": 0x13, "img": 0x14, "table": 0x15, "tr": 0x16, "td": 0x17,
+	"do": 0x18, "go": 0x19, "anchor": 0x1A, "fieldset": 0x1B,
+	"prev": 0x1C, "refresh": 0x1D, "setvar": 0x1E,
+}
+
+// Attribute tokens.
+var wmlAttrTokens = map[string]byte{
+	"id": 0x05, "title": 0x06, "href": 0x07, "name": 0x08, "value": 0x09,
+	"type": 0x0A, "src": 0x0B, "alt": 0x0C, "label": 0x0D, "method": 0x0E,
+	"action": 0x0F, "format": 0x10, "maxlength": 0x11,
+}
+
+var (
+	wmlTagNames  = invert(wmlTagTokens)
+	wmlAttrNames = invert(wmlAttrTokens)
+)
+
+func invert(m map[string]byte) map[byte]string {
+	out := make(map[byte]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// ErrBadWMLC reports a malformed binary deck.
+var ErrBadWMLC = errors.New("markup: malformed WMLC")
+
+// EncodeWMLC encodes a deck to its binary form.
+func EncodeWMLC(d *Deck) []byte {
+	out := []byte{wbxmlVersion, wbxmlPublicID}
+	root := NewElement("wml")
+	for _, c := range d.Cards {
+		cardEl := NewElement("card")
+		cardEl.SetAttr("id", c.ID)
+		cardEl.SetAttr("title", c.Title)
+		cardEl.Children = c.Content
+		root.Append(cardEl)
+	}
+	return encodeElement(out, root)
+}
+
+func encodeElement(out []byte, n *Node) []byte {
+	if n.Type == TextNode {
+		out = append(out, tokStrI)
+		out = appendUvarint(out, uint64(len(n.Text)))
+		return append(out, n.Text...)
+	}
+	tok, known := wmlTagTokens[n.Tag]
+	var head byte
+	if known {
+		head = tok
+	} else {
+		head = tokLiteral
+	}
+	if len(n.Attrs) > 0 {
+		head |= flagAttrs
+	}
+	if len(n.Children) > 0 {
+		head |= flagContent
+	}
+	out = append(out, head)
+	if !known {
+		out = appendUvarint(out, uint64(len(n.Tag)))
+		out = append(out, n.Tag...)
+	}
+	if len(n.Attrs) > 0 {
+		// Deterministic order.
+		for _, name := range sortedKeys(n.Attrs) {
+			if atok, ok := wmlAttrTokens[name]; ok {
+				out = append(out, atok)
+			} else {
+				out = append(out, tokLiteral)
+				out = appendUvarint(out, uint64(len(name)))
+				out = append(out, name...)
+			}
+			v := n.Attrs[name]
+			out = append(out, tokStrI)
+			out = appendUvarint(out, uint64(len(v)))
+			out = append(out, v...)
+		}
+		out = append(out, tokEnd)
+	}
+	if len(n.Children) > 0 {
+		for _, c := range n.Children {
+			out = encodeElement(out, c)
+		}
+		out = append(out, tokEnd)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j-1] > keys[j]; j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	return keys
+}
+
+func appendUvarint(out []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(out, buf[:n]...)
+}
+
+// DecodeWMLC decodes a binary deck.
+func DecodeWMLC(b []byte) (*Deck, error) {
+	if len(b) < 3 || b[0] != wbxmlVersion || b[1] != wbxmlPublicID {
+		return nil, fmt.Errorf("%w: bad header", ErrBadWMLC)
+	}
+	dec := &wmlcDecoder{b: b, i: 2}
+	root, err := dec.element()
+	if err != nil {
+		return nil, err
+	}
+	if root == nil || root.Tag != "wml" {
+		return nil, fmt.Errorf("%w: root is not wml", ErrBadWMLC)
+	}
+	d := &Deck{}
+	for _, c := range root.Children {
+		if c.Type != ElementNode || c.Tag != "card" {
+			continue
+		}
+		card := &Card{ID: c.Attr("id"), Title: c.Attr("title")}
+		for _, ch := range c.Children {
+			card.Content = append(card.Content, ch)
+		}
+		d.Cards = append(d.Cards, card)
+	}
+	if len(d.Cards) == 0 {
+		return nil, fmt.Errorf("%w: no cards", ErrBadWMLC)
+	}
+	return d, nil
+}
+
+type wmlcDecoder struct {
+	b []byte
+	i int
+}
+
+func (d *wmlcDecoder) byte() (byte, error) {
+	if d.i >= len(d.b) {
+		return 0, fmt.Errorf("%w: truncated", ErrBadWMLC)
+	}
+	c := d.b[d.i]
+	d.i++
+	return c, nil
+}
+
+func (d *wmlcDecoder) str() (string, error) {
+	v, n := binary.Uvarint(d.b[d.i:])
+	if n <= 0 {
+		return "", fmt.Errorf("%w: bad string length", ErrBadWMLC)
+	}
+	d.i += n
+	if v > uint64(len(d.b)-d.i) {
+		return "", fmt.Errorf("%w: string overruns buffer", ErrBadWMLC)
+	}
+	s := string(d.b[d.i : d.i+int(v)])
+	d.i += int(v)
+	return s, nil
+}
+
+// element decodes one node (element or text). A nil node with nil error
+// signals an END token (caller pops).
+func (d *wmlcDecoder) element() (*Node, error) {
+	head, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch head {
+	case tokEnd:
+		return nil, nil
+	case tokStrI:
+		s, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		return NewText(s), nil
+	}
+	base := head &^ (flagContent | flagAttrs)
+	var tag string
+	if base == tokLiteral {
+		tag, err = d.str()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var ok bool
+		tag, ok = wmlTagNames[base]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown tag token %#x", ErrBadWMLC, base)
+		}
+	}
+	el := &Node{Type: ElementNode, Tag: tag}
+	if head&flagAttrs != 0 {
+		for {
+			atok, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			if atok == tokEnd {
+				break
+			}
+			var name string
+			if atok == tokLiteral {
+				name, err = d.str()
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				var ok bool
+				name, ok = wmlAttrNames[atok]
+				if !ok {
+					return nil, fmt.Errorf("%w: unknown attr token %#x", ErrBadWMLC, atok)
+				}
+			}
+			marker, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			if marker != tokStrI {
+				return nil, fmt.Errorf("%w: attr value must be inline string", ErrBadWMLC)
+			}
+			val, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			el.SetAttr(name, val)
+		}
+	}
+	if head&flagContent != 0 {
+		for {
+			child, err := d.element()
+			if err != nil {
+				return nil, err
+			}
+			if child == nil {
+				break
+			}
+			el.Append(child)
+		}
+	}
+	return el, nil
+}

@@ -1,0 +1,169 @@
+package markup
+
+import (
+	"strings"
+	"testing"
+)
+
+const shopHTML = `<html><head><title>WidgetShop</title><style>p{color:red}</style></head>
+<body>
+<h1>Catalog</h1>
+<p>Welcome to <b>WidgetShop</b>, the home of widgets.</p>
+<p>Today only: <a href="/deal">50% off</a> everything.</p>
+<h2>Checkout</h2>
+<form action="/buy" method="post">
+<input type="text" name="qty">
+<input type="submit" value="Buy">
+</form>
+<script>alert("ignore me")</script>
+</body></html>`
+
+func TestHTMLToWMLBasics(t *testing.T) {
+	deck := HTMLToWML(Parse(shopHTML), 0)
+	if len(deck.Cards) != 1 {
+		t.Fatalf("cards = %d, want 1 (no budget)", len(deck.Cards))
+	}
+	wml := deck.WML()
+	if !strings.Contains(wml, "<wml>") || !strings.Contains(wml, "<card") {
+		t.Fatalf("not a WML deck: %s", wml)
+	}
+	if !strings.Contains(wml, "WidgetShop") {
+		t.Error("body text lost")
+	}
+	if !strings.Contains(wml, `href="/deal"`) {
+		t.Error("link lost")
+	}
+	if !strings.Contains(wml, `name="qty"`) {
+		t.Error("form input lost")
+	}
+	if strings.Contains(wml, "alert(") || strings.Contains(wml, "color:red") {
+		t.Error("script/style leaked into WML")
+	}
+}
+
+func TestHTMLToWMLSplitsCardsOnHeadings(t *testing.T) {
+	deck := HTMLToWML(Parse(shopHTML), 200)
+	if len(deck.Cards) < 2 {
+		t.Fatalf("cards = %d, want >= 2 (heading split)", len(deck.Cards))
+	}
+	if deck.Cards[0].Title != "Catalog" {
+		t.Errorf("card 1 title = %q", deck.Cards[0].Title)
+	}
+	found := false
+	for _, c := range deck.Cards {
+		if c.Title == "Checkout" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no card titled by the h2")
+	}
+}
+
+func TestHTMLToWMLRespectsByteBudget(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	for i := 0; i < 40; i++ {
+		b.WriteString("<p>")
+		b.WriteString(strings.Repeat("x", 100))
+		b.WriteString("</p>")
+	}
+	b.WriteString("</body></html>")
+	const budget = 500
+	deck := HTMLToWML(Parse(b.String()), budget)
+	if len(deck.Cards) < 5 {
+		t.Fatalf("cards = %d; budget not applied", len(deck.Cards))
+	}
+	for i, c := range deck.Cards {
+		sz := 0
+		for _, n := range c.Content {
+			sz += len(n.Render())
+		}
+		// A single block may exceed the budget, but packed cards must not
+		// exceed budget by more than one block.
+		if sz > budget+110 {
+			t.Errorf("card %d content = %d bytes, budget %d", i, sz, budget)
+		}
+	}
+}
+
+func TestParseWMLRoundTrip(t *testing.T) {
+	deck := HTMLToWML(Parse(shopHTML), 300)
+	re, err := ParseWML(deck.WML())
+	if err != nil {
+		t.Fatalf("ParseWML: %v", err)
+	}
+	if len(re.Cards) != len(deck.Cards) {
+		t.Fatalf("round trip cards = %d, want %d", len(re.Cards), len(deck.Cards))
+	}
+	for i := range re.Cards {
+		if re.Cards[i].ID != deck.Cards[i].ID || re.Cards[i].Title != deck.Cards[i].Title {
+			t.Errorf("card %d identity changed: %+v vs %+v", i, re.Cards[i], deck.Cards[i])
+		}
+	}
+	if !strings.Contains(re.WML(), "/deal") {
+		t.Error("link lost in round trip")
+	}
+}
+
+func TestParseWMLRejectsNonWML(t *testing.T) {
+	if _, err := ParseWML("<html><body>x</body></html>"); err == nil {
+		t.Error("expected error for non-WML input")
+	}
+	if _, err := ParseWML("<wml></wml>"); err == nil {
+		t.Error("expected error for cardless deck")
+	}
+}
+
+func TestWMLFilterDropsDisallowedElements(t *testing.T) {
+	deck, err := ParseWML(`<wml><card id="c1" title="t"><p>ok</p><script>bad()</script><marquee>keep text</marquee></card></wml>`)
+	if err != nil {
+		t.Fatalf("ParseWML: %v", err)
+	}
+	out := deck.WML()
+	if strings.Contains(out, "script") || strings.Contains(out, "marquee") {
+		t.Errorf("disallowed elements kept: %s", out)
+	}
+	if !strings.Contains(out, "keep text") {
+		t.Error("text of unwrapped element lost")
+	}
+}
+
+func TestHTMLToCHTMLKeepsSubsetDropsRest(t *testing.T) {
+	c := HTMLToCHTML(Parse(shopHTML))
+	out := RenderCHTML(c)
+	if !strings.Contains(out, "<h1>") || !strings.Contains(out, `href="/deal"`) {
+		t.Errorf("allowed tags lost: %s", out)
+	}
+	if strings.Contains(out, "<script") || strings.Contains(out, "alert(") {
+		t.Error("script survived cHTML filtering")
+	}
+	if strings.Contains(out, "<style") || strings.Contains(out, "color:red") {
+		t.Error("style survived cHTML filtering")
+	}
+}
+
+func TestCHTMLUnwrapsTables(t *testing.T) {
+	c := HTMLToCHTML(Parse(`<body><table><tr><td>cell text</td></tr></table></body>`))
+	out := RenderCHTML(c)
+	if strings.Contains(out, "<table") || strings.Contains(out, "<td") {
+		t.Errorf("tables are not cHTML: %s", out)
+	}
+	if !strings.Contains(out, "cell text") {
+		t.Error("table text lost")
+	}
+}
+
+func TestCHTMLStripsEventHandlersAndStyle(t *testing.T) {
+	c := HTMLToCHTML(Parse(`<body><a href="/x" onclick="evil()" style="x" class="y">go</a></body>`))
+	a := c.Find("a")
+	if a == nil {
+		t.Fatal("a lost")
+	}
+	if a.Attr("href") != "/x" {
+		t.Error("href lost")
+	}
+	if a.Attr("onclick") != "" || a.Attr("style") != "" || a.Attr("class") != "" {
+		t.Errorf("disallowed attrs kept: %v", a.Attrs)
+	}
+}

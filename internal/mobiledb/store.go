@@ -1,0 +1,208 @@
+package mobiledb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by the store.
+var (
+	// ErrFull reports that a write would exceed the store's byte budget.
+	ErrFull = errors.New("mobiledb: store full")
+	// ErrKeyEmpty reports an empty key.
+	ErrKeyEmpty = errors.New("mobiledb: empty key")
+)
+
+// Entry is one versioned record, including deletion tombstones. Entries are
+// the unit the sync protocol ships.
+type Entry struct {
+	Key     string
+	Value   []byte
+	Deleted bool
+	// Clock is the Lamport timestamp of the writing operation; together
+	// with Origin it decides last-writer-wins and never changes once
+	// written.
+	Clock uint64
+	// Origin is the replica that performed the write (tie-break).
+	Origin string
+	// Seq is the holding replica's local log position for the entry. It
+	// is reassigned every time an entry is installed somewhere, so sync
+	// watermarks ("send me what I haven't seen") work even for entries
+	// relayed between replicas. It plays no part in conflict resolution.
+	Seq uint64
+}
+
+// newer reports whether e should win over o under last-writer-wins.
+func (e *Entry) newer(o *Entry) bool {
+	if e.Clock != o.Clock {
+		return e.Clock > o.Clock
+	}
+	return e.Origin > o.Origin
+}
+
+// size is the entry's footprint charge.
+func (e *Entry) size() int { return len(e.Key) + len(e.Value) + 32 }
+
+// peerState tracks sync progress with one peer.
+type peerState struct {
+	// sentThrough is the local log position through which our changes
+	// have been acknowledged by the peer.
+	sentThrough uint64
+	// recvThrough is the peer's log position we have synced through.
+	recvThrough uint64
+}
+
+// Store is a small-footprint embedded key-value store with sync support.
+// It is not safe for concurrent use; handheld applications are
+// single-threaded in the simulation.
+type Store struct {
+	name     string
+	maxBytes int
+	used     int
+	clock    uint64
+	seq      uint64
+	data     map[string]*Entry
+	peers    map[string]*peerState
+
+	// Conflicts counts remote entries that lost last-writer-wins locally.
+	Conflicts uint64
+}
+
+// New creates a store. name must be unique among replicas (it breaks
+// last-writer-wins ties). maxBytes <= 0 means unlimited.
+func New(name string, maxBytes int) *Store {
+	return &Store{
+		name:     name,
+		maxBytes: maxBytes,
+		data:     make(map[string]*Entry),
+		peers:    make(map[string]*peerState),
+	}
+}
+
+// Name returns the replica name.
+func (s *Store) Name() string { return s.name }
+
+// UsedBytes returns the current footprint.
+func (s *Store) UsedBytes() int { return s.used }
+
+// Clock returns the current logical clock.
+func (s *Store) Clock() uint64 { return s.clock }
+
+// Seq returns the current local log position.
+func (s *Store) Seq() uint64 { return s.seq }
+
+// Len returns the number of live (non-tombstone) keys.
+func (s *Store) Len() int {
+	n := 0
+	for _, e := range s.data {
+		if !e.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	e, ok := s.data[key]
+	if !ok || e.Deleted {
+		return nil, false
+	}
+	return append([]byte(nil), e.Value...), true
+}
+
+// Put stores a value. It fails with ErrFull when the byte budget would be
+// exceeded (the paper's small-footprint constraint is hard).
+func (s *Store) Put(key string, value []byte) error {
+	if key == "" {
+		return ErrKeyEmpty
+	}
+	s.clock++
+	e := &Entry{
+		Key:    key,
+		Value:  append([]byte(nil), value...),
+		Clock:  s.clock,
+		Origin: s.name,
+	}
+	return s.install(e, true)
+}
+
+// Delete removes a key, leaving a tombstone for sync.
+func (s *Store) Delete(key string) error {
+	if key == "" {
+		return ErrKeyEmpty
+	}
+	s.clock++
+	return s.install(&Entry{Key: key, Deleted: true, Clock: s.clock, Origin: s.name}, true)
+}
+
+// install writes an entry if it wins LWW; local writes always win (their
+// clock is fresh). checkBudget guards the footprint.
+func (s *Store) install(e *Entry, checkBudget bool) error {
+	old := s.data[e.Key]
+	delta := e.size()
+	if old != nil {
+		delta -= old.size()
+	}
+	if checkBudget && s.maxBytes > 0 && s.used+delta > s.maxBytes {
+		// Undoing the clock bump for a failed local write is unnecessary —
+		// clocks only need monotonicity.
+		return fmt.Errorf("%w: %d + %d > %d", ErrFull, s.used, delta, s.maxBytes)
+	}
+	s.seq++
+	e.Seq = s.seq
+	s.data[e.Key] = e
+	s.used += delta
+	return nil
+}
+
+// Keys returns live keys in sorted order.
+func (s *Store) Keys() []string {
+	out := make([]string, 0, len(s.data))
+	for k, e := range s.data {
+		if !e.Deleted {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ChangesSince returns entries installed at local log position > since, in
+// log order. Tombstones are included.
+func (s *Store) ChangesSince(since uint64) []Entry {
+	var out []Entry
+	for _, e := range s.data {
+		if e.Seq > since {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// applyRemote merges entries from a peer, advancing the local clock past
+// everything seen (Lamport receive rule). The footprint budget is enforced;
+// an oversized remote entry is dropped and reported in the skipped count.
+func (s *Store) applyRemote(entries []Entry) (applied, skipped int) {
+	for i := range entries {
+		e := entries[i]
+		if e.Clock > s.clock {
+			s.clock = e.Clock
+		}
+		old := s.data[e.Key]
+		if old != nil && !(&e).newer(old) {
+			s.Conflicts++
+			continue
+		}
+		cp := e
+		cp.Value = append([]byte(nil), e.Value...)
+		if err := s.install(&cp, true); err != nil {
+			skipped++
+			continue
+		}
+		applied++
+	}
+	return applied, skipped
+}

@@ -1,0 +1,129 @@
+package mobiledb
+
+import "encoding/json"
+
+// SyncRequest is one half of a sync session: the requester's unseen changes
+// plus its receive watermark for the responder's log.
+type SyncRequest struct {
+	// From is the requester replica's name.
+	From string `json:"from"`
+	// Since is the responder log position the requester has synced
+	// through; the responder sends entries with Seq > Since.
+	Since uint64 `json:"since"`
+	// SentThrough is the requester log position covered by Changes; the
+	// responder records it so future requests can skip acknowledged
+	// entries.
+	SentThrough uint64 `json:"sentThrough"`
+	// Changes are requester entries the responder has not acknowledged.
+	Changes []Entry `json:"changes"`
+}
+
+// SyncResponse completes a sync session.
+type SyncResponse struct {
+	// From is the responder replica's name.
+	From string `json:"from"`
+	// Changes are responder entries with Seq > request.Since, excluding
+	// entries that originated at the requester.
+	Changes []Entry `json:"changes"`
+	// Through is the responder's log position covered by Changes; the
+	// requester stores it as its next Since.
+	Through uint64 `json:"through"`
+	// Applied and Skipped report what happened to the requester's
+	// changes (skips are footprint overflows).
+	Applied int `json:"applied"`
+	Skipped int `json:"skipped"`
+}
+
+// BeginSync builds a request for a sync session with the named peer.
+func (s *Store) BeginSync(peer string) *SyncRequest {
+	ps := s.peer(peer)
+	changes := s.ChangesSince(ps.sentThrough)
+	// Suppress direct echo: don't ship entries that originated at the
+	// destination.
+	filtered := changes[:0:0]
+	for _, e := range changes {
+		if e.Origin != peer {
+			filtered = append(filtered, e)
+		}
+	}
+	return &SyncRequest{
+		From:        s.name,
+		Since:       ps.recvThrough,
+		SentThrough: s.seq,
+		Changes:     filtered,
+	}
+}
+
+// ServeSync handles a peer's request: applies its changes and returns ours.
+// Outgoing changes are snapshotted before the request's changes are
+// installed, so nothing the requester just sent is echoed back.
+func (s *Store) ServeSync(req *SyncRequest) *SyncResponse {
+	ps := s.peer(req.From)
+	resp := &SyncResponse{From: s.name}
+	for _, e := range s.ChangesSince(req.Since) {
+		if e.Origin != req.From {
+			resp.Changes = append(resp.Changes, e)
+		}
+	}
+	resp.Applied, resp.Skipped = s.applyRemote(req.Changes)
+	// The requester's entries received log positions during apply; it
+	// already holds them, so its watermark can safely cover them.
+	resp.Through = s.seq
+	ps.sentThrough = req.SentThrough
+	return resp
+}
+
+// FinishSync applies the responder's changes and advances watermarks. It
+// returns the number of entries applied locally.
+func (s *Store) FinishSync(req *SyncRequest, resp *SyncResponse) int {
+	ps := s.peer(resp.From)
+	applied, _ := s.applyRemote(resp.Changes)
+	ps.recvThrough = resp.Through
+	ps.sentThrough = req.SentThrough
+	return applied
+}
+
+// SyncWith runs a complete in-memory sync session against peer (useful in
+// tests and when both replicas live in one process). Networked callers ship
+// the request/response through their own transport instead.
+func (s *Store) SyncWith(peer *Store) (sent, received int) {
+	req := s.BeginSync(peer.Name())
+	sent = len(req.Changes)
+	resp := peer.ServeSync(req)
+	received = s.FinishSync(req, resp)
+	return sent, received
+}
+
+// peer returns (creating) the state record for a peer.
+func (s *Store) peer(name string) *peerState {
+	ps, ok := s.peers[name]
+	if !ok {
+		ps = &peerState{}
+		s.peers[name] = ps
+	}
+	return ps
+}
+
+// EncodeSyncRequest serializes a request for the wire.
+func EncodeSyncRequest(req *SyncRequest) ([]byte, error) { return json.Marshal(req) }
+
+// DecodeSyncRequest parses a request from the wire.
+func DecodeSyncRequest(b []byte) (*SyncRequest, error) {
+	var req SyncRequest
+	if err := json.Unmarshal(b, &req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// EncodeSyncResponse serializes a response for the wire.
+func EncodeSyncResponse(resp *SyncResponse) ([]byte, error) { return json.Marshal(resp) }
+
+// DecodeSyncResponse parses a response from the wire.
+func DecodeSyncResponse(b []byte) (*SyncResponse, error) {
+	var resp SyncResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

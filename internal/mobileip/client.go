@@ -1,0 +1,168 @@
+package mobileip
+
+import (
+	"errors"
+	"time"
+
+	"mcommerce/internal/simnet"
+)
+
+// Client errors.
+var (
+	// ErrDenied indicates the home agent refused the registration
+	// (typically an authentication failure).
+	ErrDenied = errors.New("mobileip: registration denied")
+	// ErrRegistrationTimeout indicates no reply arrived within the retry
+	// budget.
+	ErrRegistrationTimeout = errors.New("mobileip: registration timed out")
+)
+
+// DefaultLifetime is the binding lifetime requested when Config.Lifetime is
+// zero.
+const DefaultLifetime = 5 * time.Minute
+
+// Config tunes a mobile node's Mobile IP client.
+type Config struct {
+	// HomeAgent is the mobile's home agent address.
+	HomeAgent simnet.Addr
+	// AuthKey is the mobile-home security association (may be nil).
+	AuthKey []byte
+	// Lifetime is the requested binding lifetime; zero means
+	// DefaultLifetime.
+	Lifetime time.Duration
+	// RetryInterval is the registration retransmission interval; zero
+	// means one second.
+	RetryInterval time.Duration
+	// MaxRetries bounds registration retransmissions; zero means 3.
+	MaxRetries int
+}
+
+// Client runs on a mobile node and manages its registration state. It does
+// not detect movement itself; link layers (wireless.Config.OnAssociate,
+// cellular.Config.OnAssociate) call Register when the point of attachment
+// changes.
+type Client struct {
+	node *simnet.Node
+	cfg  Config
+	port simnet.Port
+	seq  uint64
+
+	pending map[uint64]*pendingReg
+	// registered is the FA the mobile most recently registered through,
+	// or the zero Addr when home.
+	registered simnet.Addr
+}
+
+type pendingReg struct {
+	done    func(error)
+	retries int
+	timer   *simnet.Timer
+	req     *regRequest
+	to      simnet.Addr
+}
+
+// NewClient creates a Mobile IP client on the mobile's node.
+func NewClient(node *simnet.Node, cfg Config) *Client {
+	if cfg.Lifetime <= 0 {
+		cfg.Lifetime = DefaultLifetime
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	c := &Client{node: node, cfg: cfg, pending: make(map[uint64]*pendingReg)}
+	c.port = simnet.UDPOf(node).ListenAny(c.onReply)
+	return c
+}
+
+// Node returns the mobile's node.
+func (c *Client) Node() *simnet.Node { return c.node }
+
+// RegisteredVia returns the care-of address currently registered, and
+// whether the mobile is registered away from home.
+func (c *Client) RegisteredVia() (simnet.Addr, bool) {
+	return c.registered, c.registered != simnet.Addr{}
+}
+
+// Register binds the mobile to the foreign agent at fa. done (optional)
+// fires with nil on success, ErrDenied on refusal, or
+// ErrRegistrationTimeout after retries are exhausted.
+func (c *Client) Register(fa simnet.Addr, done func(error)) {
+	c.sendRequest(fa, c.cfg.Lifetime, func(err error) {
+		if err == nil {
+			c.registered = fa
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// Deregister removes the home binding (the mobile has returned home). done
+// is optional.
+func (c *Client) Deregister(done func(error)) {
+	// A deregistration goes straight to the home agent: the mobile is
+	// back on its home subnet.
+	c.sendRequest(c.cfg.HomeAgent, 0, func(err error) {
+		if err == nil {
+			c.registered = simnet.Addr{}
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+func (c *Client) sendRequest(to simnet.Addr, lifetime time.Duration, done func(error)) {
+	c.seq++
+	req := &regRequest{
+		Mobile:   c.node.ID,
+		Home:     c.cfg.HomeAgent,
+		Lifetime: lifetime,
+		Seq:      c.seq,
+		Auth:     authTag(c.cfg.AuthKey, c.node.ID, lifetime, c.seq),
+	}
+	p := &pendingReg{done: done, req: req, to: to}
+	c.pending[c.seq] = p
+	c.transmit(p)
+}
+
+func (c *Client) transmit(p *pendingReg) {
+	simnet.UDPOf(c.node).Send(c.port, p.to, p.req, regWireBytes)
+	p.timer = c.node.Sched().After(c.cfg.RetryInterval, func() {
+		p.retries++
+		if p.retries > c.cfg.MaxRetries {
+			delete(c.pending, p.req.Seq)
+			if p.done != nil {
+				p.done(ErrRegistrationTimeout)
+			}
+			return
+		}
+		c.transmit(p)
+	})
+}
+
+func (c *Client) onReply(_ simnet.Addr, body any, _ int) {
+	rep, ok := body.(*regReply)
+	if !ok || rep.Mobile != c.node.ID {
+		return
+	}
+	p, ok := c.pending[rep.Seq]
+	if !ok {
+		return
+	}
+	delete(c.pending, rep.Seq)
+	if p.timer != nil {
+		p.timer.Cancel()
+	}
+	if p.done == nil {
+		return
+	}
+	if rep.OK {
+		p.done(nil)
+	} else {
+		p.done(ErrDenied)
+	}
+}

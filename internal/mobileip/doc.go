@@ -1,0 +1,25 @@
+// Package mobileip implements the Mobile IP enhancements of the paper's
+// Section 5.2: network-layer mobility that lets nodes "seamlessly 'roam'
+// among IP subnetworks and media types" while supporting "transparency
+// above the IP layer, including the maintenance of active TCP connections
+// and UDP port bindings".
+//
+// The two router roles of the paper are implemented exactly as described:
+//
+//   - HomeAgent (HA): intercepts "all datagrams destined for the mobile
+//     node" on the home subnet and tunnels them (IP-in-IP encapsulation,
+//     ProtoTunnel) to the registered care-of address.
+//   - ForeignAgent (FA): decapsulates tunneled datagrams and "delivers
+//     these packets to the mobile node through a care-of-address
+//     established when the mobile node is attached to FA".
+//
+// Registration follows the Mobile IP shape: the mobile sends a
+// registration request to the FA, the FA relays it to the HA with its own
+// address as the care-of address, the HA installs (or refuses) the binding
+// and the reply travels back through the FA. Bindings carry lifetimes and
+// expire; requests are optionally authenticated with an HMAC-SHA256
+// mobile-home security association.
+//
+// Reverse traffic (mobile to correspondent) is routed normally — the
+// classic Mobile IP triangle.
+package mobileip

@@ -1,0 +1,81 @@
+package mtcp_test
+
+import (
+	"testing"
+	"time"
+
+	"mcommerce/internal/mtcp"
+	"mcommerce/internal/simnet"
+)
+
+// transferOnce runs one size-byte transfer over a clean fast link and
+// returns virtual completion time.
+func transferOnce(b *testing.B, seed int64, size int) time.Duration {
+	b.Helper()
+	d := newDuplex(b, seed, simnet.LinkConfig{Rate: 100 * simnet.Mbps, Delay: 5 * time.Millisecond, QueueLen: 1 << 12})
+	got := 0
+	var doneAt time.Duration
+	if err := d.ss.Listen(80, mtcp.Options{}, func(c *mtcp.Conn) {
+		c.OnData(func(bs []byte) {
+			got += len(bs)
+			if got >= size {
+				doneAt = d.net.Sched.Now()
+				d.net.Sched.Stop()
+			}
+		})
+	}); err != nil {
+		b.Fatal(err)
+	}
+	d.cs.Dial(simnet.Addr{Node: d.server.ID, Port: 80}, mtcp.Options{}, func(c *mtcp.Conn, err error) {
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		c.Send(make([]byte, size))
+	})
+	if err := d.net.Sched.RunUntil(time.Minute); err != nil && err != simnet.ErrStopped {
+		b.Fatal(err)
+	}
+	return doneAt
+}
+
+// BenchmarkBulkTransfer1MB measures simulator throughput for a 1 MB TCP
+// transfer (real time per simulated transfer).
+func BenchmarkBulkTransfer1MB(b *testing.B) {
+	b.ReportAllocs()
+	var virt time.Duration
+	for i := 0; i < b.N; i++ {
+		virt = transferOnce(b, int64(i+1), 1<<20)
+	}
+	b.ReportMetric(float64(virt.Milliseconds()), "virtual-ms")
+}
+
+// BenchmarkConnectionSetupTeardown measures handshake+close cycles.
+func BenchmarkConnectionSetupTeardown(b *testing.B) {
+	d := newDuplex(b, 1, simnet.LinkConfig{Rate: 100 * simnet.Mbps, Delay: time.Millisecond})
+	if err := d.ss.Listen(80, mtcp.Options{}, func(c *mtcp.Conn) {
+		c.OnData(func([]byte) {})
+		c.Close()
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		closed := false
+		d.cs.Dial(simnet.Addr{Node: d.server.ID, Port: 80}, mtcp.Options{}, func(c *mtcp.Conn, err error) {
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			c.OnClose(func(error) { closed = true })
+			c.Close()
+		})
+		if err := d.net.Sched.RunFor(5 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if !closed {
+			b.Fatal("connection did not close")
+		}
+	}
+}

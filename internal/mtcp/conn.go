@@ -1,0 +1,708 @@
+package mtcp
+
+import (
+	"time"
+
+	"mcommerce/internal/simnet"
+)
+
+type connState int
+
+const (
+	stateSynSent connState = iota + 1
+	stateSynRcvd
+	stateEstablished
+	stateClosed
+)
+
+// Conn is one end of a simulated TCP connection. All methods must be called
+// from the simulation goroutine (i.e. from event callbacks or before the
+// scheduler runs).
+type Conn struct {
+	stack     *Stack
+	localPort simnet.Port
+	remote    simnet.Addr
+	opts      Options
+	state     connState
+
+	// Callbacks.
+	onConnect func(*Conn, error) // Dial completion
+	acceptFn  func(*Conn)        // listener accept
+	onData    func([]byte)
+	onEOF     func()
+	onClose   func(error)
+	closed    bool // onClose delivered
+	eofFired  bool // onEOF delivered
+
+	// Send state. sndBuf holds the unacknowledged + unsent stream suffix;
+	// bufBase is the stream offset of sndBuf[0].
+	iss     uint64
+	sndBuf  []byte
+	bufBase uint64
+	sndUna  uint64
+	sndNxt  uint64
+	peerWnd int
+
+	// Congestion control (Reno / NewReno).
+	cwnd       float64
+	ssthresh   float64
+	dupAcks    int
+	inRecovery bool
+	// recover is the NewReno recovery point: the highest sequence
+	// outstanding when fast retransmit fired; recovery ends only once
+	// cumulative ACKs pass it.
+	recover uint64
+
+	// RTT estimation (Jacobson/Karels, Karn's rule).
+	srtt     time.Duration
+	rttvar   time.Duration
+	rto      time.Duration
+	rttValid bool
+	rttSeq   uint64
+	rttStart time.Duration
+
+	// Retransmission timer.
+	rtoTimer *simnet.Timer
+	retries  int
+
+	// maxSent is the highest stream offset ever transmitted, used to
+	// classify go-back-N sends as retransmissions.
+	maxSent uint64
+
+	// Close handshake.
+	closeReq bool
+	finSent  bool
+	finSeq   uint64
+
+	// Receive state.
+	irs     uint64
+	rcvNxt  uint64
+	ooo     map[uint64]*Segment
+	rcvdFin bool
+
+	stats Stats
+}
+
+func newConn(s *Stack, local simnet.Port, remote simnet.Addr, opts Options) *Conn {
+	c := &Conn{
+		stack:     s,
+		localPort: local,
+		remote:    remote,
+		opts:      opts,
+		peerWnd:   opts.MSS * opts.InitialCwndSegs,
+		cwnd:      float64(opts.MSS * opts.InitialCwndSegs),
+		ssthresh:  float64(opts.RcvWnd),
+		rto:       opts.RTOInitial,
+		ooo:       make(map[uint64]*Segment),
+	}
+	return c
+}
+
+// LocalAddr returns the connection's local address.
+func (c *Conn) LocalAddr() simnet.Addr {
+	return simnet.Addr{Node: c.stack.node.ID, Port: c.localPort}
+}
+
+// RemoteAddr returns the peer's address.
+func (c *Conn) RemoteAddr() simnet.Addr { return c.remote }
+
+// Established reports whether the three-way handshake has completed and the
+// connection has not closed.
+func (c *Conn) Established() bool { return c.state == stateEstablished }
+
+// Stats returns a snapshot of the connection's counters.
+func (c *Conn) Stats() Stats {
+	st := c.stats
+	st.SRTT = c.srtt
+	st.RTO = c.rto
+	return st
+}
+
+// OnData registers the in-order data delivery callback. Payload slices are
+// owned by the connection; the callback must copy data it retains.
+func (c *Conn) OnData(fn func([]byte)) { c.onData = fn }
+
+// OnEOF registers the half-close callback: it fires once, when the peer's
+// FIN arrives after all of the peer's data has been delivered. The local
+// direction may continue sending afterwards.
+func (c *Conn) OnEOF(fn func()) {
+	c.onEOF = fn
+	if c.rcvdFin && !c.eofFired {
+		c.eofFired = true
+		fn()
+	}
+}
+
+// OnClose registers the close callback: nil error for orderly close, ErrReset
+// or ErrTimeout otherwise. It fires at most once.
+func (c *Conn) OnClose(fn func(error)) {
+	c.onClose = fn
+	if c.state == stateClosed && !c.closed {
+		c.closed = true
+		fn(nil)
+	}
+}
+
+// --- connection establishment ---
+
+func (c *Conn) startConnect() {
+	c.state = stateSynSent
+	c.iss = uint64(c.sched().Rand().Int63n(1 << 30))
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.bufBase = c.iss + 1
+	c.sendSeg(&Segment{Flags: SYN, Seq: c.iss, Wnd: c.opts.RcvWnd})
+	c.restartRTO()
+}
+
+func (c *Conn) startAccept(syn *Segment) {
+	c.state = stateSynRcvd
+	c.irs = syn.Seq
+	c.rcvNxt = syn.Seq + 1
+	c.peerWnd = syn.Wnd
+	c.iss = uint64(c.sched().Rand().Int63n(1 << 30))
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.bufBase = c.iss + 1
+	c.sendSeg(&Segment{Flags: SYN | ACK, Seq: c.iss, Ack: c.rcvNxt, Wnd: c.opts.RcvWnd})
+	c.restartRTO()
+}
+
+// --- application API ---
+
+// Send queues data for transmission. The slice is copied. Sending on a
+// closing or closed connection is a silent no-op.
+func (c *Conn) Send(data []byte) {
+	if c.state == stateClosed || c.closeReq || len(data) == 0 {
+		return
+	}
+	c.sndBuf = append(c.sndBuf, data...)
+	if c.state == stateEstablished {
+		c.trySend()
+	}
+}
+
+// Close requests an orderly close: queued data is delivered first, then a
+// FIN. The connection fully closes once both directions have finished.
+func (c *Conn) Close() {
+	if c.state == stateClosed || c.closeReq {
+		return
+	}
+	c.closeReq = true
+	if c.state == stateEstablished {
+		c.trySend()
+	}
+}
+
+// Abort resets the connection immediately, notifying the peer with RST.
+func (c *Conn) Abort() {
+	if c.state == stateClosed {
+		return
+	}
+	c.sendSeg(&Segment{Flags: RST | ACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+	c.teardown(ErrReset)
+}
+
+// SignalReconnect implements the fast-retransmission-after-handoff scheme
+// of Caceres & Iftode [2]: call it when the mobile's link-layer reports
+// that a handoff completed. Acting as receiver, the connection immediately
+// emits DupAckThreshold duplicate ACKs so the remote sender fast-retransmits
+// instead of idling out its (possibly backed-off) RTO; acting as sender, it
+// retransmits the oldest unacknowledged segment at once with a fresh timer.
+func (c *Conn) SignalReconnect() {
+	if c.state != stateEstablished {
+		return
+	}
+	// Receiver role: provoke the peer's fast retransmit. One extra
+	// duplicate covers the case where the peer lost our latest
+	// cumulative ACK in the blackout and consumes the first as new.
+	for i := 0; i < c.opts.DupAckThreshold+1; i++ {
+		c.sendAck()
+		c.stats.DupAcksSent++
+	}
+	// Sender role: resume our own outstanding data without waiting.
+	if c.sndNxt > c.sndUna {
+		c.retries = 0
+		c.rto = c.currentRTOBase()
+		c.stats.FastRetransmits++
+		c.retransmitOldest()
+		c.restartRTO()
+	}
+}
+
+// --- segment transmission ---
+
+func (c *Conn) sched() *simnet.Scheduler { return c.stack.node.Sched() }
+
+func (c *Conn) sendSeg(seg *Segment) {
+	c.stats.SegmentsSent++
+	c.stats.BytesSent += uint64(len(seg.Payload))
+	c.stack.sendRaw(c.localPort, c.remote, seg)
+}
+
+func (c *Conn) sendAck() {
+	c.sendSeg(&Segment{Flags: ACK, Seq: c.sndNxt, Ack: c.rcvNxt, Wnd: c.opts.RcvWnd})
+}
+
+// dataEnd is the stream offset just past the last byte queued for sending.
+func (c *Conn) dataEnd() uint64 { return c.bufBase + uint64(len(c.sndBuf)) }
+
+// trySend transmits as much queued data as the congestion and peer windows
+// allow, then a FIN if a close is pending and the buffer drained.
+func (c *Conn) trySend() {
+	for {
+		inFlight := int(c.sndNxt - c.sndUna)
+		wnd := int(c.cwnd)
+		if c.peerWnd < wnd {
+			wnd = c.peerWnd
+		}
+		avail := wnd - inFlight
+		pending := int(c.dataEnd() - c.sndNxt)
+		if pending <= 0 {
+			break
+		}
+		if avail <= 0 {
+			c.ensureRTO()
+			return
+		}
+		n := pending
+		if n > c.opts.MSS {
+			n = c.opts.MSS
+		}
+		if n > avail {
+			// Send a partial segment only if nothing is in flight
+			// (avoid silly window syndrome in a simple way).
+			if inFlight > 0 {
+				c.ensureRTO()
+				return
+			}
+			n = avail
+		}
+		off := c.sndNxt - c.bufBase
+		seg := &Segment{
+			Flags:   ACK,
+			Seq:     c.sndNxt,
+			Ack:     c.rcvNxt,
+			Wnd:     c.opts.RcvWnd,
+			Payload: c.sndBuf[off : off+uint64(n)],
+		}
+		if !c.rttValid && seg.Seq >= c.maxSent {
+			c.rttValid = true
+			c.rttSeq = c.sndNxt
+			c.rttStart = c.sched().Now()
+		}
+		if seg.Seq < c.maxSent {
+			c.stats.Retransmits++
+		}
+		c.sndNxt += uint64(n)
+		if c.sndNxt > c.maxSent {
+			c.maxSent = c.sndNxt
+		}
+		c.sendSeg(seg)
+		c.ensureRTO()
+	}
+	if c.closeReq && !c.finSent && c.sndNxt == c.dataEnd() {
+		c.finSent = true
+		c.finSeq = c.sndNxt
+		c.sendSeg(&Segment{Flags: FIN | ACK, Seq: c.sndNxt, Ack: c.rcvNxt, Wnd: c.opts.RcvWnd})
+		c.sndNxt++
+		c.ensureRTO()
+	}
+}
+
+// retransmitOldest re-sends the segment starting at sndUna.
+func (c *Conn) retransmitOldest() {
+	c.stats.Retransmits++
+	// Karn's rule: a retransmitted sequence must not produce an RTT
+	// sample.
+	if c.rttValid && c.rttSeq >= c.sndUna {
+		c.rttValid = false
+	}
+	switch c.state {
+	case stateSynSent:
+		c.sendSeg(&Segment{Flags: SYN, Seq: c.iss, Wnd: c.opts.RcvWnd})
+		return
+	case stateSynRcvd:
+		c.sendSeg(&Segment{Flags: SYN | ACK, Seq: c.iss, Ack: c.rcvNxt, Wnd: c.opts.RcvWnd})
+		return
+	}
+	if c.finSent && c.sndUna == c.finSeq {
+		c.sendSeg(&Segment{Flags: FIN | ACK, Seq: c.finSeq, Ack: c.rcvNxt, Wnd: c.opts.RcvWnd})
+		return
+	}
+	n := int(c.dataEnd() - c.sndUna)
+	if n <= 0 {
+		return
+	}
+	if n > c.opts.MSS {
+		n = c.opts.MSS
+	}
+	off := c.sndUna - c.bufBase
+	c.sendSeg(&Segment{
+		Flags:   ACK,
+		Seq:     c.sndUna,
+		Ack:     c.rcvNxt,
+		Wnd:     c.opts.RcvWnd,
+		Payload: c.sndBuf[off : off+uint64(n)],
+	})
+}
+
+// --- timers ---
+
+func (c *Conn) currentRTOBase() time.Duration {
+	if c.srtt == 0 {
+		return c.opts.RTOInitial
+	}
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.opts.RTOMin {
+		rto = c.opts.RTOMin
+	}
+	if rto > c.opts.RTOMax {
+		rto = c.opts.RTOMax
+	}
+	return rto
+}
+
+func (c *Conn) ensureRTO() {
+	if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+		c.restartRTO()
+	}
+}
+
+func (c *Conn) restartRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+	}
+	c.rtoTimer = c.sched().After(c.rto, c.onRTO)
+}
+
+func (c *Conn) stopRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+		c.rtoTimer = nil
+	}
+}
+
+func (c *Conn) onRTO() {
+	if c.state == stateClosed {
+		return
+	}
+	if c.sndUna == c.sndNxt && c.state == stateEstablished {
+		return // nothing outstanding
+	}
+	c.stats.Timeouts++
+	c.retries++
+	if c.retries > c.opts.MaxRetries {
+		err := ErrTimeout
+		if c.state == stateSynSent && c.onConnect != nil {
+			cb := c.onConnect
+			c.onConnect = nil
+			c.teardown(err)
+			cb(nil, err)
+			return
+		}
+		c.teardown(err)
+		return
+	}
+	// Multiplicative decrease to a single segment; exponential backoff.
+	flight := float64(c.sndNxt - c.sndUna)
+	c.ssthresh = maxf(flight/2, float64(2*c.opts.MSS))
+	c.cwnd = float64(c.opts.MSS)
+	c.dupAcks = 0
+	c.inRecovery = false
+	c.rto *= 2
+	if c.rto > c.opts.RTOMax {
+		c.rto = c.opts.RTOMax
+	}
+	if c.state == stateEstablished {
+		// Go-back-N: rewind the send pointer so the ACK clock
+		// re-transmits everything from the loss onward as the window
+		// reopens. Without this, a burst loss degenerates into one
+		// segment per RTO.
+		c.rttValid = false
+		if c.finSent && c.finSeq >= c.sndUna {
+			c.finSent = false
+		}
+		c.sndNxt = c.sndUna
+		c.trySend()
+	} else {
+		c.retransmitOldest()
+	}
+	c.restartRTO()
+}
+
+// --- reception ---
+
+func (c *Conn) receive(seg *Segment) {
+	if c.state == stateClosed {
+		return
+	}
+	c.stats.SegmentsReceived++
+	if seg.Flags&RST != 0 {
+		err := ErrReset
+		if c.state == stateSynSent && c.onConnect != nil {
+			cb := c.onConnect
+			c.onConnect = nil
+			c.teardown(err)
+			cb(nil, err)
+			return
+		}
+		c.teardown(err)
+		return
+	}
+
+	switch c.state {
+	case stateSynSent:
+		if seg.Flags&(SYN|ACK) == SYN|ACK && seg.Ack == c.sndNxt {
+			c.irs = seg.Seq
+			c.rcvNxt = seg.Seq + 1
+			c.peerWnd = seg.Wnd
+			c.sndUna = seg.Ack
+			c.state = stateEstablished
+			c.retries = 0
+			c.stopRTO()
+			c.sendAck()
+			if cb := c.onConnect; cb != nil {
+				c.onConnect = nil
+				cb(c, nil)
+			}
+			c.trySend()
+		}
+		return
+	case stateSynRcvd:
+		if seg.Flags&ACK != 0 && seg.Ack == c.sndNxt {
+			c.sndUna = seg.Ack
+			c.peerWnd = seg.Wnd
+			c.state = stateEstablished
+			c.retries = 0
+			c.stopRTO()
+			if cb := c.acceptFn; cb != nil {
+				c.acceptFn = nil
+				cb(c)
+			}
+			// Fall through to process any piggybacked payload.
+		} else {
+			return
+		}
+	}
+
+	if seg.Flags&ACK != 0 {
+		c.processAck(seg)
+	}
+	if len(seg.Payload) > 0 || seg.Flags&FIN != 0 {
+		c.processData(seg)
+	}
+	c.checkClosed()
+}
+
+func (c *Conn) processAck(seg *Segment) {
+	// A straggler ACK can cover data beyond a rewound send pointer
+	// (go-back-N after RTO): advance the pointer to match.
+	if seg.Ack > c.sndNxt && seg.Ack <= c.dataEnd()+1 {
+		c.sndNxt = seg.Ack
+	}
+	switch {
+	case seg.Ack > c.sndUna && seg.Ack <= c.sndNxt:
+		ackedBytes := seg.Ack - c.sndUna
+		c.sndUna = seg.Ack
+		c.peerWnd = seg.Wnd
+		c.stats.BytesAcked += ackedBytes
+		c.trimBuffer()
+
+		if c.rttValid && seg.Ack > c.rttSeq {
+			c.sampleRTT(c.sched().Now() - c.rttStart)
+			c.rttValid = false
+		}
+		c.retries = 0
+		c.rto = c.currentRTOBase()
+		c.dupAcks = 0
+		if c.inRecovery && c.opts.NewReno && seg.Ack < c.recover {
+			// NewReno partial ACK: another segment from the lossy window
+			// is missing — retransmit it immediately, stay in recovery,
+			// and deflate by the amount acknowledged.
+			c.retransmitOldest()
+			c.cwnd -= float64(ackedBytes)
+			if c.cwnd < float64(c.opts.MSS) {
+				c.cwnd = float64(c.opts.MSS)
+			}
+			c.restartRTO()
+			return
+		}
+		if c.inRecovery {
+			// Recovery complete: deflate to ssthresh.
+			c.inRecovery = false
+			c.cwnd = c.ssthresh
+		} else if c.cwnd < c.ssthresh {
+			// Slow start: one MSS per ACK (bounded by bytes acked).
+			inc := float64(c.opts.MSS)
+			if float64(ackedBytes) < inc {
+				inc = float64(ackedBytes)
+			}
+			c.cwnd += inc
+		} else {
+			// Congestion avoidance: ~one MSS per RTT.
+			c.cwnd += float64(c.opts.MSS) * float64(c.opts.MSS) / c.cwnd
+		}
+		if c.sndUna == c.sndNxt {
+			c.stopRTO()
+		} else {
+			c.restartRTO()
+		}
+		c.trySend()
+
+	case seg.Ack == c.sndUna && c.sndNxt > c.sndUna && len(seg.Payload) == 0 && seg.Flags&(SYN|FIN) == 0:
+		// Duplicate ACK.
+		c.dupAcks++
+		if c.inRecovery {
+			// Fast recovery: inflate and try to send new data.
+			c.cwnd += float64(c.opts.MSS)
+			c.trySend()
+		} else if c.dupAcks == c.opts.DupAckThreshold {
+			c.fastRetransmit()
+		}
+	}
+}
+
+func (c *Conn) fastRetransmit() {
+	c.stats.FastRetransmits++
+	flight := float64(c.sndNxt - c.sndUna)
+	c.ssthresh = maxf(flight/2, float64(2*c.opts.MSS))
+	c.cwnd = c.ssthresh + float64(c.opts.DupAckThreshold*c.opts.MSS)
+	c.inRecovery = true
+	c.recover = c.sndNxt
+	c.retransmitOldest()
+	c.restartRTO()
+}
+
+func (c *Conn) trimBuffer() {
+	if c.sndUna <= c.bufBase {
+		return
+	}
+	drop := c.sndUna - c.bufBase
+	if drop > uint64(len(c.sndBuf)) {
+		drop = uint64(len(c.sndBuf))
+	}
+	c.sndBuf = c.sndBuf[drop:]
+	c.bufBase += drop
+}
+
+func (c *Conn) sampleRTT(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		diff := c.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = c.currentRTOBase()
+}
+
+func (c *Conn) processData(seg *Segment) {
+	switch {
+	case seg.Seq <= c.rcvNxt && seg.Seq+seg.Len() > c.rcvNxt:
+		// In order (possibly with an already-received head to skip, when
+		// a retransmission repacketized across the original boundary).
+		c.acceptInOrder(seg)
+		c.drainOOO()
+	case seg.Seq > c.rcvNxt:
+		// Out of order: buffer (bounded) and duplicate-ACK.
+		if len(c.ooo) < c.opts.RcvWnd/c.opts.MSS+1 {
+			c.ooo[seg.Seq] = seg
+		}
+		c.stats.DupAcksSent++
+	default:
+		// Stale duplicate; re-ACK so the sender advances.
+	}
+	c.sendAck()
+}
+
+// drainOOO repeatedly consumes buffered segments that extend the in-order
+// stream, discarding fully stale ones.
+func (c *Conn) drainOOO() {
+	for {
+		var found *Segment
+		for s, sg := range c.ooo {
+			switch {
+			case s+sg.Len() <= c.rcvNxt:
+				delete(c.ooo, s) // fully covered already
+			case s <= c.rcvNxt:
+				found = sg
+				delete(c.ooo, s)
+			}
+			if found != nil {
+				break
+			}
+		}
+		if found == nil {
+			return
+		}
+		c.acceptInOrder(found)
+	}
+}
+
+func (c *Conn) acceptInOrder(seg *Segment) {
+	payload := seg.Payload
+	if skip := c.rcvNxt - seg.Seq; skip > 0 {
+		if skip >= uint64(len(payload)) {
+			payload = nil
+		} else {
+			payload = payload[skip:]
+		}
+	}
+	if n := len(payload); n > 0 {
+		c.rcvNxt += uint64(n)
+		c.stats.BytesReceived += uint64(n)
+		if c.onData != nil {
+			c.onData(payload)
+		}
+	}
+	if seg.Flags&FIN != 0 && !c.rcvdFin {
+		c.rcvdFin = true
+		c.rcvNxt++
+		if c.onEOF != nil && !c.eofFired {
+			c.eofFired = true
+			c.onEOF()
+		}
+	}
+}
+
+// checkClosed completes the orderly close when both directions finished.
+func (c *Conn) checkClosed() {
+	if c.state != stateEstablished {
+		return
+	}
+	finAcked := c.finSent && c.sndUna > c.finSeq
+	if finAcked && c.rcvdFin {
+		c.teardown(nil)
+	}
+}
+
+// teardown finalizes the connection and fires OnClose exactly once.
+func (c *Conn) teardown(err error) {
+	if c.state == stateClosed {
+		return
+	}
+	c.state = stateClosed
+	c.stopRTO()
+	c.stack.remove(c)
+	c.ooo = nil
+	c.sndBuf = nil
+	if c.onClose != nil && !c.closed {
+		c.closed = true
+		c.onClose(err)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

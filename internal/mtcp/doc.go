@@ -1,0 +1,32 @@
+// Package mtcp implements reliable transport for the simulated network:
+// a Reno-style TCP and the three mobile-network TCP optimizations the
+// paper's Section 5.2 describes.
+//
+// The paper: "when it is applied directly to mobile networks, TCP performs
+// poorly due to factors such as error-prone wireless channels, frequent
+// handoffs and disconnections. In order to optimize reliable data transport
+// performance, a number of variants of TCP have been proposed for mobile
+// networks." The three cited variants are implemented:
+//
+//   - Split connection (Yavatkar & Bhagawat [16], I-TCP): Relay splits the
+//     path at the wireless gateway "into two separate sub-paths: one over
+//     the wireless links and the other over the wired links", confining
+//     loss-induced congestion backoff to the short wireless hop.
+//   - Snoop packet caching (Balakrishnan et al. [1]): SnoopAgent caches TCP
+//     data segments at the access point and answers duplicate ACKs with
+//     local retransmissions, suppressing the dupacks so the fixed sender's
+//     congestion window is untouched — "a packet caching scheme to reduce
+//     the TCP retransmission overhead".
+//   - Fast retransmission on reconnection (Caceres & Iftode [2]):
+//     Conn.SignalReconnect "utilizes the fast retransmission option
+//     immediately after handoff is completed", replacing a multi-second
+//     retransmission timeout with an immediate recovery.
+//
+// The baseline Conn implements connection establishment and teardown,
+// cumulative ACKs with out-of-order reassembly, slow start, congestion
+// avoidance, fast retransmit/fast recovery (Reno), Jacobson/Karels RTT
+// estimation with Karn's algorithm, and exponential RTO backoff. The API is
+// callback-driven because the simulation is single-threaded: data arrival,
+// connection establishment and close are delivered as events on the
+// simulation goroutine.
+package mtcp

@@ -1,0 +1,94 @@
+package mtcp
+
+import "time"
+
+// Options tunes a connection. The zero value is usable: every field falls
+// back to its default. Split-connection deployments (Relay) typically use
+// distinct options on the wired and wireless legs.
+type Options struct {
+	// MSS is the maximum segment payload in bytes. Default 1400.
+	MSS int
+	// RcvWnd is the advertised receive window in bytes. Default 256 KiB.
+	RcvWnd int
+	// InitialCwndSegs is the initial congestion window in segments.
+	// Default 2.
+	InitialCwndSegs int
+	// RTOInitial is the retransmission timeout before any RTT sample.
+	// Default 1s.
+	RTOInitial time.Duration
+	// RTOMin bounds the computed RTO from below. Default 200ms.
+	RTOMin time.Duration
+	// RTOMax bounds the backed-off RTO from above. Default 30s.
+	RTOMax time.Duration
+	// MaxRetries is the number of consecutive timeouts on one segment
+	// before the connection aborts. Default 12.
+	MaxRetries int
+	// DupAckThreshold is the duplicate-ACK count that triggers fast
+	// retransmit. Default 3.
+	DupAckThreshold int
+	// NewReno enables NewReno partial-ACK recovery (RFC 6582): the sender
+	// stays in fast recovery until the entire window outstanding at the
+	// loss is acknowledged, retransmitting one segment per partial ACK.
+	// Classic Reno (the default) exits recovery on the first new ACK and
+	// needs a timeout when several segments from one window are lost.
+	NewReno bool
+}
+
+// DefaultOptions returns the defaults used when Options fields are zero.
+func DefaultOptions() Options {
+	return Options{
+		MSS:             1400,
+		RcvWnd:          256 << 10,
+		InitialCwndSegs: 2,
+		RTOInitial:      time.Second,
+		RTOMin:          200 * time.Millisecond,
+		RTOMax:          30 * time.Second,
+		MaxRetries:      12,
+		DupAckThreshold: 3,
+	}
+}
+
+// withDefaults fills zero fields from DefaultOptions.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.MSS <= 0 {
+		o.MSS = d.MSS
+	}
+	if o.RcvWnd <= 0 {
+		o.RcvWnd = d.RcvWnd
+	}
+	if o.InitialCwndSegs <= 0 {
+		o.InitialCwndSegs = d.InitialCwndSegs
+	}
+	if o.RTOInitial <= 0 {
+		o.RTOInitial = d.RTOInitial
+	}
+	if o.RTOMin <= 0 {
+		o.RTOMin = d.RTOMin
+	}
+	if o.RTOMax <= 0 {
+		o.RTOMax = d.RTOMax
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = d.MaxRetries
+	}
+	if o.DupAckThreshold <= 0 {
+		o.DupAckThreshold = d.DupAckThreshold
+	}
+	return o
+}
+
+// Stats is a connection's running counters, retrievable via Conn.Stats.
+type Stats struct {
+	BytesSent        uint64 // payload bytes handed to the network (incl. retransmits)
+	BytesAcked       uint64 // payload bytes cumulatively acknowledged
+	BytesReceived    uint64 // in-order payload bytes delivered to the app
+	SegmentsSent     uint64
+	SegmentsReceived uint64
+	Retransmits      uint64 // segments re-sent for any reason
+	Timeouts         uint64 // RTO expirations
+	FastRetransmits  uint64 // fast-retransmit events (3 dupacks or SignalReconnect)
+	DupAcksSent      uint64
+	SRTT             time.Duration // smoothed RTT estimate
+	RTO              time.Duration // current retransmission timeout
+}

@@ -1,0 +1,71 @@
+package mtcp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Flags is the TCP segment flag set.
+type Flags uint8
+
+// Segment flags.
+const (
+	SYN Flags = 1 << iota
+	ACK
+	FIN
+	RST
+)
+
+func (f Flags) String() string {
+	var parts []string
+	if f&SYN != 0 {
+		parts = append(parts, "SYN")
+	}
+	if f&ACK != 0 {
+		parts = append(parts, "ACK")
+	}
+	if f&FIN != 0 {
+		parts = append(parts, "FIN")
+	}
+	if f&RST != 0 {
+		parts = append(parts, "RST")
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "|")
+}
+
+// Segment is a simulated TCP segment. Sequence numbers are 64-bit byte
+// offsets (the simulation does not model 32-bit wraparound). A Segment
+// travels as the Body of a simnet.Packet with ProtoTCP.
+type Segment struct {
+	Flags Flags
+	// Seq is the byte offset of Payload[0] in the sender's stream (for
+	// SYN/FIN, the sequence the flag occupies).
+	Seq uint64
+	// Ack is the next byte expected by the receiver; valid when ACK set.
+	Ack uint64
+	// Wnd is the receiver's advertised window in bytes.
+	Wnd int
+	// Payload is the application data. Segments share payload slices with
+	// the sender's buffer; receivers must not mutate them.
+	Payload []byte
+}
+
+// Len returns the sequence-space length of the segment: payload bytes plus
+// one for SYN and one for FIN.
+func (s *Segment) Len() uint64 {
+	n := uint64(len(s.Payload))
+	if s.Flags&SYN != 0 {
+		n++
+	}
+	if s.Flags&FIN != 0 {
+		n++
+	}
+	return n
+}
+
+func (s *Segment) String() string {
+	return fmt.Sprintf("[%s seq=%d ack=%d len=%d]", s.Flags, s.Seq, s.Ack, len(s.Payload))
+}

@@ -1,0 +1,162 @@
+package mtcp
+
+import (
+	"errors"
+	"fmt"
+
+	"mcommerce/internal/simnet"
+)
+
+// Errors reported through connection callbacks or returned by Stack calls.
+var (
+	// ErrReset indicates the peer aborted the connection.
+	ErrReset = errors.New("mtcp: connection reset by peer")
+	// ErrTimeout indicates retransmission retries were exhausted.
+	ErrTimeout = errors.New("mtcp: connection timed out")
+	// ErrPortInUse indicates a Listen on an occupied port.
+	ErrPortInUse = errors.New("mtcp: port in use")
+)
+
+type connKey struct {
+	local  simnet.Port
+	remote simnet.Addr
+}
+
+type listener struct {
+	accept func(*Conn)
+	opts   Options
+}
+
+// Stack is a node's TCP protocol instance: it demultiplexes ProtoTCP
+// packets to connections and listeners. Create at most one per node.
+type Stack struct {
+	node      *simnet.Node
+	conns     map[connKey]*Conn
+	listeners map[simnet.Port]*listener
+	nextPort  simnet.Port
+}
+
+// NewStack binds a TCP stack to the node. It returns an error if the node
+// already has a ProtoTCP handler (one stack per node).
+func NewStack(node *simnet.Node) (*Stack, error) {
+	if node.Bound(simnet.ProtoTCP) {
+		return nil, fmt.Errorf("mtcp: %s already has a TCP stack", node)
+	}
+	s := &Stack{
+		node:      node,
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[simnet.Port]*listener),
+		nextPort:  32768,
+	}
+	node.Bind(simnet.ProtoTCP, s.deliver)
+	return s, nil
+}
+
+// MustNewStack is NewStack for topology construction where a duplicate
+// stack is a programming error.
+func MustNewStack(node *simnet.Node) *Stack {
+	s, err := NewStack(node)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Node returns the node the stack is bound to.
+func (s *Stack) Node() *simnet.Node { return s.node }
+
+// Listen registers an accept callback on the port. Each established inbound
+// connection is passed to accept. Options apply to accepted connections.
+func (s *Stack) Listen(port simnet.Port, opts Options, accept func(*Conn)) error {
+	if _, ok := s.listeners[port]; ok {
+		return fmt.Errorf("%w: %d on %s", ErrPortInUse, port, s.node)
+	}
+	s.listeners[port] = &listener{accept: accept, opts: opts.withDefaults()}
+	return nil
+}
+
+// Unlisten removes the listener on port. Established connections survive.
+func (s *Stack) Unlisten(port simnet.Port) { delete(s.listeners, port) }
+
+// Dial opens a connection to raddr. The connected callback fires once with
+// (conn, nil) on establishment or (nil, err) on failure. The returned Conn
+// can be used immediately to queue data; it is the same value the callback
+// receives.
+func (s *Stack) Dial(raddr simnet.Addr, opts Options, connected func(*Conn, error)) *Conn {
+	port := s.ephemeralPort()
+	c := newConn(s, port, raddr, opts.withDefaults())
+	c.onConnect = connected
+	s.conns[connKey{local: port, remote: raddr}] = c
+	c.startConnect()
+	return c
+}
+
+func (s *Stack) ephemeralPort() simnet.Port {
+	for {
+		s.nextPort++
+		if s.nextPort == 0 {
+			s.nextPort = 32768
+		}
+		if !s.portBusy(s.nextPort) {
+			return s.nextPort
+		}
+	}
+}
+
+func (s *Stack) portBusy(p simnet.Port) bool {
+	if _, ok := s.listeners[p]; ok {
+		return true
+	}
+	for k := range s.conns {
+		if k.local == p {
+			return true
+		}
+	}
+	return false
+}
+
+// deliver demultiplexes an inbound ProtoTCP packet.
+func (s *Stack) deliver(p *simnet.Packet) {
+	seg, ok := p.Body.(*Segment)
+	if !ok {
+		s.node.Drop(p, "not-a-segment")
+		return
+	}
+	key := connKey{local: p.Dst.Port, remote: p.Src}
+	if c, ok := s.conns[key]; ok {
+		c.receive(seg)
+		return
+	}
+	if l, ok := s.listeners[p.Dst.Port]; ok && seg.Flags&SYN != 0 && seg.Flags&ACK == 0 {
+		c := newConn(s, p.Dst.Port, p.Src, l.opts)
+		c.acceptFn = l.accept
+		s.conns[key] = c
+		c.startAccept(seg)
+		return
+	}
+	// A FIN for a connection we already closed: the peer lost our final
+	// ACK. Re-ACK instead of resetting so its orderly close completes.
+	if seg.Flags&FIN != 0 {
+		s.sendRaw(p.Dst.Port, p.Src, &Segment{Flags: ACK, Seq: seg.Ack, Ack: seg.Seq + seg.Len()})
+		return
+	}
+	// Unknown connection: reset, unless this is itself a reset.
+	if seg.Flags&RST == 0 {
+		s.sendRaw(p.Dst.Port, p.Src, &Segment{Flags: RST | ACK, Seq: seg.Ack, Ack: seg.Seq + seg.Len()})
+	}
+}
+
+// sendRaw emits a segment outside any connection (RSTs).
+func (s *Stack) sendRaw(local simnet.Port, remote simnet.Addr, seg *Segment) {
+	s.node.Send(&simnet.Packet{
+		Src:   simnet.Addr{Node: s.node.ID, Port: local},
+		Dst:   remote,
+		Proto: simnet.ProtoTCP,
+		Bytes: simnet.TCPHeaderBytes + len(seg.Payload),
+		Body:  seg,
+	})
+}
+
+func (s *Stack) remove(c *Conn) {
+	delete(s.conns, connKey{local: c.localPort, remote: c.remote})
+}

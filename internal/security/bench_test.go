@@ -1,0 +1,51 @@
+package security
+
+import "testing"
+
+// BenchmarkSeal measures record protection throughput (256 B messages).
+func BenchmarkSeal(b *testing.B) {
+	client, _ := pair(b, []byte("bench-key"))
+	msg := make([]byte, 256)
+	b.SetBytes(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		client.Seal(msg)
+	}
+}
+
+// BenchmarkSealOpen measures the full protect+verify round trip.
+func BenchmarkSealOpen(b *testing.B) {
+	client, server := pair(b, []byte("bench-key"))
+	msg := make([]byte, 256)
+	b.SetBytes(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec := client.Seal(msg)
+		if _, err := server.Open(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTokenVerify measures bearer-token checks (the per-request auth
+// cost on the host computer).
+func BenchmarkTokenVerify(b *testing.B) {
+	a := NewTokenAuthority([]byte("bench-key"))
+	tok := a.Issue("staff:dr-yang", 1<<62)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Verify(tok, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignPayment measures payment-order signing on the handset.
+func BenchmarkSignPayment(b *testing.B) {
+	key := []byte("payment-key")
+	o := PaymentOrder{OrderID: "o-1", Payer: "alice", Payee: "shop", AmountCp: 999, IssuedAt: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SignPayment(key, o)
+	}
+}

@@ -1,0 +1,176 @@
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Errors returned by the record layer.
+var (
+	// ErrAuth reports a record that failed integrity verification.
+	ErrAuth = errors.New("security: record authentication failed")
+	// ErrReplay reports a record with a stale sequence number.
+	ErrReplay = errors.New("security: replayed or reordered record")
+	// ErrHandshake reports a failed handshake.
+	ErrHandshake = errors.New("security: handshake failed")
+)
+
+// RecordOverhead is the bytes Seal adds to a plaintext: an 8-byte sequence
+// number plus a 32-byte HMAC-SHA256 tag. (The CTR stream is seeded from the
+// sequence number, so no IV travels on the wire.)
+const RecordOverhead = 8 + 32
+
+const nonceLen = 16
+
+// Hello is a handshake message: a role label and a nonce.
+type Hello struct {
+	Role  string // "client" or "server"
+	Nonce []byte
+	// Verify is present on the server hello: an HMAC over both nonces
+	// proving possession of the pre-shared key.
+	Verify []byte
+}
+
+// HandshakeClient starts a WTLS-lite handshake. It returns the client hello
+// to send and a continuation that consumes the server hello and yields the
+// client's channel.
+func HandshakeClient(psk []byte, rng io.Reader) (Hello, func(Hello) (*Channel, error), error) {
+	nonce := make([]byte, nonceLen)
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return Hello{}, nil, fmt.Errorf("security: nonce: %w", err)
+	}
+	hello := Hello{Role: "client", Nonce: nonce}
+	cont := func(server Hello) (*Channel, error) {
+		if server.Role != "server" || len(server.Nonce) != nonceLen {
+			return nil, ErrHandshake
+		}
+		if !hmac.Equal(server.Verify, verifyMAC(psk, nonce, server.Nonce)) {
+			return nil, fmt.Errorf("%w: bad server verifier", ErrHandshake)
+		}
+		return newChannel(psk, nonce, server.Nonce, true)
+	}
+	return hello, cont, nil
+}
+
+// HandshakeServer consumes a client hello and returns the server hello plus
+// the server's channel.
+func HandshakeServer(psk []byte, rng io.Reader, client Hello) (Hello, *Channel, error) {
+	if client.Role != "client" || len(client.Nonce) != nonceLen {
+		return Hello{}, nil, ErrHandshake
+	}
+	nonce := make([]byte, nonceLen)
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return Hello{}, nil, fmt.Errorf("security: nonce: %w", err)
+	}
+	ch, err := newChannel(psk, client.Nonce, nonce, false)
+	if err != nil {
+		return Hello{}, nil, err
+	}
+	hello := Hello{
+		Role:   "server",
+		Nonce:  nonce,
+		Verify: verifyMAC(psk, client.Nonce, nonce),
+	}
+	return hello, ch, nil
+}
+
+func verifyMAC(psk, clientNonce, serverNonce []byte) []byte {
+	mac := hmac.New(sha256.New, psk)
+	mac.Write([]byte("verify"))
+	mac.Write(clientNonce)
+	mac.Write(serverNonce)
+	return mac.Sum(nil)
+}
+
+// derive expands the pre-shared key and nonces into a labelled key.
+func derive(psk, clientNonce, serverNonce []byte, label string) []byte {
+	mac := hmac.New(sha256.New, psk)
+	mac.Write([]byte(label))
+	mac.Write(clientNonce)
+	mac.Write(serverNonce)
+	return mac.Sum(nil)
+}
+
+// Channel is one endpoint's half of a protected session: directional
+// encryption and MAC keys plus send/receive sequence state.
+type Channel struct {
+	sendBlock, recvBlock cipher.Block
+	sendMac, recvMac     []byte
+	sendSeq, recvSeq     uint64
+}
+
+func newChannel(psk, cn, sn []byte, isClient bool) (*Channel, error) {
+	c2s := derive(psk, cn, sn, "key c2s")[:16]
+	s2c := derive(psk, cn, sn, "key s2c")[:16]
+	mc2s := derive(psk, cn, sn, "mac c2s")
+	ms2c := derive(psk, cn, sn, "mac s2c")
+	var sendKey, recvKey []byte
+	ch := &Channel{}
+	if isClient {
+		sendKey, recvKey = c2s, s2c
+		ch.sendMac, ch.recvMac = mc2s, ms2c
+	} else {
+		sendKey, recvKey = s2c, c2s
+		ch.sendMac, ch.recvMac = ms2c, mc2s
+	}
+	var err error
+	if ch.sendBlock, err = aes.NewCipher(sendKey); err != nil {
+		return nil, fmt.Errorf("security: %w", err)
+	}
+	if ch.recvBlock, err = aes.NewCipher(recvKey); err != nil {
+		return nil, fmt.Errorf("security: %w", err)
+	}
+	return ch, nil
+}
+
+// Seal encrypts and authenticates a plaintext record:
+// seq(8) || ciphertext || tag(32).
+func (c *Channel) Seal(plaintext []byte) []byte {
+	seq := c.sendSeq
+	c.sendSeq++
+	out := make([]byte, 8+len(plaintext)+sha256.Size)
+	binary.BigEndian.PutUint64(out[:8], seq)
+	ct := out[8 : 8+len(plaintext)]
+	ctr(c.sendBlock, seq, plaintext, ct)
+	mac := hmac.New(sha256.New, c.sendMac)
+	mac.Write(out[:8+len(plaintext)])
+	copy(out[8+len(plaintext):], mac.Sum(nil))
+	return out
+}
+
+// Open verifies and decrypts a record. Records must arrive in order; stale
+// or replayed sequence numbers fail with ErrReplay.
+func (c *Channel) Open(record []byte) ([]byte, error) {
+	if len(record) < RecordOverhead {
+		return nil, ErrAuth
+	}
+	body := record[:len(record)-sha256.Size]
+	tag := record[len(record)-sha256.Size:]
+	mac := hmac.New(sha256.New, c.recvMac)
+	mac.Write(body)
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return nil, ErrAuth
+	}
+	seq := binary.BigEndian.Uint64(body[:8])
+	if seq < c.recvSeq {
+		return nil, fmt.Errorf("%w: seq %d < %d", ErrReplay, seq, c.recvSeq)
+	}
+	c.recvSeq = seq + 1
+	ct := body[8:]
+	pt := make([]byte, len(ct))
+	ctr(c.recvBlock, seq, ct, pt)
+	return pt, nil
+}
+
+// ctr applies AES-CTR keyed by the record sequence number.
+func ctr(block cipher.Block, seq uint64, in, out []byte) {
+	iv := make([]byte, aes.BlockSize)
+	binary.BigEndian.PutUint64(iv[8:], seq)
+	cipher.NewCTR(block, iv).XORKeyStream(out, in)
+}

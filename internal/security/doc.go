@@ -1,0 +1,22 @@
+// Package security implements the paper's Section 8 concern: "Security
+// issues (including payment) include data reliability, integrity,
+// confidentiality, and authentication and are usually an important part of
+// implementation in wireless protocols/systems."
+//
+// Three building blocks cover those four properties:
+//
+//   - Channel: a WTLS-style record layer over a pre-shared key — a
+//     nonce-exchange handshake derives directional AES-CTR encryption keys
+//     and HMAC-SHA256 integrity keys; records carry sequence numbers, so
+//     replayed or reordered records are rejected (confidentiality,
+//     integrity, reliability).
+//   - TokenAuthority: HMAC-signed bearer tokens with expiry, used by
+//     application services to authenticate users (authentication).
+//   - PaymentOrder signing: detached HMAC signatures over payment fields,
+//     used by the payments application so that the merchant can verify an
+//     authorization came from the payment service (payment integrity).
+//
+// Time is supplied by callers as virtual nanoseconds, so expiry works under
+// the simulation clock. Nonce and key generation accept an io.Reader so
+// experiments stay deterministic; production callers pass crypto/rand.
+package security

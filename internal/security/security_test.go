@@ -1,0 +1,197 @@
+package security
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var rngSeed int64
+
+// testRNG returns a fresh deterministic source; each call uses a new seed
+// so distinct handshakes get distinct nonces.
+func testRNG() *rand.Rand {
+	rngSeed++
+	return rand.New(rand.NewSource(rngSeed))
+}
+
+func pair(t testing.TB, psk []byte) (*Channel, *Channel) {
+	t.Helper()
+	rng := testRNG()
+	clientHello, cont, err := HandshakeClient(psk, rng)
+	if err != nil {
+		t.Fatalf("HandshakeClient: %v", err)
+	}
+	serverHello, server, err := HandshakeServer(psk, rng, clientHello)
+	if err != nil {
+		t.Fatalf("HandshakeServer: %v", err)
+	}
+	client, err := cont(serverHello)
+	if err != nil {
+		t.Fatalf("client finish: %v", err)
+	}
+	return client, server
+}
+
+func TestChannelRoundTrip(t *testing.T) {
+	client, server := pair(t, []byte("shared-secret"))
+	msgs := []string{"order 1 widget", "", "pay 9.99", "bye"}
+	for _, m := range msgs {
+		rec := client.Seal([]byte(m))
+		pt, err := server.Open(rec)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", m, err)
+		}
+		if string(pt) != m {
+			t.Errorf("round trip %q -> %q", m, pt)
+		}
+	}
+	// And the other direction.
+	rec := server.Seal([]byte("receipt"))
+	pt, err := client.Open(rec)
+	if err != nil || string(pt) != "receipt" {
+		t.Fatalf("server->client: %q %v", pt, err)
+	}
+}
+
+func TestChannelConfidentiality(t *testing.T) {
+	client, _ := pair(t, []byte("shared-secret"))
+	plaintext := []byte("very secret payment data")
+	rec := client.Seal(plaintext)
+	if bytes.Contains(rec, plaintext) {
+		t.Error("plaintext visible in sealed record")
+	}
+}
+
+func TestChannelOverheadConstant(t *testing.T) {
+	client, _ := pair(t, []byte("k"))
+	for _, n := range []int{0, 1, 100, 4096} {
+		rec := client.Seal(make([]byte, n))
+		if len(rec) != n+RecordOverhead {
+			t.Errorf("overhead for %dB = %d, want %d", n, len(rec)-n, RecordOverhead)
+		}
+	}
+}
+
+func TestTamperedRecordRejected(t *testing.T) {
+	client, server := pair(t, []byte("shared-secret"))
+	rec := client.Seal([]byte("amount=1.00"))
+	for _, idx := range []int{0, 9, len(rec) - 1} {
+		bad := append([]byte(nil), rec...)
+		bad[idx] ^= 0x01
+		if _, err := server.Open(bad); !errors.Is(err, ErrAuth) && !errors.Is(err, ErrReplay) {
+			t.Errorf("tamper at %d: err = %v", idx, err)
+		}
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	client, server := pair(t, []byte("shared-secret"))
+	rec := client.Seal([]byte("one widget"))
+	if _, err := server.Open(rec); err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	if _, err := server.Open(rec); !errors.Is(err, ErrReplay) {
+		t.Errorf("replay err = %v, want ErrReplay", err)
+	}
+}
+
+func TestWrongPSKFailsHandshake(t *testing.T) {
+	rng := testRNG()
+	clientHello, cont, err := HandshakeClient([]byte("client-key"), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverHello, _, err := HandshakeServer([]byte("other-key"), rng, clientHello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cont(serverHello); !errors.Is(err, ErrHandshake) {
+		t.Errorf("handshake with wrong key: %v, want ErrHandshake", err)
+	}
+}
+
+func TestCrossTalkBetweenSessionsFails(t *testing.T) {
+	c1, _ := pair(t, []byte("secret"))
+	_, s2 := pair(t, []byte("secret")) // same PSK, different nonces
+	rec := c1.Seal([]byte("hello"))
+	if _, err := s2.Open(rec); err == nil {
+		t.Error("record from another session accepted")
+	}
+}
+
+func TestSealOpenProperty(t *testing.T) {
+	client, server := pair(t, []byte("prop-key"))
+	prop := func(msg []byte) bool {
+		pt, err := server.Open(client.Seal(msg))
+		return err == nil && bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenIssueVerify(t *testing.T) {
+	a := NewTokenAuthority([]byte("signing-key"))
+	tok := a.Issue("user:ann", 1000)
+	subj, err := a.Verify(tok, 500)
+	if err != nil || subj != "user:ann" {
+		t.Fatalf("Verify = %q, %v", subj, err)
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	a := NewTokenAuthority([]byte("signing-key"))
+	tok := a.Issue("user:ann", 1000)
+	if _, err := a.Verify(tok, 1001); !errors.Is(err, ErrExpired) {
+		t.Errorf("expired token err = %v", err)
+	}
+}
+
+func TestTokenForgeryRejected(t *testing.T) {
+	a := NewTokenAuthority([]byte("signing-key"))
+	b := NewTokenAuthority([]byte("attacker-key"))
+	tok := b.Issue("user:admin", 1<<60)
+	if _, err := a.Verify(tok, 0); !errors.Is(err, ErrBadToken) {
+		t.Errorf("forged token err = %v", err)
+	}
+	// Tampered token.
+	good := a.Issue("user:ann", 1<<60)
+	bad := "A" + good[1:]
+	if _, err := a.Verify(bad, 0); !errors.Is(err, ErrBadToken) {
+		t.Errorf("tampered token err = %v", err)
+	}
+	if _, err := a.Verify("garbage", 0); !errors.Is(err, ErrBadToken) {
+		t.Errorf("garbage token err = %v", err)
+	}
+}
+
+func TestPaymentSignatures(t *testing.T) {
+	key := []byte("payment-service-key")
+	o := PaymentOrder{OrderID: "o1", Payer: "ann", Payee: "widgetshop", AmountCp: 999, IssuedAt: 42}
+	sig := SignPayment(key, o)
+	if !VerifyPayment(key, o, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	tampered := o
+	tampered.AmountCp = 1
+	if VerifyPayment(key, tampered, sig) {
+		t.Error("amount tamper accepted")
+	}
+	if VerifyPayment([]byte("other"), o, sig) {
+		t.Error("wrong key accepted")
+	}
+}
+
+func TestPaymentFieldBoundaries(t *testing.T) {
+	// Field-length framing: moving a byte between payer and payee must
+	// invalidate the signature.
+	key := []byte("k")
+	a := PaymentOrder{OrderID: "o", Payer: "ab", Payee: "c", AmountCp: 1}
+	b := PaymentOrder{OrderID: "o", Payer: "a", Payee: "bc", AmountCp: 1}
+	if VerifyPayment(key, b, SignPayment(key, a)) {
+		t.Error("field boundary collision")
+	}
+}

@@ -1,0 +1,90 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSchedulerEventThroughput measures raw event dispatch rate — the
+// ceiling for every simulation in the repository.
+func BenchmarkSchedulerEventThroughput(b *testing.B) {
+	s := NewScheduler(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i)*time.Nanosecond, func() {})
+	}
+	b.ResetTimer()
+	for s.Step() {
+	}
+}
+
+// BenchmarkSchedulerTimerChurn measures schedule+cancel cycles (the TCP
+// RTO pattern: most timers never fire).
+func BenchmarkSchedulerTimerChurn(b *testing.B) {
+	s := NewScheduler(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := s.After(time.Hour, func() {})
+		t.Cancel()
+		if i%1024 == 0 {
+			// Drain cancelled events so the heap stays bounded.
+			for s.Pending() > 0 && !s.Step() {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkLinkPacketDelivery measures the per-packet cost of the wired
+// link path: send -> serialize -> propagate -> deliver.
+func BenchmarkLinkPacketDelivery(b *testing.B) {
+	net := NewNetwork(NewScheduler(1))
+	a := net.NewNode("a")
+	c := net.NewNode("b")
+	l := Connect(a, c, LinkConfig{Rate: Gbps, Delay: time.Microsecond, QueueLen: 1 << 20})
+	a.SetDefaultRoute(l.IfaceA())
+	got := 0
+	c.Bind(ProtoControl, func(p *Packet) { got++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(&Packet{Src: Addr{Node: a.ID}, Dst: Addr{Node: c.ID}, Proto: ProtoControl, Bytes: 100})
+		// Keep the event queue shallow.
+		for net.Sched.Pending() > 64 {
+			net.Sched.Step()
+		}
+	}
+	for net.Sched.Step() {
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d/%d", got, b.N)
+	}
+}
+
+// BenchmarkRouterForwarding measures the two-hop forwarding path.
+func BenchmarkRouterForwarding(b *testing.B) {
+	net := NewNetwork(NewScheduler(1))
+	a := net.NewNode("a")
+	r := net.NewNode("r")
+	c := net.NewNode("c")
+	r.Forwarding = true
+	l1 := Connect(a, r, LinkConfig{Rate: Gbps, QueueLen: 1 << 20})
+	l2 := Connect(r, c, LinkConfig{Rate: Gbps, QueueLen: 1 << 20})
+	a.SetDefaultRoute(l1.IfaceA())
+	r.SetRoute(c.ID, l2.IfaceA())
+	got := 0
+	c.Bind(ProtoControl, func(p *Packet) { got++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(&Packet{Src: Addr{Node: a.ID}, Dst: Addr{Node: c.ID}, Proto: ProtoControl, Bytes: 100})
+		for net.Sched.Pending() > 64 {
+			net.Sched.Step()
+		}
+	}
+	for net.Sched.Step() {
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d/%d", got, b.N)
+	}
+}

@@ -1,0 +1,50 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestLinkPacketConservation is the link-layer conservation law: every
+// packet offered to a link is exactly one of delivered, lost (random
+// loss), or dropped (queue overflow) — nothing duplicates or vanishes.
+func TestLinkPacketConservation(t *testing.T) {
+	prop := func(seed int64, lossPct uint8, queueLen uint8, bursts []uint8) bool {
+		cfg := LinkConfig{
+			Rate:     Mbps,
+			Delay:    time.Millisecond,
+			Loss:     float64(lossPct%50) / 100,
+			QueueLen: int(queueLen%32) + 1,
+		}
+		net := NewNetwork(NewScheduler(seed))
+		a := net.NewNode("a")
+		b := net.NewNode("b")
+		l := Connect(a, b, cfg)
+		a.SetDefaultRoute(l.IfaceA())
+		delivered := 0
+		b.Bind(ProtoControl, func(p *Packet) { delivered++ })
+
+		sent := 0
+		for i, burst := range bursts {
+			i, n := i, int(burst%16)+1
+			net.Sched.At(time.Duration(i)*10*time.Millisecond, func() {
+				for j := 0; j < n; j++ {
+					a.Send(&Packet{
+						Src: Addr{Node: a.ID}, Dst: Addr{Node: b.ID},
+						Proto: ProtoControl, Bytes: 200,
+					})
+				}
+			})
+			sent += n
+		}
+		if err := net.Sched.Run(); err != nil {
+			return false
+		}
+		accounted := delivered + int(l.Lost[0]) + int(l.Dropped[0])
+		return accounted == sent && int(l.Delivered[0]) == delivered
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,24 @@
+// Package simnet is a deterministic discrete-event network simulation
+// kernel. It is the substrate on which every other subsystem of the mobile
+// commerce reproduction is built: wired LAN/WAN links (component (v) of the
+// paper's model), and — via the Medium interface — the wireless LAN and
+// cellular radio models in internal/wireless and internal/cellular.
+//
+// The kernel provides:
+//
+//   - a virtual clock and an event scheduler (Scheduler) with cancellable
+//     timers, driven by a binary heap keyed on (time, sequence) so that
+//     execution order is fully deterministic for a given seed;
+//   - packets (Packet) with simulated wire sizes decoupled from their Go
+//     payloads, so protocol headers can be accounted for without byte-level
+//     marshalling;
+//   - nodes (Node) with interfaces, static routing, protocol demultiplexing
+//     and forwarding taps (used by the Snoop agent and Mobile IP);
+//   - point-to-point duplex links (Link) with bandwidth, propagation delay,
+//     drop-tail queues and random loss, which model the paper's wired
+//     networks component.
+//
+// All simulation state is single-threaded: callbacks run on the goroutine
+// that calls Scheduler.Run. Determinism is a design requirement — every
+// experiment in EXPERIMENTS.md must be exactly repeatable from its seed.
+package simnet

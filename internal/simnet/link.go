@@ -1,0 +1,196 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Rate is a link speed in bits per second.
+type Rate float64
+
+// Common rates used throughout the reproduction. WLAN and cellular rates
+// come from Tables 4 and 5 of the paper.
+const (
+	Kbps Rate = 1e3
+	Mbps Rate = 1e6
+	Gbps Rate = 1e9
+)
+
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.3gGbps", float64(r)/1e9)
+	case r >= Mbps:
+		return fmt.Sprintf("%.3gMbps", float64(r)/1e6)
+	case r >= Kbps:
+		return fmt.Sprintf("%.3gkbps", float64(r)/1e3)
+	default:
+		return fmt.Sprintf("%.3gbps", float64(r))
+	}
+}
+
+// TxTime returns the serialization delay for a payload of the given size.
+func (r Rate) TxTime(bytes int) time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	sec := float64(bytes*8) / float64(r)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// LinkConfig parameterizes a point-to-point link.
+type LinkConfig struct {
+	// Rate is the transmission speed in each direction.
+	Rate Rate
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter) per packet.
+	// Jittered packets can arrive out of order, as on real WANs.
+	Jitter time.Duration
+	// Loss is the independent per-packet loss probability in [0,1).
+	Loss float64
+	// BitErrorRate adds size-dependent loss: a packet of n bytes is lost
+	// with probability 1-(1-BER)^(8n), on top of Loss. Use it when frame
+	// size should matter (radio-like links); larger frames die more often.
+	BitErrorRate float64
+	// QueueLen is the per-direction drop-tail queue capacity in packets.
+	// Zero means DefaultQueueLen.
+	QueueLen int
+}
+
+// DefaultQueueLen is the drop-tail queue capacity used when LinkConfig
+// leaves QueueLen zero.
+const DefaultQueueLen = 64
+
+// LAN and WAN are convenience configurations for the paper's wired
+// networks component: a fast local segment and a slower long-haul path.
+var (
+	LAN = LinkConfig{Rate: 100 * Mbps, Delay: 200 * time.Microsecond}
+	WAN = LinkConfig{Rate: 10 * Mbps, Delay: 20 * time.Millisecond, Loss: 0.0001}
+)
+
+// Link is a full-duplex point-to-point link between two interfaces. Each
+// direction has an independent transmitter with a drop-tail queue modelled
+// implicitly by bounding the number of packets serialized ahead of a new
+// arrival.
+type Link struct {
+	cfg  LinkConfig
+	a, b *Iface
+	net  *Network
+
+	// busyUntil is when each direction's transmitter frees up.
+	// Index 0: a->b, index 1: b->a.
+	busyUntil [2]time.Duration
+	queued    [2]int
+
+	// Stats per direction.
+	Delivered [2]uint64
+	Lost      [2]uint64
+	Dropped   [2]uint64 // queue overflow
+}
+
+var _ Medium = (*Link)(nil)
+
+// Connect creates a link with the given config between two nodes, attaching
+// a new interface on each. The returned link is already live.
+func Connect(x, y *Node, cfg LinkConfig) *Link {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
+	l := &Link{cfg: cfg, net: x.net}
+	l.a = x.AddIface(fmt.Sprintf("link-%d-%d", x.ID, y.ID), l)
+	l.b = y.AddIface(fmt.Sprintf("link-%d-%d", y.ID, x.ID), l)
+	return l
+}
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// IfaceA returns the interface on the first node passed to Connect.
+func (l *Link) IfaceA() *Iface { return l.a }
+
+// IfaceB returns the interface on the second node passed to Connect.
+func (l *Link) IfaceB() *Iface { return l.b }
+
+// Peer returns the interface at the other end of the link from i, or nil if
+// i is not attached to the link.
+func (l *Link) Peer(i *Iface) *Iface {
+	switch i {
+	case l.a:
+		return l.b
+	case l.b:
+		return l.a
+	default:
+		return nil
+	}
+}
+
+// Transmit implements Medium: serialize then propagate, with drop-tail
+// queueing and random loss.
+func (l *Link) Transmit(from *Iface, p *Packet) {
+	dir := 0
+	dst := l.b
+	if from == l.b {
+		dir = 1
+		dst = l.a
+	} else if from != l.a {
+		return
+	}
+
+	s := l.net.Sched
+	now := s.Now()
+	if l.busyUntil[dir] < now {
+		l.busyUntil[dir] = now
+		l.queued[dir] = 0
+	}
+	if l.queued[dir] >= l.cfg.QueueLen {
+		l.Dropped[dir]++
+		return
+	}
+
+	txDone := l.busyUntil[dir] + l.cfg.Rate.TxTime(p.Bytes)
+	l.busyUntil[dir] = txDone
+	l.queued[dir]++
+	arrive := txDone + l.cfg.Delay
+	if l.cfg.Jitter > 0 {
+		arrive += time.Duration(s.Rand().Int63n(int64(l.cfg.Jitter)))
+	}
+
+	if l.lost(s, p.Bytes) {
+		l.Lost[dir]++
+		// The transmitter is still occupied for the serialization time;
+		// decrement the queue when the frame would have finished sending.
+		s.At(txDone, func() { l.dequeue(dir) })
+		return
+	}
+
+	d := dir
+	s.At(txDone, func() { l.dequeue(d) })
+	cp := p.Clone()
+	s.At(arrive, func() {
+		l.Delivered[d]++
+		dst.Node.Deliver(cp, dst)
+	})
+}
+
+// lost draws the per-packet loss verdict: the flat Loss probability plus
+// the size-dependent bit-error loss.
+func (l *Link) lost(s *Scheduler, bytes int) bool {
+	if l.cfg.Loss > 0 && s.Rand().Float64() < l.cfg.Loss {
+		return true
+	}
+	if ber := l.cfg.BitErrorRate; ber > 0 {
+		pLoss := 1 - math.Pow(1-ber, float64(bytes*8))
+		if s.Rand().Float64() < pLoss {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Link) dequeue(dir int) {
+	if l.queued[dir] > 0 {
+		l.queued[dir]--
+	}
+}

@@ -1,0 +1,269 @@
+package simnet
+
+import (
+	"fmt"
+)
+
+// Medium is anything an interface can transmit onto: a point-to-point Link,
+// a wireless cell, or a cellular channel. Implementations deliver the
+// packet to the receiving node(s) by calling Node.Deliver, typically after
+// modelling serialization, propagation and loss.
+type Medium interface {
+	// Transmit sends p from the given interface. Implementations must not
+	// retain p beyond the call unless they Clone it or deliver it intact.
+	Transmit(from *Iface, p *Packet)
+}
+
+// Handler consumes packets addressed to a node for a given protocol.
+type Handler func(p *Packet)
+
+// Tap inspects (and may veto) packets traversing a node, including packets
+// being forwarded. Taps implement in-network agents such as the Snoop TCP
+// accelerator and Mobile IP interception. Returning false swallows the
+// packet.
+type Tap func(p *Packet) bool
+
+// TapFlaggedDrop can be returned in future extensions; currently a bool
+// verdict suffices.
+
+// Iface is a node's attachment point to a medium.
+type Iface struct {
+	Node   *Node
+	Medium Medium
+	// Name is a diagnostic label ("eth0", "radio").
+	Name string
+	// Up gates transmission and reception; a downed interface silently
+	// drops both directions (used to model disconnection).
+	Up bool
+
+	// Stats
+	TxPackets, RxPackets uint64
+	TxBytes, RxBytes     uint64
+}
+
+// Send transmits p on this interface.
+func (i *Iface) Send(p *Packet) {
+	if !i.Up || i.Medium == nil {
+		return
+	}
+	if !p.onWire {
+		p.onWire = true
+		p.Sent = i.Node.net.Sched.Now()
+	}
+	i.TxPackets++
+	i.TxBytes += uint64(p.Bytes)
+	i.Node.net.trace(TraceEvent{Kind: TraceSend, Node: i.Node, Iface: i, Packet: p})
+	i.Medium.Transmit(i, p)
+}
+
+// Node is a simulated host or router: a set of interfaces, a static routing
+// table, per-protocol handlers and forwarding taps.
+type Node struct {
+	ID   NodeID
+	Name string
+
+	net      *Network
+	ifaces   []*Iface
+	handlers map[Protocol]Handler
+	taps     []Tap
+
+	// routes maps destination node -> interface to send out of. A nil
+	// entry in defaultRoute means unroutable.
+	routes       map[NodeID]*Iface
+	defaultRoute *Iface
+
+	// Forwarding enables routing of packets addressed to other nodes.
+	// Hosts leave it false; routers, gateways and access points set it.
+	Forwarding bool
+
+	// Dropped counts packets discarded at this node (no route, TTL
+	// exhausted, tap veto).
+	Dropped uint64
+
+	// udp is the lazily created datagram stack; see UDPOf.
+	udp *UDP
+}
+
+// Network owns the scheduler and the set of nodes, and assigns node IDs.
+type Network struct {
+	Sched  *Scheduler
+	nodes  map[NodeID]*Node
+	next   NodeID
+	tracer func(TraceEvent)
+}
+
+// NewNetwork creates an empty network driven by the given scheduler.
+func NewNetwork(s *Scheduler) *Network {
+	return &Network{Sched: s, nodes: make(map[NodeID]*Node)}
+}
+
+// NewNode creates and registers a node.
+func (n *Network) NewNode(name string) *Node {
+	n.next++
+	node := &Node{
+		ID:       n.next,
+		Name:     name,
+		net:      n,
+		handlers: make(map[Protocol]Handler),
+		routes:   make(map[NodeID]*Iface),
+	}
+	n.nodes[node.ID] = node
+	return node
+}
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// Nodes returns all nodes in ID order. The slice is freshly allocated.
+func (n *Network) Nodes() []*Node {
+	out := make([]*Node, 0, len(n.nodes))
+	for id := NodeID(1); id <= n.next; id++ {
+		if node, ok := n.nodes[id]; ok {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Network returns the network the node belongs to.
+func (nd *Node) Network() *Network { return nd.net }
+
+// Sched returns the shared scheduler, for protocol timers.
+func (nd *Node) Sched() *Scheduler { return nd.net.Sched }
+
+// AddIface attaches the node to a medium and returns the new interface.
+func (nd *Node) AddIface(name string, m Medium) *Iface {
+	i := &Iface{Node: nd, Medium: m, Name: name, Up: true}
+	nd.ifaces = append(nd.ifaces, i)
+	return i
+}
+
+// Ifaces returns the node's interfaces. The slice is freshly allocated.
+func (nd *Node) Ifaces() []*Iface {
+	out := make([]*Iface, len(nd.ifaces))
+	copy(out, nd.ifaces)
+	return out
+}
+
+// Bind registers the handler for a protocol, replacing any previous one.
+func (nd *Node) Bind(proto Protocol, h Handler) { nd.handlers[proto] = h }
+
+// Bound reports whether a handler is registered for the protocol.
+func (nd *Node) Bound(proto Protocol) bool {
+	_, ok := nd.handlers[proto]
+	return ok
+}
+
+// Unbind removes the handler for a protocol.
+func (nd *Node) Unbind(proto Protocol) { delete(nd.handlers, proto) }
+
+// AddTap installs a forwarding/delivery tap. Taps run in installation
+// order for every packet arriving at the node, before local delivery or
+// forwarding.
+func (nd *Node) AddTap(t Tap) { nd.taps = append(nd.taps, t) }
+
+// SetRoute directs traffic for dst out of iface.
+func (nd *Node) SetRoute(dst NodeID, via *Iface) { nd.routes[dst] = via }
+
+// ClearRoute removes the specific route for dst, if any.
+func (nd *Node) ClearRoute(dst NodeID) { delete(nd.routes, dst) }
+
+// SetDefaultRoute directs traffic with no specific route out of iface.
+func (nd *Node) SetDefaultRoute(via *Iface) { nd.defaultRoute = via }
+
+// RouteTo returns the interface a packet for dst would leave through.
+func (nd *Node) RouteTo(dst NodeID) *Iface {
+	if i, ok := nd.routes[dst]; ok {
+		return i
+	}
+	return nd.defaultRoute
+}
+
+// Send originates a packet from this node, stamping defaults and routing it.
+func (nd *Node) Send(p *Packet) {
+	if p.TTL == 0 {
+		p.TTL = DefaultTTL
+	}
+	if p.Bytes <= 0 {
+		p.Bytes = 1
+	}
+	nd.dispatch(p)
+}
+
+// Deliver hands a packet that has arrived over a medium to the node. It is
+// called by Medium implementations. The receiving interface may be nil for
+// internally generated packets.
+func (nd *Node) Deliver(p *Packet, via *Iface) {
+	if via != nil {
+		if !via.Up {
+			nd.drop(p, via, "iface-down")
+			return
+		}
+		via.RxPackets++
+		via.RxBytes += uint64(p.Bytes)
+	}
+	nd.net.trace(TraceEvent{Kind: TraceDeliver, Node: nd, Iface: via, Packet: p})
+	for _, t := range nd.taps {
+		if !t(p) {
+			nd.net.trace(TraceEvent{Kind: TraceDrop, Node: nd, Iface: via, Packet: p, Reason: "tap"})
+			return
+		}
+	}
+	nd.dispatch(p)
+}
+
+// Drop discards a packet, counting it and emitting a trace event. Protocol
+// layers outside this package use it so their discards appear in traces.
+func (nd *Node) Drop(p *Packet, reason string) { nd.drop(p, nil, reason) }
+
+// drop discards a packet, counting and tracing it.
+func (nd *Node) drop(p *Packet, via *Iface, reason string) {
+	nd.Dropped++
+	nd.net.trace(TraceEvent{Kind: TraceDrop, Node: nd, Iface: via, Packet: p, Reason: reason})
+}
+
+// dispatch delivers locally or forwards.
+func (nd *Node) dispatch(p *Packet) {
+	// A broadcast we originated goes onto the medium; a broadcast that
+	// arrived over the medium is for us.
+	if p.Dst.Node == Broadcast && !p.onWire {
+		if out := nd.defaultRoute; out != nil {
+			out.Send(p)
+		} else {
+			nd.drop(p, nil, "no-route")
+		}
+		return
+	}
+	if p.Dst.Node == nd.ID || p.Dst.Node == Broadcast {
+		if h, ok := nd.handlers[p.Proto]; ok {
+			h(p)
+		} else {
+			nd.drop(p, nil, "no-handler")
+		}
+		return
+	}
+	// Packets that have already been on the wire are being forwarded;
+	// locally originated packets skip the forwarding check and TTL
+	// decrement.
+	if p.onWire {
+		if !nd.Forwarding {
+			nd.drop(p, nil, "not-forwarding")
+			return
+		}
+		p.TTL--
+		if p.TTL <= 0 {
+			nd.drop(p, nil, "ttl")
+			return
+		}
+	}
+	out := nd.RouteTo(p.Dst.Node)
+	if out == nil {
+		nd.drop(p, nil, "no-route")
+		return
+	}
+	out.Send(p)
+}
+
+func (nd *Node) String() string {
+	return fmt.Sprintf("node %d (%s)", nd.ID, nd.Name)
+}

@@ -1,0 +1,208 @@
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before the event queue drained.
+var ErrStopped = errors.New("simnet: scheduler stopped")
+
+// Timer is a handle to a scheduled event. The zero value is not useful;
+// timers are created by Scheduler.At and Scheduler.After.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from running. Cancelling an already
+// fired or already cancelled timer is a no-op. It reports whether the
+// callback was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer's callback has neither fired nor been
+// cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is the discrete-event core: a virtual clock plus an ordered
+// queue of future callbacks. It is not safe for concurrent use; the entire
+// simulation runs on the goroutine that calls Run, RunUntil or Step.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events that have fired, for diagnostics.
+	executed uint64
+}
+
+// NewScheduler returns a scheduler whose random source is seeded with seed.
+// Two schedulers with the same seed and the same sequence of scheduling
+// calls produce identical executions.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (duration since simulation start).
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events that have fired so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been reaped).
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute virtual time t. Times in the past are
+// clamped to Now: the event fires on the next Step, after already queued
+// events at the current instant.
+func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event fired (false when the queue is
+// empty or only cancelled events remain).
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev, ok := heap.Pop(&s.events).(*event)
+		if !ok {
+			return false
+		}
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		s.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// nil on a drained queue and ErrStopped if halted.
+func (s *Scheduler) Run() error {
+	s.stopped = false
+	for !s.stopped {
+		if !s.Step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled after the deadline remain queued.
+// It returns ErrStopped if halted by Stop.
+func (s *Scheduler) RunUntil(deadline time.Duration) error {
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			if deadline > s.now {
+				s.now = deadline
+			}
+			return nil
+		}
+		s.Step()
+	}
+	return ErrStopped
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (s *Scheduler) RunFor(d time.Duration) error {
+	return s.RunUntil(s.now + d)
+}
+
+// Stop halts a Run/RunUntil in progress. It is intended to be called from
+// inside an event callback.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// peek returns the timestamp of the earliest live event.
+func (s *Scheduler) peek() (time.Duration, bool) {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if !ev.cancelled {
+			return ev.at, true
+		}
+		heap.Pop(&s.events)
+	}
+	return 0, false
+}

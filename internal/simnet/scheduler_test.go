@@ -1,0 +1,230 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerFiresInTimeOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerTiesFireInScheduleOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestSchedulerAfterIsRelative(t *testing.T) {
+	s := NewScheduler(1)
+	var at time.Duration
+	s.At(5*time.Millisecond, func() {
+		s.After(7*time.Millisecond, func() { at = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 12*time.Millisecond {
+		t.Errorf("nested After fired at %v, want 12ms", at)
+	}
+}
+
+func TestSchedulerPastTimesClampToNow(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	s.At(10*time.Millisecond, func() {
+		s.At(time.Millisecond, func() { fired = true }) // in the past
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Error("past-scheduled event never fired")
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Errorf("clock moved backwards: %v", s.Now())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	tm := s.At(time.Millisecond, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending before run")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel should report false")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	if tm.Pending() {
+		t.Error("cancelled timer still pending")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	s := NewScheduler(1)
+	tm := s.At(time.Millisecond, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tm.Cancel() {
+		t.Error("Cancel after fire should report false")
+	}
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	s := NewScheduler(1)
+	early, late := false, false
+	s.At(time.Millisecond, func() { early = true })
+	s.At(time.Second, func() { late = true })
+	if err := s.RunUntil(10 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !early || late {
+		t.Fatalf("early=%v late=%v, want true,false", early, late)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Errorf("Now = %v, want 10ms", s.Now())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !late {
+		t.Error("late event lost after RunUntil")
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	s := NewScheduler(1)
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", s.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	for i := 1; i <= 100; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 5 {
+				s.Stop()
+			}
+		})
+	}
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		s := NewScheduler(seed)
+		var fired []time.Duration
+		for i := 0; i < 200; i++ {
+			d := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+			s.After(d, func() { fired = append(fired, s.Now()) })
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in
+// non-decreasing time order and the count matches.
+func TestSchedulerOrderProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		s := NewScheduler(7)
+		var fired []time.Duration
+		for _, o := range offsets {
+			s.At(time.Duration(o)*time.Microsecond, func() {
+				fired = append(fired, s.Now())
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExecutedCountsEvents(t *testing.T) {
+	s := NewScheduler(1)
+	for i := 0; i < 17; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Executed() != 17 {
+		t.Errorf("Executed = %d, want 17", s.Executed())
+	}
+}

@@ -1,0 +1,76 @@
+package simnet
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	// TraceSend fires when an interface transmits a packet.
+	TraceSend TraceKind = iota + 1
+	// TraceDeliver fires when a packet reaches a node (before taps).
+	TraceDeliver
+	// TraceDrop fires when a node discards a packet.
+	TraceDrop
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceDeliver:
+		return "recv"
+	case TraceDrop:
+		return "drop"
+	default:
+		return "?"
+	}
+}
+
+// TraceEvent is one observation in a packet trace.
+type TraceEvent struct {
+	At     time.Duration
+	Kind   TraceKind
+	Node   *Node
+	Iface  *Iface // nil for internally generated deliveries
+	Packet *Packet
+	// Reason annotates drops ("no-route", "ttl", "tap", "no-handler",
+	// "iface-down", "not-forwarding").
+	Reason string
+}
+
+// SetTracer installs a network-wide trace callback (nil disables tracing).
+// The callback runs synchronously on the simulation goroutine for every
+// send, delivery and drop — a tcpdump for the virtual network.
+func (n *Network) SetTracer(fn func(TraceEvent)) { n.tracer = fn }
+
+// trace emits an event if a tracer is installed.
+func (n *Network) trace(ev TraceEvent) {
+	if n.tracer != nil {
+		ev.At = n.Sched.Now()
+		n.tracer(ev)
+	}
+}
+
+// NewTextTracer returns a tracer that writes one line per event:
+//
+//	[12.345ms] send  node 3 (gateway) TCP 3:80->5:0 (1440B)
+func NewTextTracer(w io.Writer) func(TraceEvent) {
+	return func(ev TraceEvent) {
+		reason := ""
+		if ev.Reason != "" {
+			reason = " [" + ev.Reason + "]"
+		}
+		ifc := ""
+		if ev.Iface != nil {
+			ifc = " via " + ev.Iface.Name
+		}
+		fmt.Fprintf(w, "[%v] %-4s %s %s%s%s\n",
+			ev.At, ev.Kind, ev.Node, ev.Packet, ifc, reason)
+	}
+}

@@ -1,0 +1,71 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerObservesSendDeliverDrop(t *testing.T) {
+	net, a, b, _ := twoNodes(t, LinkConfig{Rate: Mbps, Delay: time.Millisecond})
+	var events []TraceEvent
+	net.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
+	b.Bind(ProtoControl, func(p *Packet) {})
+
+	// One delivered packet and one dropped (no handler for UDP).
+	a.Send(&Packet{Src: Addr{Node: a.ID}, Dst: Addr{Node: b.ID}, Proto: ProtoControl, Bytes: 100})
+	a.Send(&Packet{Src: Addr{Node: a.ID}, Dst: Addr{Node: b.ID}, Proto: ProtoUDP, Bytes: 100})
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	var sends, delivers, drops int
+	var dropReason string
+	for _, ev := range events {
+		switch ev.Kind {
+		case TraceSend:
+			sends++
+		case TraceDeliver:
+			delivers++
+		case TraceDrop:
+			drops++
+			dropReason = ev.Reason
+		}
+		if ev.At < 0 || ev.Node == nil || ev.Packet == nil {
+			t.Errorf("malformed event: %+v", ev)
+		}
+	}
+	if sends != 2 || delivers != 2 || drops != 1 {
+		t.Errorf("sends=%d delivers=%d drops=%d, want 2/2/1", sends, delivers, drops)
+	}
+	if dropReason != "no-handler" {
+		t.Errorf("drop reason = %q", dropReason)
+	}
+}
+
+func TestTextTracerFormat(t *testing.T) {
+	net, a, b, _ := twoNodes(t, LinkConfig{Rate: Mbps, Delay: time.Millisecond})
+	var out strings.Builder
+	net.SetTracer(NewTextTracer(&out))
+	b.Bind(ProtoControl, func(p *Packet) {})
+	a.Send(&Packet{Src: Addr{Node: a.ID}, Dst: Addr{Node: b.ID}, Proto: ProtoControl, Bytes: 100})
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"send", "recv", "CTL", "node 1 (a)", "node 2 (b)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTracerDisabledIsFree(t *testing.T) {
+	net, a, b, _ := twoNodes(t, LinkConfig{Rate: Mbps})
+	b.Bind(ProtoControl, func(p *Packet) {})
+	net.SetTracer(nil) // explicit no-op
+	a.Send(&Packet{Src: Addr{Node: a.ID}, Dst: Addr{Node: b.ID}, Proto: ProtoControl, Bytes: 100})
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+package wap
+
+import (
+	"time"
+
+	"mcommerce/internal/markup"
+	"mcommerce/internal/mtcp"
+	"mcommerce/internal/security"
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/webserver"
+)
+
+// GatewayConfig tunes the WAP gateway.
+type GatewayConfig struct {
+	// WTP tunes the wireless-side transaction layer.
+	WTP WTPConfig
+	// TCP tunes the wired-side connections to origin servers.
+	TCP mtcp.Options
+	// BinaryEncoding enables WMLC encoding of translated decks (the
+	// encoding ablation turns this off to measure the on-air saving).
+	BinaryEncoding bool
+	// MaxCardBytes is the per-card budget for HTML->WML translation.
+	// Zero means 1024.
+	MaxCardBytes int
+	// ProcessingDelay models the gateway's translation CPU time per
+	// response.
+	ProcessingDelay time.Duration
+	// CacheTTL enables a response cache when positive: identical GETs
+	// within the TTL are served from the gateway without touching the
+	// origin.
+	CacheTTL time.Duration
+	// PSK enables WTLS-lite: clients connecting with ConnectSecure and
+	// the same key get encrypted sessions. Plaintext sessions remain
+	// allowed unless RequireWTLS is set.
+	PSK []byte
+	// RequireWTLS refuses plaintext connects (Section 8 deployments like
+	// the health-records service demand it).
+	RequireWTLS bool
+}
+
+// DefaultGatewayConfig returns the configuration the experiments use.
+func DefaultGatewayConfig() GatewayConfig {
+	return GatewayConfig{
+		BinaryEncoding:  true,
+		MaxCardBytes:    1024,
+		ProcessingDelay: 5 * time.Millisecond,
+	}
+}
+
+// GatewayStats counts gateway activity.
+type GatewayStats struct {
+	Sessions        uint64
+	Requests        uint64
+	Translations    uint64 // HTML pages translated to WML
+	PassThroughs    uint64 // origin already served WML
+	CacheHits       uint64
+	OriginErrors    uint64
+	BytesFromOrigin uint64 // HTML bytes fetched over the wired side
+	BytesToAir      uint64 // payload bytes sent over the wireless side
+}
+
+type gwSession struct {
+	accept    []string
+	suspended bool
+	// channel is the WTLS record channel for secured sessions.
+	channel *security.Channel
+}
+
+type cacheEntry struct {
+	reply   *wspReply
+	expires time.Duration
+}
+
+// Gateway is the WAP gateway: WTP/WSP on the wireless side, HTTP over
+// simulated TCP on the wired side, HTML-to-WML translation in between.
+type Gateway struct {
+	node *simnet.Node
+	cfg  GatewayConfig
+	wtp  *WTP
+	http *webserver.Client
+
+	nextSession uint32
+	sessions    map[uint32]*gwSession
+	cache       map[string]*cacheEntry
+
+	stats GatewayStats
+}
+
+// NewGateway starts a WAP gateway on the node. The node needs a TCP stack
+// (created here) and routes to both the wireless and wired sides.
+func NewGateway(node *simnet.Node, cfg GatewayConfig) (*Gateway, error) {
+	if cfg.MaxCardBytes <= 0 {
+		cfg.MaxCardBytes = 1024
+	}
+	stack, err := mtcp.NewStack(node)
+	if err != nil {
+		return nil, err
+	}
+	return newGatewayWithStack(node, stack, cfg)
+}
+
+// NewGatewayWithStack starts a gateway reusing the node's existing TCP
+// stack (for nodes that also host other TCP services).
+func NewGatewayWithStack(node *simnet.Node, stack *mtcp.Stack, cfg GatewayConfig) (*Gateway, error) {
+	if cfg.MaxCardBytes <= 0 {
+		cfg.MaxCardBytes = 1024
+	}
+	return newGatewayWithStack(node, stack, cfg)
+}
+
+func newGatewayWithStack(node *simnet.Node, stack *mtcp.Stack, cfg GatewayConfig) (*Gateway, error) {
+	g := &Gateway{
+		node:     node,
+		cfg:      cfg,
+		http:     webserver.NewClient(stack, cfg.TCP),
+		sessions: make(map[uint32]*gwSession),
+		cache:    make(map[string]*cacheEntry),
+	}
+	wtp, err := NewWTP(node, GatewayPort, cfg.WTP)
+	if err != nil {
+		return nil, err
+	}
+	g.wtp = wtp
+	wtp.Handle(g.serve)
+	return g, nil
+}
+
+// Addr returns the gateway's wireless-side address.
+func (g *Gateway) Addr() simnet.Addr { return g.wtp.Addr() }
+
+// Stats returns a snapshot of the gateway's counters.
+func (g *Gateway) Stats() GatewayStats { return g.stats }
+
+func (g *Gateway) serve(_ simnet.Addr, body any, respond func(any, int)) {
+	switch m := body.(type) {
+	case *wspConnect:
+		g.connect(m, respond)
+	case *wspSecure:
+		g.serveSecure(m, respond)
+	case *wspMethod:
+		g.serveMethod(m, respond)
+	case *wspSuspend:
+		if s, ok := g.sessions[m.SessionID]; ok {
+			s.suspended = true
+		}
+		respond(&wspOK{}, pduBytes(&wspOK{}))
+	case *wspResume:
+		if s, ok := g.sessions[m.SessionID]; ok {
+			s.suspended = false
+		}
+		respond(&wspOK{}, pduBytes(&wspOK{}))
+	case *wspDisconnect:
+		delete(g.sessions, m.SessionID)
+		respond(&wspOK{}, pduBytes(&wspOK{}))
+	default:
+		rep := &wspReply{Status: 400, ContentType: webserver.TypeText, Payload: []byte("bad pdu")}
+		respond(rep, pduBytes(rep))
+	}
+}
+
+// connect establishes a session, negotiating WTLS when both sides offer
+// it. A zero SessionID in the reply signals refusal.
+func (g *Gateway) connect(m *wspConnect, respond func(any, int)) {
+	refuse := func() {
+		rep := &wspConnectReply{}
+		respond(rep, pduBytes(rep))
+	}
+	var ch *security.Channel
+	var serverHello *security.Hello
+	switch {
+	case m.Hello != nil && len(g.cfg.PSK) > 0:
+		hello, channel, err := security.HandshakeServer(g.cfg.PSK, g.node.Sched().Rand(), *m.Hello)
+		if err != nil {
+			refuse()
+			return
+		}
+		ch, serverHello = channel, &hello
+	case m.Hello != nil:
+		// Client wants WTLS, we have no key: connect plaintext-refused
+		// (no server hello); the client reports ErrNoWTLS.
+	case g.cfg.RequireWTLS:
+		refuse()
+		return
+	}
+	g.nextSession++
+	g.sessions[g.nextSession] = &gwSession{
+		accept:  append([]string(nil), m.Accept...),
+		channel: ch,
+	}
+	g.stats.Sessions++
+	rep := &wspConnectReply{SessionID: g.nextSession, Hello: serverHello}
+	respond(rep, pduBytes(rep))
+}
+
+func (g *Gateway) serveMethod(m *wspMethod, respond func(any, int)) {
+	sess, ok := g.sessions[m.SessionID]
+	if !ok {
+		rep := &wspReply{Status: 403, ContentType: webserver.TypeText, Payload: []byte("no session")}
+		respond(rep, pduBytes(rep))
+		return
+	}
+	g.stats.Requests++
+
+	finish := func(rep *wspReply) {
+		g.stats.BytesToAir += uint64(len(rep.Payload))
+		respond(rep, pduBytes(rep))
+	}
+
+	cacheKey := ""
+	if m.Method == "GET" && g.cfg.CacheTTL > 0 {
+		cacheKey = m.URL.String()
+		if e, ok := g.cache[cacheKey]; ok && g.node.Sched().Now() < e.expires {
+			g.stats.CacheHits++
+			finish(e.reply)
+			return
+		}
+	}
+
+	// The gateway asks the origin for HTML (or WML if the origin can
+	// negotiate it directly).
+	req := &webserver.Request{
+		Method: m.Method,
+		Path:   m.URL.Path,
+		Headers: map[string]string{
+			"accept": webserver.TypeWML + ", " + webserver.TypeHTML,
+		},
+		Body: m.Body,
+	}
+	for k, v := range m.Headers {
+		req.Headers[k] = v
+	}
+	g.http.Do(m.URL.Origin, req, func(resp *webserver.Response, err error) {
+		if err != nil {
+			g.stats.OriginErrors++
+			finish(&wspReply{Status: 502, ContentType: webserver.TypeText, Payload: []byte(err.Error())})
+			return
+		}
+		g.stats.BytesFromOrigin += uint64(len(resp.Body))
+		deliver := func(rep *wspReply) {
+			if cacheKey != "" && rep.Status == 200 {
+				g.cache[cacheKey] = &cacheEntry{reply: rep, expires: g.node.Sched().Now() + g.cfg.CacheTTL}
+			}
+			finish(rep)
+		}
+		work := func() {
+			deliver(g.translate(sess, resp))
+		}
+		if g.cfg.ProcessingDelay > 0 {
+			g.node.Sched().After(g.cfg.ProcessingDelay, work)
+		} else {
+			work()
+		}
+	})
+}
+
+// translate converts an origin response into what the session's
+// microbrowser accepts.
+func (g *Gateway) translate(sess *gwSession, resp *webserver.Response) *wspReply {
+	ct := resp.Header("content-type")
+	accepts := func(t string) bool {
+		for _, a := range sess.accept {
+			if a == t {
+				return true
+			}
+		}
+		return false
+	}
+	if resp.Status != 200 {
+		return &wspReply{Status: resp.Status, ContentType: ct, Payload: resp.Body}
+	}
+	var deck *markup.Deck
+	switch ct {
+	case webserver.TypeWML:
+		d, err := markup.ParseWML(string(resp.Body))
+		if err == nil {
+			g.stats.PassThroughs++
+			deck = d
+		}
+	case webserver.TypeHTML, "":
+		g.stats.Translations++
+		deck = markup.HTMLToWML(markup.Parse(string(resp.Body)), g.cfg.MaxCardBytes)
+	}
+	if deck == nil {
+		// Not translatable (binary content, broken WML): ship raw bytes.
+		return &wspReply{Status: 200, ContentType: ct, Payload: resp.Body}
+	}
+	if g.cfg.BinaryEncoding && accepts(webserver.TypeWMLC) {
+		return &wspReply{Status: 200, ContentType: webserver.TypeWMLC, Payload: markup.EncodeWMLC(deck)}
+	}
+	return &wspReply{Status: 200, ContentType: webserver.TypeWML, Payload: []byte(deck.WML())}
+}

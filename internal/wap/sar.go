@@ -1,0 +1,194 @@
+package wap
+
+import (
+	"time"
+
+	"mcommerce/internal/simnet"
+)
+
+// WTP segmentation and reassembly (SAR): messages larger than MaxPDU split
+// into segments; the receiver reassembles and requests missing segments
+// selectively, so losing one fragment of a large deck costs one fragment's
+// retransmission instead of the whole message.
+//
+// Scheme (simplified from WTP's group-ack design):
+//
+//   - the sender transmits all segments once; its normal retry timer
+//     re-sends only segment 0 as a poll;
+//   - the receiver, once it has any segment of a group, runs a gap timer:
+//     when it fires with the group incomplete, it sends a wtpSarNack
+//     listing missing indexes;
+//   - the sender answers a nack with exactly the missing segments;
+//   - on completion the receiver processes the reassembled message as if
+//     it had arrived whole (invoke dedupe, result ack and so on apply
+//     unchanged).
+
+// wtpSegment is one fragment of a segmented invoke or result. The Go value
+// payload travels on segment 0; other segments carry only wire weight.
+type wtpSegment struct {
+	TID uint32
+	// Result distinguishes result groups from invoke groups.
+	Result bool
+	Index  int
+	Count  int
+	// Body is present on segment 0 only.
+	Body any
+	// TotalBytes is the original message's payload size.
+	TotalBytes int
+	// SegBytes is this segment's share of the payload.
+	SegBytes int
+}
+
+// wtpSarNack asks the group's sender for missing segments.
+type wtpSarNack struct {
+	TID     uint32
+	Result  bool
+	Missing []int
+}
+
+// sarGroupKey identifies a reassembly in progress.
+type sarGroupKey struct {
+	from   simnet.Addr
+	tid    uint32
+	result bool
+}
+
+// sarAssembly is the receiver-side state of one group.
+type sarAssembly struct {
+	count    int
+	received map[int]bool
+	body     any
+	total    int
+	gapTimer *simnet.Timer
+	done     bool
+	nacks    int
+}
+
+// sarSendState is the sender-side state of one group (kept until the
+// transaction completes, for selective retransmission).
+type sarSendState struct {
+	to     simnet.Addr
+	tid    uint32
+	result bool
+	count  int
+	body   any
+	total  int
+}
+
+// segBytes returns the payload share of segment i.
+func (s *sarSendState) segBytes(i int) int {
+	base := s.total / s.count
+	if i == s.count-1 {
+		return s.total - base*(s.count-1)
+	}
+	return base
+}
+
+// sendSegments transmits the listed segment indexes (nil means all).
+func (w *WTP) sendSegments(st *sarSendState, indexes []int) {
+	if indexes == nil {
+		indexes = make([]int, st.count)
+		for i := range indexes {
+			indexes[i] = i
+		}
+	}
+	for _, i := range indexes {
+		if i < 0 || i >= st.count {
+			continue
+		}
+		seg := &wtpSegment{
+			TID: st.tid, Result: st.result, Index: i, Count: st.count,
+			TotalBytes: st.total, SegBytes: st.segBytes(i),
+		}
+		if i == 0 {
+			seg.Body = st.body
+		}
+		simnet.UDPOf(w.node).Send(w.port, st.to, seg, seg.SegBytes+wtpHeaderBytes)
+	}
+}
+
+// onSegment handles an arriving fragment, reassembling and eventually
+// injecting the whole message into the normal paths.
+func (w *WTP) onSegment(from simnet.Addr, seg *wtpSegment) {
+	key := sarGroupKey{from: from, tid: seg.TID, result: seg.Result}
+	as, ok := w.assemblies[key]
+	if !ok {
+		as = &sarAssembly{count: seg.Count, received: make(map[int]bool)}
+		w.assemblies[key] = as
+	}
+	if as.done {
+		// Late duplicate for a completed group: for invokes the normal
+		// dedupe path answers; just ignore fragments.
+		return
+	}
+	if !as.received[seg.Index] {
+		as.received[seg.Index] = true
+		as.total = seg.TotalBytes
+		if seg.Index == 0 {
+			as.body = seg.Body
+		}
+	}
+	if len(as.received) >= as.count {
+		as.done = true
+		if as.gapTimer != nil {
+			as.gapTimer.Cancel()
+		}
+		w.stats.SARReassembled++
+		w.dispatchReassembled(from, key, as)
+		// Keep the tombstone briefly, then reclaim.
+		hold := w.cfg.RetryInterval * time.Duration(w.cfg.MaxRetries+1)
+		w.node.Sched().After(hold, func() { delete(w.assemblies, key) })
+		return
+	}
+	// Incomplete: (re)arm the gap timer to nack missing segments.
+	if as.gapTimer == nil || !as.gapTimer.Pending() {
+		as.gapTimer = w.node.Sched().After(w.cfg.RetryInterval/2, func() {
+			w.nackMissing(from, key, as)
+		})
+	}
+}
+
+// nackMissing requests the group's missing segments and re-arms itself,
+// giving up (and discarding the partial group) after MaxRetries rounds.
+func (w *WTP) nackMissing(from simnet.Addr, key sarGroupKey, as *sarAssembly) {
+	if as.done {
+		return
+	}
+	as.nacks++
+	if as.nacks > w.cfg.MaxRetries {
+		delete(w.assemblies, key)
+		return
+	}
+	var missing []int
+	for i := 0; i < as.count; i++ {
+		if !as.received[i] {
+			missing = append(missing, i)
+		}
+	}
+	w.stats.SARNacks++
+	nack := &wtpSarNack{TID: key.tid, Result: key.result, Missing: missing}
+	simnet.UDPOf(w.node).Send(w.port, from, nack, wtpHeaderBytes+2*len(missing))
+	as.gapTimer = w.node.Sched().After(w.cfg.RetryInterval, func() {
+		w.nackMissing(from, key, as)
+	})
+}
+
+// dispatchReassembled feeds a completed group into the ordinary
+// invoke/result machinery.
+func (w *WTP) dispatchReassembled(from simnet.Addr, key sarGroupKey, as *sarAssembly) {
+	if key.result {
+		w.onResult(from, &wtpResult{TID: key.tid, Body: as.body, Bytes: as.total})
+		return
+	}
+	w.onInvoke(from, &wtpInvoke{TID: key.tid, Body: as.body, Bytes: as.total})
+}
+
+// onSarNack answers with the requested segments.
+func (w *WTP) onSarNack(from simnet.Addr, m *wtpSarNack) {
+	st, ok := w.sarSends[sarGroupKey{from: from, tid: m.TID, result: m.Result}]
+	if !ok {
+		return
+	}
+	w.stats.SARSelectiveRtx += uint64(len(m.Missing))
+	w.sendSegments(st, m.Missing)
+}

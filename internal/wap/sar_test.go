@@ -1,0 +1,195 @@
+package wap_test
+
+import (
+	"testing"
+	"time"
+
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/wap"
+)
+
+// bigBody is a stand-in for a large deck; only its declared size matters
+// on the wire.
+type bigBody struct {
+	Label string
+}
+
+func TestSARLargeResultReassembles(t *testing.T) {
+	wcfg := wap.WTPConfig{MaxPDU: 1000}
+	net, init, resp, l := wtpPair(t, 41, simnet.LinkConfig{Rate: simnet.Mbps, Delay: 10 * time.Millisecond}, wcfg)
+	const total = 9500 // -> 10 segments
+	resp.Handle(func(from simnet.Addr, body any, respond func(any, int)) {
+		respond(&bigBody{Label: "deck"}, total)
+	})
+	var got any
+	var gotBytes int
+	init.Invoke(resp.Addr(), "get", 3, func(result any, bytes int, err error) {
+		if err != nil {
+			t.Errorf("invoke: %v", err)
+			return
+		}
+		got, gotBytes = result, bytes
+	})
+	if err := net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, ok := got.(*bigBody)
+	if !ok || b.Label != "deck" {
+		t.Fatalf("result = %#v", got)
+	}
+	if gotBytes != total {
+		t.Errorf("bytes = %d, want %d", gotBytes, total)
+	}
+	if s := resp.Stats(); s.SARSegmented != 1 {
+		t.Errorf("responder SARSegmented = %d", s.SARSegmented)
+	}
+	if s := init.Stats(); s.SARReassembled != 1 {
+		t.Errorf("initiator SARReassembled = %d", s.SARReassembled)
+	}
+	// All 10 segments crossed the wire (plus the tiny invoke + ack).
+	if l.Delivered[1] < 10 {
+		t.Errorf("only %d frames responder->initiator", l.Delivered[1])
+	}
+}
+
+func TestSARSelectiveRetransmissionUnderLoss(t *testing.T) {
+	wcfg := wap.WTPConfig{MaxPDU: 1000, RetryInterval: 400 * time.Millisecond, MaxRetries: 20}
+	net, init, resp, _ := wtpPair(t, 42, simnet.LinkConfig{Rate: simnet.Mbps, Delay: 10 * time.Millisecond, Loss: 0.15}, wcfg)
+	const total = 20_000 // 20 segments; at 15% loss several will drop
+	resp.Handle(func(from simnet.Addr, body any, respond func(any, int)) {
+		respond(&bigBody{Label: "big"}, total)
+	})
+	done := false
+	init.Invoke(resp.Addr(), "get", 3, func(result any, bytes int, err error) {
+		if err != nil {
+			t.Errorf("invoke: %v", err)
+			return
+		}
+		done = bytes == total
+	})
+	if err := net.Sched.RunFor(5 * time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !done {
+		t.Fatal("large result never completed under loss")
+	}
+	ist := init.Stats()
+	rst := resp.Stats()
+	if ist.SARNacks == 0 {
+		t.Error("no selective-retransmission requests despite loss")
+	}
+	if rst.SARSelectiveRtx == 0 {
+		t.Error("responder re-sent no segments selectively")
+	}
+	// The whole point: selective retransmission moves far fewer segments
+	// than re-sending the full 20-segment group per loss event would.
+	if rst.SARSelectiveRtx >= 20 {
+		t.Logf("note: %d selective retransmissions (heavy loss round)", rst.SARSelectiveRtx)
+	}
+}
+
+func TestSARLargeInvokeToo(t *testing.T) {
+	wcfg := wap.WTPConfig{MaxPDU: 500}
+	net, init, resp, _ := wtpPair(t, 43, simnet.LinkConfig{Rate: simnet.Mbps, Delay: 5 * time.Millisecond}, wcfg)
+	var gotBytes int
+	resp.Handle(func(from simnet.Addr, body any, respond func(any, int)) {
+		b, _ := body.(*bigBody)
+		if b == nil || b.Label != "upload" {
+			t.Errorf("invoke body = %#v", body)
+		}
+		respond("ok", 2)
+	})
+	ok := false
+	init.Invoke(resp.Addr(), &bigBody{Label: "upload"}, 3000, func(result any, _ int, err error) {
+		if err != nil {
+			t.Errorf("invoke: %v", err)
+			return
+		}
+		ok = result == "ok"
+	})
+	if err := net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ok {
+		t.Fatal("segmented invoke failed")
+	}
+	if init.Stats().SARSegmented != 1 || resp.Stats().SARReassembled != 1 {
+		t.Errorf("sar stats: init=%+v resp=%+v", init.Stats(), resp.Stats())
+	}
+	_ = gotBytes
+}
+
+func TestSARDisabled(t *testing.T) {
+	wcfg := wap.WTPConfig{MaxPDU: -1} // explicit off
+	net, init, resp, l := wtpPair(t, 44, simnet.LinkConfig{Rate: simnet.Mbps, Delay: 5 * time.Millisecond}, wcfg)
+	resp.Handle(func(from simnet.Addr, body any, respond func(any, int)) {
+		respond(&bigBody{}, 9000)
+	})
+	ok := false
+	init.Invoke(resp.Addr(), "x", 1, func(_ any, bytes int, err error) {
+		ok = err == nil && bytes == 9000
+	})
+	if err := net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ok {
+		t.Fatal("transaction failed")
+	}
+	if resp.Stats().SARSegmented != 0 {
+		t.Error("SAR ran despite being disabled")
+	}
+	// The result crossed as one big frame.
+	if l.Delivered[1] != 1 {
+		t.Errorf("responder->initiator frames = %d, want 1", l.Delivered[1])
+	}
+}
+
+// TestSARBeatsWholeMessageRetransmission is the motivating comparison on a
+// radio-like link where loss is per bit (frame size matters): a 20 KB
+// result as a single 20 KB frame is lost with probability ~80% per attempt
+// at BER 1e-5, so whole-message retransmission rarely completes, while SAR
+// moves 1 KB segments (~8% loss each) and repairs the gaps selectively.
+func TestSARBeatsWholeMessageRetransmission(t *testing.T) {
+	run := func(maxPDU int, seed int64) (time.Duration, bool) {
+		wcfg := wap.WTPConfig{MaxPDU: maxPDU, RetryInterval: 500 * time.Millisecond, MaxRetries: 10}
+		net, init, resp, _ := wtpPair(t, seed, simnet.LinkConfig{
+			Rate: 200 * simnet.Kbps, Delay: 20 * time.Millisecond, BitErrorRate: 1e-5,
+		}, wcfg)
+		resp.Handle(func(from simnet.Addr, body any, respond func(any, int)) {
+			respond(&bigBody{}, 20_000)
+		})
+		var doneAt time.Duration
+		completed := false
+		init.Invoke(resp.Addr(), "x", 1, func(_ any, _ int, err error) {
+			if err == nil {
+				completed = true
+				doneAt = net.Sched.Now()
+			}
+		})
+		if err := net.Sched.RunFor(10 * time.Minute); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return doneAt, completed
+	}
+	var sarSum time.Duration
+	sarOK, wholeOK := 0, 0
+	for seed := int64(50); seed < 55; seed++ {
+		if d, ok := run(1000, seed); ok {
+			sarSum += d
+			sarOK++
+		}
+		if _, ok := run(-1, seed); ok {
+			wholeOK++
+		}
+	}
+	if sarOK != 5 {
+		t.Fatalf("SAR transfers completed %d/5", sarOK)
+	}
+	// Whole-message mode must do strictly worse: at ~80% frame loss with
+	// 10 retries, most runs abort entirely.
+	if wholeOK >= sarOK {
+		t.Errorf("whole-message completed %d/5, SAR %d/5 — SAR shows no benefit", wholeOK, sarOK)
+	}
+	t.Logf("SAR mean %v, completed %d/5; whole-message completed %d/5",
+		sarSum/time.Duration(sarOK), sarOK, wholeOK)
+}

@@ -1,0 +1,182 @@
+package wap
+
+import (
+	"mcommerce/internal/security"
+	"mcommerce/internal/simnet"
+)
+
+// Session is the client (mobile station) side of a WSP session with a WAP
+// gateway. All methods are event-driven on the simulation goroutine.
+type Session struct {
+	wtp       *WTP
+	gateway   simnet.Addr
+	id        uint32
+	ready     bool
+	suspended bool
+	// secure is the WTLS-lite record channel for sessions established
+	// with ConnectSecure; nil for plaintext sessions.
+	secure *security.Channel
+}
+
+// Secured reports whether the session runs over WTLS.
+func (s *Session) Secured() bool { return s.secure != nil }
+
+// Reply is a completed method's result as seen by the microbrowser.
+type Reply struct {
+	Status      int
+	ContentType string
+	Payload     []byte
+}
+
+// Connect establishes a WSP session with the gateway. accept lists content
+// types the client renders (nil means WMLC then WML). done fires with the
+// session or an error.
+func Connect(node *simnet.Node, gateway simnet.Addr, cfg WTPConfig, accept []string, done func(*Session, error)) {
+	if accept == nil {
+		accept = []string{"application/vnd.wap.wmlc", "text/vnd.wap.wml"}
+	}
+	s := &Session{wtp: NewWTPAny(node, cfg), gateway: gateway}
+	s.wtp.Invoke(gateway, &wspConnect{Accept: accept}, pduBytes(&wspConnect{Accept: accept}),
+		func(result any, _ int, err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			rep, ok := result.(*wspConnectReply)
+			if !ok {
+				done(nil, ErrNoSession)
+				return
+			}
+			if rep.SessionID == 0 {
+				// The gateway refused (it mandates WTLS).
+				done(nil, ErrSecurityRequired)
+				return
+			}
+			s.id = rep.SessionID
+			s.ready = true
+			done(s, nil)
+		})
+}
+
+// Established reports whether the session is usable.
+func (s *Session) Established() bool { return s.ready && !s.suspended }
+
+// Get fetches a URL through the gateway.
+func (s *Session) Get(u URL, done func(*Reply, error)) {
+	s.method("GET", u, nil, nil, done)
+}
+
+// Post submits a body to a URL through the gateway.
+func (s *Session) Post(u URL, contentType string, body []byte, done func(*Reply, error)) {
+	hdr := map[string]string{"content-type": contentType}
+	s.method("POST", u, hdr, body, done)
+}
+
+func (s *Session) method(method string, u URL, headers map[string]string, body []byte, done func(*Reply, error)) {
+	if !s.ready {
+		done(nil, ErrNoSession)
+		return
+	}
+	if s.suspended {
+		done(nil, ErrSuspended)
+		return
+	}
+	pdu := &wspMethod{SessionID: s.id, Method: method, URL: u, Headers: headers, Body: body}
+	s.invokePDU(pdu, func(result any, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		rep, ok := result.(*wspReply)
+		if !ok {
+			done(nil, ErrNoSession)
+			return
+		}
+		done(&Reply{Status: rep.Status, ContentType: rep.ContentType, Payload: rep.Payload}, nil)
+	})
+}
+
+// invokePDU runs one WSP transaction, sealing and unsealing when the
+// session is secured.
+func (s *Session) invokePDU(pdu any, handle func(any, error)) {
+	if s.secure == nil {
+		s.wtp.Invoke(s.gateway, pdu, pduBytes(pdu), func(result any, _ int, err error) {
+			handle(result, err)
+		})
+		return
+	}
+	sealed, err := s.sealPDU(pdu)
+	if err != nil {
+		handle(nil, err)
+		return
+	}
+	s.wtp.Invoke(s.gateway, sealed, pduBytes(sealed), func(result any, _ int, err error) {
+		if err != nil {
+			handle(nil, err)
+			return
+		}
+		// The gateway answers unencrypted only for envelope-level errors.
+		if rep, ok := result.(*wspReply); ok {
+			handle(rep, nil)
+			return
+		}
+		inner, err := s.openReply(result)
+		if err != nil {
+			handle(nil, err)
+			return
+		}
+		handle(inner, nil)
+	})
+}
+
+// Suspend pauses the session (e.g. before a bearer change). The gateway
+// retains session state.
+func (s *Session) Suspend(done func(error)) {
+	if !s.ready {
+		done(ErrNoSession)
+		return
+	}
+	pdu := &wspSuspend{SessionID: s.id}
+	s.invokePDU(pdu, func(_ any, err error) {
+		if err == nil {
+			s.suspended = true
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// Resume reactivates a suspended session.
+func (s *Session) Resume(done func(error)) {
+	if !s.ready {
+		done(ErrNoSession)
+		return
+	}
+	pdu := &wspResume{SessionID: s.id}
+	s.invokePDU(pdu, func(_ any, err error) {
+		if err == nil {
+			s.suspended = false
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// Disconnect ends the session.
+func (s *Session) Disconnect(done func(error)) {
+	if !s.ready {
+		if done != nil {
+			done(ErrNoSession)
+		}
+		return
+	}
+	pdu := &wspDisconnect{SessionID: s.id}
+	s.ready = false
+	s.invokePDU(pdu, func(_ any, err error) {
+		if done != nil {
+			done(err)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package wap
+
+import (
+	"errors"
+	"fmt"
+
+	"mcommerce/internal/security"
+	"mcommerce/internal/simnet"
+)
+
+// WSP errors.
+var (
+	// ErrNoSession reports a method on an unestablished or disconnected
+	// session.
+	ErrNoSession = errors.New("wap: no session")
+	// ErrSuspended reports a method on a suspended session.
+	ErrSuspended = errors.New("wap: session suspended")
+)
+
+// URL addresses a resource on an origin server in the wired network.
+type URL struct {
+	Origin simnet.Addr
+	Path   string
+}
+
+func (u URL) String() string { return fmt.Sprintf("%s%s", u.Origin, u.Path) }
+
+// WSP PDUs (carried as WTP transaction bodies).
+
+type wspConnect struct {
+	// Accept lists the content types the client renders, most preferred
+	// first (a microbrowser sends WMLC+WML).
+	Accept []string
+	// Hello carries the WTLS client hello when the session is secured.
+	Hello *security.Hello
+}
+
+type wspConnectReply struct {
+	// SessionID zero signals a refused connect.
+	SessionID uint32
+	// Hello carries the WTLS server hello on secured sessions.
+	Hello *security.Hello
+}
+
+type wspMethod struct {
+	SessionID uint32
+	Method    string // "GET" or "POST"
+	URL       URL
+	Headers   map[string]string
+	Body      []byte
+}
+
+// wspReply is a method result.
+type wspReply struct {
+	Status      int
+	ContentType string
+	Payload     []byte
+}
+
+type wspSuspend struct {
+	SessionID uint32
+}
+
+type wspResume struct {
+	SessionID uint32
+}
+
+type wspDisconnect struct {
+	SessionID uint32
+}
+
+// wspOK acknowledges suspend/resume/disconnect.
+type wspOK struct{}
+
+// pduBytes estimates a PDU's wire size.
+func pduBytes(body any) int {
+	switch m := body.(type) {
+	case *wspConnect:
+		n := 4
+		for _, a := range m.Accept {
+			n += len(a) + 1
+		}
+		if m.Hello != nil {
+			n += len(m.Hello.Nonce) + 2
+		}
+		return n
+	case *wspConnectReply:
+		n := 6
+		if m.Hello != nil {
+			n += len(m.Hello.Nonce) + len(m.Hello.Verify) + 2
+		}
+		return n
+	case *wspSecure:
+		return 6 + len(m.Record)
+	case *wspSecureReply:
+		return 2 + len(m.Record)
+	case *wspMethod:
+		n := 8 + len(m.Method) + len(m.URL.Path) + len(m.Body)
+		for k, v := range m.Headers {
+			n += len(k) + len(v) + 2
+		}
+		return n
+	case *wspReply:
+		return 6 + len(m.ContentType) + len(m.Payload)
+	case *wspSuspend, *wspResume, *wspDisconnect, *wspOK:
+		return 4
+	default:
+		return 4
+	}
+}

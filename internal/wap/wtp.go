@@ -1,0 +1,343 @@
+package wap
+
+import (
+	"errors"
+	"time"
+
+	"mcommerce/internal/simnet"
+)
+
+// GatewayPort is the well-known WAP gateway datagram port (the real
+// connectionless-session port is 9201).
+const GatewayPort simnet.Port = 9201
+
+// WTP errors.
+var (
+	// ErrAborted reports a transaction that exhausted its retries.
+	ErrAborted = errors.New("wap: transaction aborted")
+)
+
+// wtpHeaderBytes approximates the WTP+WSP header cost per message.
+const wtpHeaderBytes = 8
+
+// wtpInvoke initiates a transaction (class 2: result expected).
+type wtpInvoke struct {
+	TID   uint32
+	Body  any
+	Bytes int
+}
+
+// wtpResult carries the responder's answer.
+type wtpResult struct {
+	TID   uint32
+	Body  any
+	Bytes int
+}
+
+// wtpAck closes a transaction.
+type wtpAck struct {
+	TID uint32
+}
+
+// WTPConfig tunes the transaction layer.
+type WTPConfig struct {
+	// RetryInterval is the retransmission interval. Zero means 1.5s.
+	RetryInterval time.Duration
+	// MaxRetries bounds retransmissions per message. Zero means 4.
+	MaxRetries int
+	// MaxPDU is the segmentation threshold: messages larger than this
+	// are split into MaxPDU-sized segments with selective retransmission
+	// (WTP's SAR feature). Zero means 1400; negative disables SAR.
+	MaxPDU int
+}
+
+func (c WTPConfig) withDefaults() WTPConfig {
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 1500 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 4
+	}
+	if c.MaxPDU == 0 {
+		c.MaxPDU = 1400
+	}
+	return c
+}
+
+// WTPStats counts transaction-layer activity.
+type WTPStats struct {
+	Invokes     uint64
+	Results     uint64
+	Retransmits uint64
+	Duplicates  uint64
+	Aborts      uint64
+	// SAR counters (segmentation and reassembly, see sar.go).
+	SARSegmented    uint64 // messages sent segmented
+	SARReassembled  uint64 // groups completed at the receiver
+	SARNacks        uint64 // selective-retransmission requests sent
+	SARSelectiveRtx uint64 // segments re-sent in answer to nacks
+}
+
+// WTP is one endpoint's transaction layer: it can both initiate
+// transactions (Invoke) and respond to them (a registered handler).
+type WTP struct {
+	node *simnet.Node
+	port simnet.Port
+	cfg  WTPConfig
+
+	nextTID uint32
+	// initiator state
+	pending map[uint32]*wtpPending
+	// responder state
+	handler func(from simnet.Addr, body any, respond func(any, int))
+	served  map[respKey]*wtpServed
+
+	// SAR state (segmentation and reassembly).
+	assemblies map[sarGroupKey]*sarAssembly
+	sarSends   map[sarGroupKey]*sarSendState
+
+	stats WTPStats
+}
+
+type wtpPending struct {
+	to      simnet.Addr
+	inv     *wtpInvoke
+	done    func(any, int, error)
+	retries int
+	timer   *simnet.Timer
+}
+
+type respKey struct {
+	from simnet.Addr
+	tid  uint32
+}
+
+type wtpServed struct {
+	result  *wtpResult // nil while the handler is still working
+	to      simnet.Addr
+	acked   bool
+	retries int
+	timer   *simnet.Timer
+}
+
+// NewWTP binds a transaction endpoint to a node's datagram port.
+func NewWTP(node *simnet.Node, port simnet.Port, cfg WTPConfig) (*WTP, error) {
+	w := &WTP{
+		node:       node,
+		port:       port,
+		cfg:        cfg.withDefaults(),
+		pending:    make(map[uint32]*wtpPending),
+		served:     make(map[respKey]*wtpServed),
+		assemblies: make(map[sarGroupKey]*sarAssembly),
+		sarSends:   make(map[sarGroupKey]*sarSendState),
+	}
+	if err := simnet.UDPOf(node).Listen(port, w.deliver); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// NewWTPAny binds to an ephemeral port (client side).
+func NewWTPAny(node *simnet.Node, cfg WTPConfig) *WTP {
+	w := &WTP{
+		node:       node,
+		cfg:        cfg.withDefaults(),
+		pending:    make(map[uint32]*wtpPending),
+		served:     make(map[respKey]*wtpServed),
+		assemblies: make(map[sarGroupKey]*sarAssembly),
+		sarSends:   make(map[sarGroupKey]*sarSendState),
+	}
+	w.port = simnet.UDPOf(node).ListenAny(w.deliver)
+	return w
+}
+
+// Addr returns the endpoint's datagram address.
+func (w *WTP) Addr() simnet.Addr { return simnet.Addr{Node: w.node.ID, Port: w.port} }
+
+// Stats returns a snapshot of the endpoint's counters.
+func (w *WTP) Stats() WTPStats { return w.stats }
+
+// Handle registers the responder callback. The callback must eventually
+// call respond exactly once with the result body and its wire size.
+func (w *WTP) Handle(h func(from simnet.Addr, body any, respond func(any, int))) {
+	w.handler = h
+}
+
+// Invoke starts a class-2 transaction: body is delivered to the responder
+// at 'to', and done fires with the result (or ErrAborted).
+func (w *WTP) Invoke(to simnet.Addr, body any, bytes int, done func(result any, bytes int, err error)) {
+	w.nextTID++
+	p := &wtpPending{
+		to:   to,
+		inv:  &wtpInvoke{TID: w.nextTID, Body: body, Bytes: bytes},
+		done: done,
+	}
+	w.pending[p.inv.TID] = p
+	w.stats.Invokes++
+	w.sendInvoke(p)
+}
+
+func (w *WTP) sendInvoke(p *wtpPending) {
+	if st := w.maybeSegment(p.to, p.inv.TID, false, p.inv.Body, p.inv.Bytes); st != nil {
+		// Retries below poll with segment 0; nacks drive the rest.
+		w.sendSegments(st, nil)
+	} else {
+		simnet.UDPOf(w.node).Send(w.port, p.to, p.inv, p.inv.Bytes+wtpHeaderBytes)
+	}
+	p.timer = w.node.Sched().After(w.cfg.RetryInterval, func() {
+		p.retries++
+		if p.retries > w.cfg.MaxRetries {
+			delete(w.pending, p.inv.TID)
+			w.stats.Aborts++
+			if p.done != nil {
+				p.done(nil, 0, ErrAborted)
+			}
+			return
+		}
+		w.stats.Retransmits++
+		w.resendInvoke(p)
+	})
+}
+
+// resendInvoke retries an invoke: a segmented group polls with segment 0,
+// an unsegmented invoke goes out whole.
+func (w *WTP) resendInvoke(p *wtpPending) {
+	if st, ok := w.sarSends[sarGroupKey{from: p.to, tid: p.inv.TID, result: false}]; ok {
+		w.sendSegments(st, []int{0})
+		p.timer = w.node.Sched().After(w.cfg.RetryInterval, func() {
+			p.retries++
+			if p.retries > w.cfg.MaxRetries {
+				delete(w.pending, p.inv.TID)
+				delete(w.sarSends, sarGroupKey{from: p.to, tid: p.inv.TID, result: false})
+				w.stats.Aborts++
+				if p.done != nil {
+					p.done(nil, 0, ErrAborted)
+				}
+				return
+			}
+			w.stats.Retransmits++
+			w.resendInvoke(p)
+		})
+		return
+	}
+	w.sendInvoke(p)
+}
+
+// maybeSegment registers a SAR send when the message exceeds MaxPDU,
+// returning its state (nil when the message goes whole).
+func (w *WTP) maybeSegment(to simnet.Addr, tid uint32, result bool, body any, bytes int) *sarSendState {
+	if w.cfg.MaxPDU <= 0 || bytes <= w.cfg.MaxPDU {
+		return nil
+	}
+	count := (bytes + w.cfg.MaxPDU - 1) / w.cfg.MaxPDU
+	st := &sarSendState{
+		to: to, tid: tid, result: result,
+		count: count, body: body, total: bytes,
+	}
+	w.sarSends[sarGroupKey{from: to, tid: tid, result: result}] = st
+	w.stats.SARSegmented++
+	return st
+}
+
+func (w *WTP) deliver(from simnet.Addr, body any, _ int) {
+	switch m := body.(type) {
+	case *wtpInvoke:
+		w.onInvoke(from, m)
+	case *wtpResult:
+		w.onResult(from, m)
+	case *wtpAck:
+		w.onAck(from, m)
+	case *wtpSegment:
+		w.onSegment(from, m)
+	case *wtpSarNack:
+		w.onSarNack(from, m)
+	}
+}
+
+func (w *WTP) onInvoke(from simnet.Addr, m *wtpInvoke) {
+	key := respKey{from: from, tid: m.TID}
+	if sv, ok := w.served[key]; ok {
+		// Duplicate invoke: retransmit the result if ready.
+		w.stats.Duplicates++
+		if sv.result != nil && !sv.acked {
+			w.sendResult(sv, key)
+		}
+		return
+	}
+	if w.handler == nil {
+		return
+	}
+	sv := &wtpServed{to: from}
+	w.served[key] = sv
+	responded := false
+	w.handler(from, m.Body, func(result any, bytes int) {
+		if responded {
+			return
+		}
+		responded = true
+		sv.result = &wtpResult{TID: m.TID, Body: result, Bytes: bytes}
+		w.stats.Results++
+		w.sendResult(sv, key)
+	})
+}
+
+func (w *WTP) sendResult(sv *wtpServed, key respKey) {
+	gk := sarGroupKey{from: sv.to, tid: sv.result.TID, result: true}
+	if st, ok := w.sarSends[gk]; ok {
+		// Retry: poll with segment 0.
+		w.sendSegments(st, []int{0})
+	} else if st := w.maybeSegment(sv.to, sv.result.TID, true, sv.result.Body, sv.result.Bytes); st != nil {
+		w.sendSegments(st, nil)
+	} else {
+		simnet.UDPOf(w.node).Send(w.port, sv.to, sv.result, sv.result.Bytes+wtpHeaderBytes)
+	}
+	if sv.timer != nil {
+		sv.timer.Cancel()
+	}
+	sv.timer = w.node.Sched().After(w.cfg.RetryInterval, func() {
+		if sv.acked {
+			return
+		}
+		sv.retries++
+		if sv.retries > w.cfg.MaxRetries {
+			delete(w.served, key)
+			return
+		}
+		w.stats.Retransmits++
+		w.sendResult(sv, key)
+	})
+}
+
+func (w *WTP) onResult(from simnet.Addr, m *wtpResult) {
+	p, ok := w.pending[m.TID]
+	if !ok || p.to != from {
+		// Late result after we gave up (or duplicate): ack so the
+		// responder stops retransmitting.
+		simnet.UDPOf(w.node).Send(w.port, from, &wtpAck{TID: m.TID}, wtpHeaderBytes)
+		return
+	}
+	delete(w.pending, m.TID)
+	delete(w.sarSends, sarGroupKey{from: from, tid: m.TID, result: false})
+	if p.timer != nil {
+		p.timer.Cancel()
+	}
+	simnet.UDPOf(w.node).Send(w.port, from, &wtpAck{TID: m.TID}, wtpHeaderBytes)
+	if p.done != nil {
+		p.done(m.Body, m.Bytes, nil)
+	}
+}
+
+func (w *WTP) onAck(from simnet.Addr, m *wtpAck) {
+	key := respKey{from: from, tid: m.TID}
+	if sv, ok := w.served[key]; ok {
+		sv.acked = true
+		delete(w.sarSends, sarGroupKey{from: from, tid: m.TID, result: true})
+		if sv.timer != nil {
+			sv.timer.Cancel()
+		}
+		// Keep the tombstone briefly for duplicate suppression, then
+		// reclaim it.
+		hold := w.cfg.RetryInterval * time.Duration(w.cfg.MaxRetries+1)
+		w.node.Sched().After(hold, func() { delete(w.served, key) })
+	}
+}

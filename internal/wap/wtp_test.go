@@ -1,0 +1,161 @@
+package wap_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/wap"
+)
+
+// wtpPair builds two nodes joined by a configurable link, with a responder
+// WTP on b and an initiator on a.
+func wtpPair(t testing.TB, seed int64, cfg simnet.LinkConfig, wcfg wap.WTPConfig) (
+	*simnet.Network, *wap.WTP, *wap.WTP, *simnet.Link,
+) {
+	t.Helper()
+	net := simnet.NewNetwork(simnet.NewScheduler(seed))
+	a := net.NewNode("initiator")
+	b := net.NewNode("responder")
+	l := simnet.Connect(a, b, cfg)
+	a.SetDefaultRoute(l.IfaceA())
+	b.SetDefaultRoute(l.IfaceB())
+	resp, err := wap.NewWTP(b, 9201, wcfg)
+	if err != nil {
+		t.Fatalf("NewWTP: %v", err)
+	}
+	init := wap.NewWTPAny(a, wcfg)
+	return net, init, resp, l
+}
+
+func TestWTPBasicTransaction(t *testing.T) {
+	net, init, resp, _ := wtpPair(t, 1, simnet.LinkConfig{Rate: simnet.Mbps, Delay: 10 * time.Millisecond}, wap.WTPConfig{})
+	resp.Handle(func(from simnet.Addr, body any, respond func(any, int)) {
+		s, _ := body.(string)
+		respond("echo:"+s, 10)
+	})
+	var got any
+	init.Invoke(resp.Addr(), "ping", 4, func(result any, _ int, err error) {
+		if err != nil {
+			t.Errorf("invoke: %v", err)
+			return
+		}
+		got = result
+	})
+	if err := net.Sched.RunFor(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != "echo:ping" {
+		t.Fatalf("result = %v", got)
+	}
+	if s := resp.Stats(); s.Results != 1 || s.Duplicates != 0 {
+		t.Errorf("responder stats = %+v", s)
+	}
+}
+
+func TestWTPHandlerRunsOncePerTransaction(t *testing.T) {
+	// 30% loss: invokes and results get retransmitted, but the
+	// application handler must execute exactly once per transaction.
+	wcfg := wap.WTPConfig{RetryInterval: 300 * time.Millisecond, MaxRetries: 20}
+	net, init, resp, _ := wtpPair(t, 2, simnet.LinkConfig{Rate: simnet.Mbps, Delay: 10 * time.Millisecond, Loss: 0.3}, wcfg)
+	executions := 0
+	resp.Handle(func(from simnet.Addr, body any, respond func(any, int)) {
+		executions++
+		respond("ok", 2)
+	})
+	const n = 10
+	completed := 0
+	for i := 0; i < n; i++ {
+		init.Invoke(resp.Addr(), i, 4, func(result any, _ int, err error) {
+			if err != nil {
+				t.Errorf("invoke: %v", err)
+				return
+			}
+			completed++
+		})
+	}
+	if err := net.Sched.RunFor(5 * time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if completed != n {
+		t.Fatalf("completed %d/%d", completed, n)
+	}
+	if executions != n {
+		t.Errorf("handler executed %d times for %d transactions", executions, n)
+	}
+	if resp.Stats().Duplicates == 0 && init.Stats().Retransmits == 0 {
+		t.Error("test exercised no retransmissions — loss model broken?")
+	}
+}
+
+func TestWTPInvokeCallbackRunsOnce(t *testing.T) {
+	// Duplicate results (retransmitted by the responder when the ack is
+	// lost) must not re-fire the initiator's callback.
+	wcfg := wap.WTPConfig{RetryInterval: 200 * time.Millisecond, MaxRetries: 20}
+	net, init, resp, _ := wtpPair(t, 3, simnet.LinkConfig{Rate: simnet.Mbps, Delay: 5 * time.Millisecond, Loss: 0.3}, wcfg)
+	resp.Handle(func(from simnet.Addr, body any, respond func(any, int)) {
+		respond("r", 1)
+	})
+	fires := 0
+	init.Invoke(resp.Addr(), "x", 1, func(any, int, error) { fires++ })
+	if err := net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fires != 1 {
+		t.Errorf("callback fired %d times", fires)
+	}
+}
+
+func TestWTPAbortsWhenResponderGone(t *testing.T) {
+	wcfg := wap.WTPConfig{RetryInterval: 100 * time.Millisecond, MaxRetries: 3}
+	net, init, _, l := wtpPair(t, 4, simnet.LinkConfig{Rate: simnet.Mbps}, wcfg)
+	l.IfaceB().Up = false
+	var gotErr error
+	init.Invoke(simnet.Addr{Node: l.IfaceB().Node.ID, Port: 9201}, "x", 1, func(_ any, _ int, err error) {
+		gotErr = err
+	})
+	if err := net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(gotErr, wap.ErrAborted) {
+		t.Errorf("err = %v, want ErrAborted", gotErr)
+	}
+	if init.Stats().Aborts != 1 {
+		t.Errorf("Aborts = %d", init.Stats().Aborts)
+	}
+}
+
+func TestWTPSlowHandlerRespondsLate(t *testing.T) {
+	// The responder may answer asynchronously (the gateway fetches from
+	// origin first); duplicate invokes arriving meanwhile must not break
+	// the single-response contract.
+	wcfg := wap.WTPConfig{RetryInterval: 150 * time.Millisecond, MaxRetries: 10}
+	net, init, resp, _ := wtpPair(t, 5, simnet.LinkConfig{Rate: simnet.Mbps, Delay: 5 * time.Millisecond}, wcfg)
+	sched := net.Sched
+	handlerRuns := 0
+	resp.Handle(func(from simnet.Addr, body any, respond func(any, int)) {
+		handlerRuns++
+		sched.After(time.Second, func() { respond("late", 4) }) // > 6 retry intervals
+	})
+	var got any
+	init.Invoke(resp.Addr(), "q", 1, func(result any, _ int, err error) {
+		if err != nil {
+			t.Errorf("invoke: %v", err)
+			return
+		}
+		got = result
+	})
+	if err := net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != "late" {
+		t.Fatalf("result = %v", got)
+	}
+	if handlerRuns != 1 {
+		t.Errorf("handler ran %d times despite duplicate invokes", handlerRuns)
+	}
+	if resp.Stats().Duplicates == 0 {
+		t.Error("expected duplicate invokes while the handler was pending")
+	}
+}

@@ -1,0 +1,98 @@
+package webserver
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"strings"
+)
+
+// The paper's Section 7 singles out Apache's "DBM-based authentication
+// databases" as a host-computer feature. AuthDB is that feature: a user
+// database of salted credential digests plus a middleware-style wrapper
+// that guards handlers with HTTP basic authentication.
+
+// AuthDB is a user database for basic authentication. The zero value is
+// unusable; create with NewAuthDB.
+type AuthDB struct {
+	realm string
+	salt  []byte
+	users map[string][]byte // name -> HMAC(salt, password)
+}
+
+// NewAuthDB creates an empty user database for a realm.
+func NewAuthDB(realm string, salt []byte) *AuthDB {
+	return &AuthDB{
+		realm: realm,
+		salt:  append([]byte(nil), salt...),
+		users: make(map[string][]byte),
+	}
+}
+
+// SetPassword adds or updates a user.
+func (a *AuthDB) SetPassword(user, password string) {
+	a.users[user] = a.digest(password)
+}
+
+// RemoveUser deletes a user.
+func (a *AuthDB) RemoveUser(user string) { delete(a.users, user) }
+
+// Check verifies a user/password pair.
+func (a *AuthDB) Check(user, password string) bool {
+	want, ok := a.users[user]
+	if !ok {
+		return false
+	}
+	return hmac.Equal(want, a.digest(password))
+}
+
+func (a *AuthDB) digest(password string) []byte {
+	mac := hmac.New(sha256.New, a.salt)
+	mac.Write([]byte(password))
+	return mac.Sum(nil)
+}
+
+// BasicCredentials extracts the user/password of an Authorization: Basic
+// header.
+func BasicCredentials(r *Request) (user, password string, ok bool) {
+	h := r.Header("authorization")
+	const prefix = "Basic "
+	if !strings.HasPrefix(h, prefix) {
+		return "", "", false
+	}
+	raw, err := base64.StdEncoding.DecodeString(h[len(prefix):])
+	if err != nil {
+		return "", "", false
+	}
+	i := strings.IndexByte(string(raw), ':')
+	if i < 0 {
+		return "", "", false
+	}
+	return string(raw[:i]), string(raw[i+1:]), true
+}
+
+// BasicAuthHeader renders credentials for the Authorization header
+// (client side).
+func BasicAuthHeader(user, password string) string {
+	return "Basic " + base64.StdEncoding.EncodeToString([]byte(user+":"+password))
+}
+
+// Protect wraps a handler with basic authentication against the database:
+// requests without valid credentials receive 401 with a WWW-Authenticate
+// challenge. The authenticated user name is stored in the request header
+// "x-authenticated-user" for the inner handler.
+func (a *AuthDB) Protect(h Handler) Handler {
+	return func(r *Request) *Response {
+		user, pass, ok := BasicCredentials(r)
+		if !ok || !a.Check(user, pass) {
+			resp := Error(401, "authentication required")
+			resp.Headers["www-authenticate"] = `Basic realm="` + a.realm + `"`
+			return resp
+		}
+		if r.Headers == nil {
+			r.Headers = make(map[string]string)
+		}
+		r.Headers["x-authenticated-user"] = user
+		return h(r)
+	}
+}

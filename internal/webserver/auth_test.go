@@ -1,0 +1,101 @@
+package webserver_test
+
+import (
+	"testing"
+
+	"mcommerce/internal/webserver"
+)
+
+func TestAuthDBCheck(t *testing.T) {
+	db := webserver.NewAuthDB("intranet", []byte("salt"))
+	db.SetPassword("ann", "s3cret")
+	if !db.Check("ann", "s3cret") {
+		t.Error("valid credentials rejected")
+	}
+	if db.Check("ann", "wrong") {
+		t.Error("wrong password accepted")
+	}
+	if db.Check("ghost", "s3cret") {
+		t.Error("unknown user accepted")
+	}
+	db.SetPassword("ann", "newpass")
+	if db.Check("ann", "s3cret") {
+		t.Error("old password still valid after change")
+	}
+	db.RemoveUser("ann")
+	if db.Check("ann", "newpass") {
+		t.Error("removed user accepted")
+	}
+}
+
+func TestBasicCredentialsParsing(t *testing.T) {
+	r := &webserver.Request{Headers: map[string]string{
+		"authorization": webserver.BasicAuthHeader("ann", "pa:ss"),
+	}}
+	user, pass, ok := webserver.BasicCredentials(r)
+	if !ok || user != "ann" || pass != "pa:ss" {
+		t.Errorf("parsed %q %q %v", user, pass, ok)
+	}
+	bad := []string{"", "Basic", "Basic !!!", "Bearer xyz", "Basic " + "bm9jb2xvbg=="} // "nocolon"
+	for _, h := range bad {
+		r := &webserver.Request{Headers: map[string]string{"authorization": h}}
+		if _, _, ok := webserver.BasicCredentials(r); ok {
+			t.Errorf("accepted malformed header %q", h)
+		}
+	}
+}
+
+func TestProtectEndToEnd(t *testing.T) {
+	w := newWebTopo(t)
+	db := webserver.NewAuthDB("ops", []byte("salt"))
+	db.SetPassword("admin", "hunter2")
+	w.server.Handle("/admin", db.Protect(func(r *webserver.Request) *webserver.Response {
+		return webserver.Text("hello " + r.Header("x-authenticated-user"))
+	}))
+
+	// No credentials: 401 with a challenge.
+	var status int
+	var challenge string
+	w.client.Get(w.server.Addr(), "/admin", nil, func(r *webserver.Response, err error) {
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		status = r.Status
+		challenge = r.Header("www-authenticate")
+	})
+	w.run(t)
+	if status != 401 || challenge == "" {
+		t.Fatalf("unauthenticated: status=%d challenge=%q", status, challenge)
+	}
+
+	// Wrong credentials: still 401.
+	w.client.Get(w.server.Addr(), "/admin", map[string]string{
+		"authorization": webserver.BasicAuthHeader("admin", "wrong"),
+	}, func(r *webserver.Response, err error) {
+		if err == nil {
+			status = r.Status
+		}
+	})
+	w.run(t)
+	if status != 401 {
+		t.Fatalf("wrong password: status=%d", status)
+	}
+
+	// Valid credentials: the inner handler runs with the user name.
+	var body string
+	w.client.Get(w.server.Addr(), "/admin", map[string]string{
+		"authorization": webserver.BasicAuthHeader("admin", "hunter2"),
+	}, func(r *webserver.Response, err error) {
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		status = r.Status
+		body = string(r.Body)
+	})
+	w.run(t)
+	if status != 200 || body != "hello admin" {
+		t.Errorf("authenticated: status=%d body=%q", status, body)
+	}
+}

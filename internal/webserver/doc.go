@@ -1,0 +1,18 @@
+// Package webserver implements the Web-server third of the paper's host
+// computers component (Section 7): "a server-side application program that
+// runs on a host computer and manages the Web pages", together with the
+// "application programs and support software" — a CGI-style handler
+// registry "for transferring information between a Web server and a CGI
+// program".
+//
+// The protocol is HTTP/1.0-shaped (request line, headers, Content-Length
+// framing, connection-close response delimiting) carried over the simulated
+// TCP of internal/mtcp. It is text on the wire, so message sizes measured
+// by the network are the real ones, but it is not byte-compatible with a
+// production HTTP stack (no chunked encoding, no persistent connections).
+//
+// Content negotiation follows Section 7's observation that application
+// programs "are aware of the targets, browsers or microbrowsers, they
+// serve": handlers can inspect the Accept header and return HTML to desktop
+// clients, WML to WAP gateways and cHTML to i-mode gateways.
+package webserver

@@ -1,0 +1,112 @@
+package webserver
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the message parser never panics on arbitrary bytes — it either
+// parses, waits for more input, or reports ErrMalformed.
+func TestParserNeverPanicsProperty(t *testing.T) {
+	prop := func(chunks [][]byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		p := &parser{
+			onRequest:  func(*Request) {},
+			onResponse: func(*Response) {},
+			onError:    func(error) {},
+		}
+		for _, c := range chunks {
+			p.feed(c)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a request survives arbitrary re-chunking of its wire bytes.
+func TestParserChunkingInvariance(t *testing.T) {
+	req := &Request{
+		Method:  "POST",
+		Path:    "/pay/authorize",
+		Query:   map[string]string{"a": "b c", "x": "1&2"},
+		Headers: map[string]string{"content-type": TypeJSON, "x-token": "t"},
+		Body:    []byte(`{"amount": 12, "note": "\r\n\r\n tricky"}`),
+	}
+	wire := EncodeRequest(req)
+	prop := func(cuts []uint16) bool {
+		var got *Request
+		p := &parser{onRequest: func(r *Request) { got = r }}
+		rest := wire
+		for _, c := range cuts {
+			if len(rest) == 0 {
+				break
+			}
+			n := int(c) % len(rest)
+			if n == 0 {
+				n = 1
+			}
+			p.feed(rest[:n])
+			rest = rest[n:]
+		}
+		p.feed(rest)
+		if got == nil {
+			return false
+		}
+		return got.Method == "POST" && got.Path == "/pay/authorize" &&
+			got.Query["a"] == "b c" && got.Query["x"] == "1&2" &&
+			got.Header("x-token") == "t" && string(got.Body) == string(req.Body)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Adversarial corpus for the HTTP-like parser.
+func TestParserAdversarialCorpus(t *testing.T) {
+	corpus := []string{
+		"",
+		"\r\n\r\n",
+		"GET\r\n\r\n",
+		"GET / HTTP/1.0\r\nbroken header\r\n\r\n",
+		"GET / HTTP/1.0\r\ncontent-length: -5\r\n\r\n",
+		"GET / HTTP/1.0\r\ncontent-length: notanumber\r\n\r\nx",
+		"HTTP/1.0 abc OK\r\n\r\n",
+		"HTTP/1.0\r\n\r\n",
+		strings.Repeat("A", 100_000) + "\r\n\r\n",
+		"GET /x?==&&= HTTP/1.0\r\n\r\n",
+		"GET /%zz%%1 HTTP/1.0\r\n\r\n",
+		"POST / HTTP/1.0\r\ncontent-length: 3\r\n\r\nab", // short body: waits
+	}
+	for _, src := range corpus {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on %q: %v", src, r)
+				}
+			}()
+			p := &parser{onRequest: func(*Request) {}, onResponse: func(*Response) {}, onError: func(error) {}}
+			p.feed([]byte(src))
+		}()
+	}
+}
+
+// Pipelined messages in one buffer must all parse.
+func TestParserPipelinedMessages(t *testing.T) {
+	var wire []byte
+	for i := 0; i < 3; i++ {
+		wire = append(wire, EncodeRequest(&Request{Method: "GET", Path: "/a"})...)
+	}
+	n := 0
+	p := &parser{onRequest: func(*Request) { n++ }}
+	p.feed(wire)
+	if n != 3 {
+		t.Errorf("parsed %d pipelined requests, want 3", n)
+	}
+}

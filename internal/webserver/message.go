@@ -1,0 +1,363 @@
+package webserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mcommerce/internal/simnet"
+)
+
+// Common media types used for content negotiation across the system.
+const (
+	TypeHTML  = "text/html"
+	TypeWML   = "text/vnd.wap.wml"
+	TypeWMLC  = "application/vnd.wap.wmlc"
+	TypeCHTML = "text/chtml"
+	TypeJSON  = "application/json"
+	TypeText  = "text/plain"
+	TypeBytes = "application/octet-stream"
+)
+
+// ErrMalformed reports an unparseable message.
+var ErrMalformed = errors.New("webserver: malformed message")
+
+// Request is an HTTP/1.0-style request.
+type Request struct {
+	Method  string
+	Path    string            // without query string
+	Query   map[string]string // decoded query parameters
+	Headers map[string]string // canonicalized to lower-case names
+	Body    []byte
+	// Remote is the requesting peer (filled in by the server).
+	Remote simnet.Addr
+}
+
+// Header returns a header value by case-insensitive name.
+func (r *Request) Header(name string) string { return r.Headers[strings.ToLower(name)] }
+
+// Accepts reports whether the request's Accept header admits the media
+// type. An absent Accept header accepts everything.
+func (r *Request) Accepts(mediaType string) bool {
+	acc := r.Header("Accept")
+	if acc == "" {
+		return true
+	}
+	for _, part := range strings.Split(acc, ",") {
+		part = strings.TrimSpace(part)
+		if i := strings.IndexByte(part, ';'); i >= 0 {
+			part = strings.TrimSpace(part[:i])
+		}
+		if part == "*/*" || part == mediaType {
+			return true
+		}
+		if strings.HasSuffix(part, "/*") && strings.HasPrefix(mediaType, strings.TrimSuffix(part, "*")) {
+			return true
+		}
+	}
+	return false
+}
+
+// Response is an HTTP/1.0-style response.
+type Response struct {
+	Status  int
+	Headers map[string]string
+	Body    []byte
+}
+
+// Header returns a response header by case-insensitive name.
+func (r *Response) Header(name string) string { return r.Headers[strings.ToLower(name)] }
+
+// NewResponse builds a response with a content type.
+func NewResponse(status int, contentType string, body []byte) *Response {
+	return &Response{
+		Status:  status,
+		Headers: map[string]string{"content-type": contentType},
+		Body:    body,
+	}
+}
+
+// Text returns a 200 text/plain response.
+func Text(body string) *Response { return NewResponse(200, TypeText, []byte(body)) }
+
+// HTML returns a 200 text/html response.
+func HTML(body string) *Response { return NewResponse(200, TypeHTML, []byte(body)) }
+
+// Error returns an error response with a plain-text body.
+func Error(status int, msg string) *Response { return NewResponse(status, TypeText, []byte(msg)) }
+
+// statusText maps the status codes the system uses.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 302:
+		return "Found"
+	case 400:
+		return "Bad Request"
+	case 401:
+		return "Unauthorized"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 409:
+		return "Conflict"
+	case 500:
+		return "Internal Server Error"
+	case 502:
+		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status"
+	}
+}
+
+// EncodeRequest serializes a request to its wire form.
+func EncodeRequest(r *Request) []byte {
+	var b strings.Builder
+	path := r.Path
+	if len(r.Query) > 0 {
+		keys := make([]string, 0, len(r.Query))
+		for k := range r.Query {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, escapeQuery(k)+"="+escapeQuery(r.Query[k]))
+		}
+		path += "?" + strings.Join(parts, "&")
+	}
+	fmt.Fprintf(&b, "%s %s HTTP/1.0\r\n", r.Method, path)
+	writeHeaders(&b, r.Headers, len(r.Body))
+	b.Write(r.Body)
+	return []byte(b.String())
+}
+
+// EncodeResponse serializes a response to its wire form.
+func EncodeResponse(r *Response) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.0 %d %s\r\n", r.Status, statusText(r.Status))
+	writeHeaders(&b, r.Headers, len(r.Body))
+	b.Write(r.Body)
+	return []byte(b.String())
+}
+
+func writeHeaders(b *strings.Builder, hs map[string]string, bodyLen int) {
+	keys := make([]string, 0, len(hs))
+	for k := range hs {
+		if strings.ToLower(k) == "content-length" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s: %s\r\n", k, hs[k])
+	}
+	fmt.Fprintf(b, "content-length: %d\r\n\r\n", bodyLen)
+}
+
+// ParseRequest parses a complete request from its wire form.
+func ParseRequest(wire []byte) (*Request, error) {
+	var out *Request
+	var perr error
+	p := &parser{
+		onRequest: func(r *Request) { out = r },
+		onError:   func(err error) { perr = err },
+	}
+	p.feed(wire)
+	if perr != nil {
+		return nil, perr
+	}
+	if out == nil {
+		return nil, ErrMalformed
+	}
+	return out, nil
+}
+
+// ParseResponse parses a complete response from its wire form.
+func ParseResponse(wire []byte) (*Response, error) {
+	var out *Response
+	var perr error
+	p := &parser{
+		onResponse: func(r *Response) { out = r },
+		onError:    func(err error) { perr = err },
+	}
+	p.feed(wire)
+	if perr != nil {
+		return nil, perr
+	}
+	if out == nil {
+		return nil, ErrMalformed
+	}
+	return out, nil
+}
+
+// parser accumulates bytes and yields complete messages. It parses both
+// requests and responses depending on which callback is installed.
+type parser struct {
+	buf        []byte
+	onRequest  func(*Request)
+	onResponse func(*Response)
+	onError    func(error)
+}
+
+func (p *parser) feed(b []byte) {
+	p.buf = append(p.buf, b...)
+	for p.tryParse() {
+	}
+}
+
+func (p *parser) tryParse() bool {
+	head := strings.Index(string(p.buf), "\r\n\r\n")
+	if head < 0 {
+		return false
+	}
+	headBytes := p.buf[:head]
+	lines := strings.Split(string(headBytes), "\r\n")
+	if len(lines) == 0 {
+		p.fail()
+		return false
+	}
+	headers := make(map[string]string)
+	for _, ln := range lines[1:] {
+		i := strings.IndexByte(ln, ':')
+		if i < 0 {
+			p.fail()
+			return false
+		}
+		headers[strings.ToLower(strings.TrimSpace(ln[:i]))] = strings.TrimSpace(ln[i+1:])
+	}
+	clen, _ := strconv.Atoi(headers["content-length"])
+	if clen < 0 {
+		clen = 0
+	}
+	total := head + 4 + clen
+	if len(p.buf) < total {
+		return false
+	}
+	body := append([]byte(nil), p.buf[head+4:total]...)
+	first := lines[0]
+	p.buf = p.buf[total:]
+
+	if strings.HasPrefix(first, "HTTP/") {
+		// Response: HTTP/1.0 200 OK
+		parts := strings.SplitN(first, " ", 3)
+		if len(parts) < 2 {
+			p.fail()
+			return false
+		}
+		status, err := strconv.Atoi(parts[1])
+		if err != nil {
+			p.fail()
+			return false
+		}
+		if p.onResponse != nil {
+			p.onResponse(&Response{Status: status, Headers: headers, Body: body})
+		}
+		return true
+	}
+	// Request: GET /path?q=1 HTTP/1.0
+	parts := strings.Split(first, " ")
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		p.fail()
+		return false
+	}
+	path, query := splitQuery(parts[1])
+	if p.onRequest != nil {
+		p.onRequest(&Request{
+			Method:  strings.ToUpper(parts[0]),
+			Path:    path,
+			Query:   query,
+			Headers: headers,
+			Body:    body,
+		})
+	}
+	return true
+}
+
+func (p *parser) fail() {
+	p.buf = nil
+	if p.onError != nil {
+		p.onError(ErrMalformed)
+	}
+}
+
+func splitQuery(target string) (string, map[string]string) {
+	i := strings.IndexByte(target, '?')
+	if i < 0 {
+		return target, nil
+	}
+	path := target[:i]
+	q := make(map[string]string)
+	for _, kv := range strings.Split(target[i+1:], "&") {
+		if kv == "" {
+			continue
+		}
+		j := strings.IndexByte(kv, '=')
+		if j < 0 {
+			q[unescapeQuery(kv)] = ""
+			continue
+		}
+		q[unescapeQuery(kv[:j])] = unescapeQuery(kv[j+1:])
+	}
+	return path, q
+}
+
+func escapeQuery(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ' ':
+			b.WriteByte('+')
+		case c == '&' || c == '=' || c == '%' || c == '+' || c == '?' || c == '#' || c < 0x20 || c > 0x7e:
+			fmt.Fprintf(&b, "%%%02X", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func unescapeQuery(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '+':
+			b.WriteByte(' ')
+		case s[i] == '%' && i+2 < len(s):
+			hi, e1 := hexVal(s[i+1])
+			lo, e2 := hexVal(s[i+2])
+			if e1 && e2 {
+				b.WriteByte(hi<<4 | lo)
+				i += 2
+			} else {
+				b.WriteByte(s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,207 @@
+package webserver
+
+import (
+	"fmt"
+	"strings"
+
+	"mcommerce/internal/mtcp"
+	"mcommerce/internal/simnet"
+)
+
+// Handler is the CGI interface of the host computer: application programs
+// receive a parsed request and produce a response. Returning nil yields a
+// 500.
+type Handler func(*Request) *Response
+
+// AsyncHandler is the event-driven handler form for application programs
+// that must wait on further network activity (gateways, proxies): respond
+// must eventually be called exactly once.
+type AsyncHandler func(r *Request, respond func(*Response))
+
+// Stats counts server activity.
+type Stats struct {
+	Requests    uint64
+	NotFound    uint64
+	Errors      uint64
+	BytesServed uint64
+}
+
+// Server is the Web-server component of a host computer: it accepts
+// simulated TCP connections, parses requests, dispatches them to registered
+// application programs and writes responses (HTTP/1.0 close semantics: one
+// request per connection).
+type Server struct {
+	stack *mtcp.Stack
+	port  simnet.Port
+	exact map[string]AsyncHandler
+	// prefixes are checked longest-first for paths registered with a
+	// trailing slash.
+	prefixes []prefixHandler
+
+	stats Stats
+}
+
+type prefixHandler struct {
+	prefix string
+	h      AsyncHandler
+}
+
+// New starts a web server on the stack's node at the given port.
+func New(stack *mtcp.Stack, port simnet.Port, opts mtcp.Options) (*Server, error) {
+	s := &Server{stack: stack, port: port, exact: make(map[string]AsyncHandler)}
+	if err := stack.Listen(port, opts, s.accept); err != nil {
+		return nil, fmt.Errorf("webserver: %w", err)
+	}
+	return s, nil
+}
+
+// Addr returns the server's address.
+func (s *Server) Addr() simnet.Addr {
+	return simnet.Addr{Node: s.stack.Node().ID, Port: s.port}
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Handle registers a synchronous application program. A pattern ending in
+// "/" matches by prefix (longest wins); otherwise the match is exact.
+// Registering the same pattern twice replaces the handler.
+func (s *Server) Handle(pattern string, h Handler) {
+	s.HandleAsync(pattern, func(r *Request, respond func(*Response)) {
+		respond(h(r))
+	})
+}
+
+// HandleAsync registers an event-driven application program with the same
+// pattern rules as Handle.
+func (s *Server) HandleAsync(pattern string, h AsyncHandler) {
+	if strings.HasSuffix(pattern, "/") {
+		for i := range s.prefixes {
+			if s.prefixes[i].prefix == pattern {
+				s.prefixes[i].h = h
+				return
+			}
+		}
+		s.prefixes = append(s.prefixes, prefixHandler{prefix: pattern, h: h})
+		// Keep longest-first order.
+		for i := len(s.prefixes) - 1; i > 0; i-- {
+			if len(s.prefixes[i].prefix) > len(s.prefixes[i-1].prefix) {
+				s.prefixes[i], s.prefixes[i-1] = s.prefixes[i-1], s.prefixes[i]
+			}
+		}
+		return
+	}
+	s.exact[pattern] = h
+}
+
+func (s *Server) route(path string) AsyncHandler {
+	if h, ok := s.exact[path]; ok {
+		return h
+	}
+	for _, ph := range s.prefixes {
+		if strings.HasPrefix(path, ph.prefix) {
+			return ph.h
+		}
+	}
+	return nil
+}
+
+func (s *Server) accept(c *mtcp.Conn) {
+	p := &parser{}
+	p.onError = func(error) {
+		s.stats.Errors++
+		s.respond(c, Error(400, "malformed request"))
+	}
+	p.onRequest = func(req *Request) {
+		req.Remote = c.RemoteAddr()
+		s.stats.Requests++
+		h := s.route(req.Path)
+		if h == nil {
+			s.stats.NotFound++
+			s.respond(c, Error(404, "not found: "+req.Path))
+			return
+		}
+		responded := false
+		h(req, func(resp *Response) {
+			if responded {
+				return
+			}
+			responded = true
+			if resp == nil {
+				s.stats.Errors++
+				resp = Error(500, "handler returned no response")
+			}
+			s.respond(c, resp)
+		})
+	}
+	c.OnData(p.feed)
+}
+
+func (s *Server) respond(c *mtcp.Conn, resp *Response) {
+	wire := EncodeResponse(resp)
+	s.stats.BytesServed += uint64(len(wire))
+	c.Send(wire)
+	c.Close()
+}
+
+// Client issues requests over the simulated network. Each request opens a
+// fresh connection (HTTP/1.0).
+type Client struct {
+	stack *mtcp.Stack
+	opts  mtcp.Options
+}
+
+// NewClient creates a client on the given stack. opts configures each
+// request's connection.
+func NewClient(stack *mtcp.Stack, opts mtcp.Options) *Client {
+	return &Client{stack: stack, opts: opts}
+}
+
+// Do sends a request to addr and invokes done with the response or error.
+func (c *Client) Do(addr simnet.Addr, req *Request, done func(*Response, error)) {
+	finished := false
+	finish := func(r *Response, err error) {
+		if finished {
+			return
+		}
+		finished = true
+		done(r, err)
+	}
+	c.stack.Dial(addr, c.opts, func(conn *mtcp.Conn, err error) {
+		if err != nil {
+			finish(nil, err)
+			return
+		}
+		p := &parser{}
+		p.onError = func(err error) { finish(nil, err) }
+		p.onResponse = func(resp *Response) {
+			finish(resp, nil)
+			conn.Close()
+		}
+		conn.OnData(p.feed)
+		conn.OnClose(func(err error) {
+			if err != nil {
+				finish(nil, err)
+				return
+			}
+			finish(nil, ErrMalformed) // closed before a full response
+		})
+		conn.Send(EncodeRequest(req))
+		conn.Close() // half-close: request fully sent
+	})
+}
+
+// Get issues a GET with optional headers.
+func (c *Client) Get(addr simnet.Addr, path string, headers map[string]string, done func(*Response, error)) {
+	c.Do(addr, &Request{Method: "GET", Path: path, Headers: headers}, done)
+}
+
+// Post issues a POST with a body.
+func (c *Client) Post(addr simnet.Addr, path string, contentType string, body []byte, done func(*Response, error)) {
+	c.Do(addr, &Request{
+		Method:  "POST",
+		Path:    path,
+		Headers: map[string]string{"content-type": contentType},
+		Body:    body,
+	}, done)
+}

@@ -1,0 +1,416 @@
+package wireless
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mcommerce/internal/simnet"
+)
+
+// Position is a point in the 2D deployment plane, in meters.
+type Position struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance to q in meters.
+func (p Position) Dist(q Position) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+func (p Position) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
+
+// Config tunes the radio model of a LAN.
+type Config struct {
+	// BitErrorRate is the per-bit error probability at close range.
+	// Wireless channels are error-prone (paper §5.2); the default models
+	// a moderately noisy channel. Errors grow with distance.
+	BitErrorRate float64
+	// MACOverhead is the fixed per-frame medium-access cost (DIFS/SIFS,
+	// preamble, link ACK), charged in addition to serialization time.
+	MACOverhead time.Duration
+	// HandoffLatency is the blackout while a station re-associates to a
+	// new AP. Frames to or from the station are lost during it.
+	HandoffLatency time.Duration
+	// Propagation is the one-way radio propagation delay (effectively
+	// negligible at WLAN ranges, but kept non-zero for causality).
+	Propagation time.Duration
+	// QueueLen is the per-channel drop-tail queue capacity in frames.
+	QueueLen int
+	// AdHoc permits direct station-to-station delivery when a station has
+	// no AP (paper §6.1).
+	AdHoc bool
+	// OnAssociate, if set, is invoked after a station associates with an
+	// AP (including after each handoff). Topology builders use it to
+	// repoint wired-side routes; Mobile IP uses it to trigger
+	// registration.
+	OnAssociate func(st *Station, ap *AP)
+	// OnHandoff, if set, is invoked when a handoff begins, with the old
+	// and new APs. Transport-layer optimizations ([2]'s fast retransmit)
+	// hook it.
+	OnHandoff func(st *Station, from, to *AP)
+}
+
+// DefaultConfig returns the config used by the experiments unless a sweep
+// overrides a field.
+func DefaultConfig() Config {
+	return Config{
+		BitErrorRate:   1e-6,
+		MACOverhead:    100 * time.Microsecond,
+		HandoffLatency: 200 * time.Millisecond,
+		Propagation:    time.Microsecond,
+		QueueLen:       simnet.DefaultQueueLen,
+	}
+}
+
+// channel models one shared half-duplex radio channel (one per AP, plus one
+// for the ad hoc cluster).
+type channel struct {
+	busyUntil time.Duration
+	queued    int
+}
+
+// LAN is a wireless local area network in one Standard: a set of access
+// points and mobile stations sharing per-AP radio channels. LAN implements
+// simnet.Medium; every radio interface it creates transmits through it.
+type LAN struct {
+	std Standard
+	cfg Config
+	net *simnet.Network
+
+	aps      []*AP
+	stations []*Station
+	byIface  map[*simnet.Iface]any // *AP or *Station
+
+	adhoc channel
+
+	// Stats
+	Delivered  uint64
+	LostErrors uint64 // bit-error losses
+	LostRange  uint64 // out of range / no association / blackout
+	DroppedQ   uint64 // channel queue overflow
+	Handoffs   uint64
+}
+
+var _ simnet.Medium = (*LAN)(nil)
+
+// NewLAN creates an empty WLAN of the given standard.
+func NewLAN(net *simnet.Network, std Standard, cfg Config) *LAN {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = simnet.DefaultQueueLen
+	}
+	return &LAN{std: std, cfg: cfg, net: net, byIface: make(map[*simnet.Iface]any)}
+}
+
+// Standard returns the LAN's WLAN standard.
+func (l *LAN) Standard() Standard { return l.std }
+
+// Config returns the LAN's radio configuration.
+func (l *LAN) Config() Config { return l.cfg }
+
+// AP is an access point: a radio attached to an existing (typically wired
+// and forwarding) node.
+type AP struct {
+	lan   *LAN
+	node  *simnet.Node
+	radio *simnet.Iface
+	pos   Position
+	ch    channel
+}
+
+// Node returns the node the AP's radio is attached to.
+func (a *AP) Node() *simnet.Node { return a.node }
+
+// Radio returns the AP's radio interface.
+func (a *AP) Radio() *simnet.Iface { return a.radio }
+
+// Pos returns the AP's position.
+func (a *AP) Pos() Position { return a.pos }
+
+// AddAP attaches an access-point radio to node at pos. The node is marked
+// forwarding (the paper: an AP acts "as a router or switch").
+func (l *LAN) AddAP(node *simnet.Node, pos Position) *AP {
+	ap := &AP{lan: l, node: node, pos: pos}
+	ap.radio = node.AddIface("radio-ap", l)
+	node.Forwarding = true
+	l.aps = append(l.aps, ap)
+	l.byIface[ap.radio] = ap
+	return ap
+}
+
+// APs returns the LAN's access points. The slice is freshly allocated.
+func (l *LAN) APs() []*AP {
+	out := make([]*AP, len(l.aps))
+	copy(out, l.aps)
+	return out
+}
+
+// Station is a mobile station's radio: position, association state and
+// mobility.
+type Station struct {
+	lan   *LAN
+	node  *simnet.Node
+	radio *simnet.Iface
+	pos   Position
+
+	ap       *AP // nil when unassociated or in handoff blackout
+	blackout bool
+	moveTmr  *simnet.Timer
+}
+
+// Node returns the node the station radio is attached to.
+func (s *Station) Node() *simnet.Node { return s.node }
+
+// Radio returns the station's radio interface.
+func (s *Station) Radio() *simnet.Iface { return s.radio }
+
+// Pos returns the station's current position.
+func (s *Station) Pos() Position { return s.pos }
+
+// AP returns the currently associated access point, or nil.
+func (s *Station) AP() *AP {
+	if s.blackout {
+		return nil
+	}
+	return s.ap
+}
+
+// Associated reports whether the station currently has a live association.
+func (s *Station) Associated() bool { return s.ap != nil && !s.blackout }
+
+// AddStation attaches a station radio to node at pos, sets the node's
+// default route out of the radio, and associates it with the best AP in
+// range (if any).
+func (l *LAN) AddStation(node *simnet.Node, pos Position) *Station {
+	st := &Station{lan: l, node: node, pos: pos}
+	st.radio = node.AddIface("radio", l)
+	node.SetDefaultRoute(st.radio)
+	l.stations = append(l.stations, st)
+	l.byIface[st.radio] = st
+	st.reassociate()
+	return st
+}
+
+// Stations returns the LAN's stations. The slice is freshly allocated.
+func (l *LAN) Stations() []*Station {
+	out := make([]*Station, len(l.stations))
+	copy(out, l.stations)
+	return out
+}
+
+// bestAP returns the nearest AP within range of pos, or nil.
+func (l *LAN) bestAP(pos Position) *AP {
+	var best *AP
+	bestD := math.Inf(1)
+	for _, ap := range l.aps {
+		d := ap.pos.Dist(pos)
+		if d <= l.std.RangeMax && d < bestD {
+			best, bestD = ap, d
+		}
+	}
+	return best
+}
+
+// reassociate re-evaluates the station's AP choice, performing a handoff
+// (with blackout) when the best AP changes.
+func (s *Station) reassociate() {
+	l := s.lan
+	best := l.bestAP(s.pos)
+	if best == s.ap {
+		return
+	}
+	old := s.ap
+	if old != nil {
+		// Leaving an AP: withdraw the AP-side route to the station.
+		old.node.ClearRoute(s.node.ID)
+	}
+	s.ap = best
+	if best == nil {
+		return
+	}
+	if l.cfg.OnHandoff != nil && old != nil {
+		l.cfg.OnHandoff(s, old, best)
+	}
+	complete := func() {
+		s.blackout = false
+		best.node.SetRoute(s.node.ID, best.radio)
+		if l.cfg.OnAssociate != nil {
+			l.cfg.OnAssociate(s, best)
+		}
+	}
+	if old == nil {
+		// Initial association is immediate.
+		complete()
+		return
+	}
+	l.Handoffs++
+	s.blackout = true
+	l.net.Sched.After(l.cfg.HandoffLatency, func() {
+		// The station may have moved again during the blackout; only
+		// complete if this AP is still the choice.
+		if s.ap == best {
+			complete()
+		}
+	})
+}
+
+// MoveTo repositions the station instantly and re-evaluates association.
+func (s *Station) MoveTo(pos Position) {
+	s.pos = pos
+	s.reassociate()
+}
+
+// Walk moves the station toward dest at speed (m/s), updating its position
+// every step interval until it arrives. Any previous walk is cancelled.
+func (s *Station) Walk(dest Position, speed float64, step time.Duration) {
+	if s.moveTmr != nil {
+		s.moveTmr.Cancel()
+		s.moveTmr = nil
+	}
+	if speed <= 0 || step <= 0 {
+		s.MoveTo(dest)
+		return
+	}
+	stride := speed * step.Seconds()
+	var tick func()
+	tick = func() {
+		d := s.pos.Dist(dest)
+		if d <= stride {
+			s.MoveTo(dest)
+			s.moveTmr = nil
+			return
+		}
+		f := stride / d
+		s.MoveTo(Position{X: s.pos.X + (dest.X-s.pos.X)*f, Y: s.pos.Y + (dest.Y-s.pos.Y)*f})
+		s.moveTmr = s.lan.net.Sched.After(step, tick)
+	}
+	s.moveTmr = s.lan.net.Sched.After(step, tick)
+}
+
+// Transmit implements simnet.Medium.
+func (l *LAN) Transmit(from *simnet.Iface, p *simnet.Packet) {
+	switch ep := l.byIface[from].(type) {
+	case *Station:
+		l.txFromStation(ep, p)
+	case *AP:
+		l.txFromAP(ep, p)
+	default:
+		l.LostRange++
+	}
+}
+
+func (l *LAN) txFromStation(st *Station, p *simnet.Packet) {
+	if st.Associated() {
+		ap := st.ap
+		l.send(&ap.ch, st.pos.Dist(ap.pos), p, func(q *simnet.Packet) {
+			ap.node.Deliver(q, ap.radio)
+		})
+		return
+	}
+	if l.cfg.AdHoc {
+		if p.Dst.Node == simnet.Broadcast {
+			// Link-local broadcast: one transmission, every in-range
+			// station receives it (the ad hoc route-discovery primitive).
+			delivered := false
+			for _, peer := range l.stations {
+				peer := peer
+				if peer == st {
+					continue
+				}
+				d := st.pos.Dist(peer.pos)
+				if d > l.std.RangeMax {
+					continue
+				}
+				delivered = true
+				l.send(&l.adhoc, d, p, func(q *simnet.Packet) {
+					peer.node.Deliver(q, peer.radio)
+				})
+			}
+			if !delivered {
+				l.LostRange++
+			}
+			return
+		}
+		if peer := l.stationByNode(p.Dst.Node); peer != nil {
+			d := st.pos.Dist(peer.pos)
+			if d <= l.std.RangeMax {
+				l.send(&l.adhoc, d, p, func(q *simnet.Packet) {
+					peer.node.Deliver(q, peer.radio)
+				})
+				return
+			}
+		}
+	}
+	l.LostRange++
+}
+
+func (l *LAN) txFromAP(ap *AP, p *simnet.Packet) {
+	st := l.stationByNode(p.Dst.Node)
+	if st == nil || !st.Associated() || st.ap != ap {
+		l.LostRange++
+		return
+	}
+	l.send(&ap.ch, st.pos.Dist(ap.pos), p, func(q *simnet.Packet) {
+		st.node.Deliver(q, st.radio)
+	})
+}
+
+func (l *LAN) stationByNode(id simnet.NodeID) *Station {
+	for _, st := range l.stations {
+		if st.node.ID == id {
+			return st
+		}
+	}
+	return nil
+}
+
+// send models the shared channel: serialization at the distance-dependent
+// rate plus MAC overhead, drop-tail queueing, and bit-error loss.
+func (l *LAN) send(ch *channel, dist float64, p *simnet.Packet, deliver func(*simnet.Packet)) {
+	rate := l.std.RateAt(dist)
+	if rate <= 0 {
+		l.LostRange++
+		return
+	}
+	s := l.net.Sched
+	now := s.Now()
+	if ch.busyUntil < now {
+		ch.busyUntil = now
+		ch.queued = 0
+	}
+	if ch.queued >= l.cfg.QueueLen {
+		l.DroppedQ++
+		return
+	}
+	txDone := ch.busyUntil + rate.TxTime(p.Bytes) + l.cfg.MACOverhead
+	ch.busyUntil = txDone
+	ch.queued++
+	s.At(txDone, func() {
+		if ch.queued > 0 {
+			ch.queued--
+		}
+	})
+
+	if l.frameLost(dist, p.Bytes) {
+		l.LostErrors++
+		return
+	}
+	cp := p.Clone()
+	s.At(txDone+l.cfg.Propagation, func() {
+		l.Delivered++
+		deliver(cp)
+	})
+}
+
+// frameLost draws a per-frame loss from the distance-scaled bit error rate:
+// P(loss) = 1 - (1-ber_eff)^bits, ber_eff = BER * (1 + 3 (d/range)^2).
+func (l *LAN) frameLost(dist float64, bytes int) bool {
+	ber := l.cfg.BitErrorRate
+	if ber <= 0 {
+		return false
+	}
+	frac := dist / l.std.RangeMax
+	eff := ber * (1 + 3*frac*frac)
+	pLoss := 1 - math.Pow(1-eff, float64(bytes*8))
+	return l.net.Sched.Rand().Float64() < pLoss
+}

@@ -1,0 +1,317 @@
+package wireless
+
+import (
+	"testing"
+	"time"
+
+	"mcommerce/internal/simnet"
+)
+
+// infra builds: server --wired-- ap ))) station, with routes wired up.
+func infra(t testing.TB, std Standard, cfg Config, stationPos Position) (
+	*simnet.Network, *LAN, *simnet.Node, *Station, *AP,
+) {
+	t.Helper()
+	net := simnet.NewNetwork(simnet.NewScheduler(1))
+	server := net.NewNode("server")
+	apNode := net.NewNode("ap")
+	stNode := net.NewNode("station")
+
+	wired := simnet.Connect(server, apNode, simnet.LAN)
+	server.SetDefaultRoute(wired.IfaceA())
+
+	lan := NewLAN(net, std, cfg)
+	ap := lan.AddAP(apNode, Position{})
+	st := lan.AddStation(stNode, stationPos)
+	apNode.SetRoute(server.ID, wired.IfaceB())
+	return net, lan, server, st, ap
+}
+
+func ctl(src, dst *simnet.Node, bytes int) *simnet.Packet {
+	return &simnet.Packet{
+		Src: simnet.Addr{Node: src.ID}, Dst: simnet.Addr{Node: dst.ID},
+		Proto: simnet.ProtoControl, Bytes: bytes,
+	}
+}
+
+func TestStationAssociatesWithNearestAP(t *testing.T) {
+	net := simnet.NewNetwork(simnet.NewScheduler(1))
+	lan := NewLAN(net, IEEE80211b, DefaultConfig())
+	ap1 := lan.AddAP(net.NewNode("ap1"), Position{X: 0})
+	ap2 := lan.AddAP(net.NewNode("ap2"), Position{X: 150})
+	st := lan.AddStation(net.NewNode("st"), Position{X: 140})
+	_ = ap1
+	if st.AP() != ap2 {
+		t.Errorf("associated with %v, want ap2", st.AP())
+	}
+}
+
+func TestStationOutOfRangeUnassociated(t *testing.T) {
+	net := simnet.NewNetwork(simnet.NewScheduler(1))
+	lan := NewLAN(net, Bluetooth, DefaultConfig())
+	lan.AddAP(net.NewNode("ap"), Position{})
+	st := lan.AddStation(net.NewNode("st"), Position{X: 50}) // range is 10 m
+	if st.Associated() {
+		t.Error("station should not associate beyond range")
+	}
+}
+
+func TestUplinkAndDownlinkThroughAP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BitErrorRate = 0
+	net, _, server, st, _ := infra(t, IEEE80211b, cfg, Position{X: 10})
+
+	var atServer, atStation int
+	server.Bind(simnet.ProtoControl, func(p *simnet.Packet) {
+		atServer++
+		server.Send(ctl(server, st.Node(), 500))
+	})
+	st.Node().Bind(simnet.ProtoControl, func(p *simnet.Packet) { atStation++ })
+
+	st.Node().Send(ctl(st.Node(), server, 500))
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if atServer != 1 || atStation != 1 {
+		t.Errorf("server=%d station=%d, want 1,1", atServer, atStation)
+	}
+}
+
+func TestSharedChannelSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BitErrorRate = 0
+	cfg.MACOverhead = 0
+	cfg.Propagation = 0
+	net, _, server, st, _ := infra(t, Bluetooth, cfg, Position{X: 1}) // 1 Mbps
+
+	var arrivals []time.Duration
+	server.Bind(simnet.ProtoControl, func(p *simnet.Packet) {
+		arrivals = append(arrivals, net.Sched.Now())
+	})
+	for i := 0; i < 2; i++ {
+		st.Node().Send(ctl(st.Node(), server, 1000)) // 8 ms each at 1 Mbps
+	}
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("delivered %d, want 2", len(arrivals))
+	}
+	gap := arrivals[1] - arrivals[0]
+	if gap < 7*time.Millisecond {
+		t.Errorf("frames did not serialize on shared channel: gap %v", gap)
+	}
+}
+
+func TestDistanceReducesGoodput(t *testing.T) {
+	// Saturate the channel: queue 200 frames at t=0 and count what gets
+	// through in half a second.
+	measure := func(pos Position) int {
+		cfg := DefaultConfig()
+		cfg.BitErrorRate = 0
+		cfg.QueueLen = 1000
+		net, _, server, st, _ := infra(t, IEEE80211b, cfg, pos)
+		n := 0
+		server.Bind(simnet.ProtoControl, func(p *simnet.Packet) { n++ })
+		for i := 0; i < 200; i++ {
+			st.Node().Send(ctl(st.Node(), server, 1400))
+		}
+		if err := net.Sched.RunUntil(500 * time.Millisecond); err != nil {
+			panic(err)
+		}
+		return n
+	}
+	near := measure(Position{X: 10}) // full rate: ~1.1 ms/frame
+	far := measure(Position{X: 95})  // quarter rate: ~4.2 ms/frame
+	if near != 200 {
+		t.Errorf("near station delivered %d/200", near)
+	}
+	if far >= near {
+		t.Errorf("far station (%d) should not outperform near (%d)", far, near)
+	}
+}
+
+func TestBitErrorsLosePackets(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BitErrorRate = 1e-4 // ~ 1-(1-1e-4)^8000 ≈ 0.55 loss for 1000B frames
+	net, lan, server, st, _ := infra(t, IEEE80211b, cfg, Position{X: 10})
+	n := 0
+	server.Bind(simnet.ProtoControl, func(p *simnet.Packet) { n++ })
+	const sent = 500
+	for i := 0; i < sent; i++ {
+		i := i
+		net.Sched.At(time.Duration(i)*5*time.Millisecond, func() {
+			st.Node().Send(ctl(st.Node(), server, 1000))
+		})
+	}
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n == sent || n == 0 {
+		t.Fatalf("delivered %d of %d; want partial loss", n, sent)
+	}
+	loss := float64(lan.LostErrors) / float64(sent)
+	if loss < 0.4 || loss > 0.7 {
+		t.Errorf("loss = %.2f, want ≈ 0.55", loss)
+	}
+}
+
+func TestHandoffBetweenAPs(t *testing.T) {
+	net := simnet.NewNetwork(simnet.NewScheduler(1))
+	router := net.NewNode("router")
+	router.Forwarding = true
+	ap1n := net.NewNode("ap1")
+	ap2n := net.NewNode("ap2")
+	l1 := simnet.Connect(router, ap1n, simnet.LAN)
+	l2 := simnet.Connect(router, ap2n, simnet.LAN)
+
+	cfg := DefaultConfig()
+	cfg.BitErrorRate = 0
+	var handoffs int
+	cfg.OnHandoff = func(st *Station, from, to *AP) { handoffs++ }
+	cfg.OnAssociate = func(st *Station, ap *AP) {
+		// Repoint the wired route to the station via its current AP.
+		switch ap.Node() {
+		case ap1n:
+			router.SetRoute(st.Node().ID, l1.IfaceA())
+		case ap2n:
+			router.SetRoute(st.Node().ID, l2.IfaceA())
+		}
+	}
+	lan := NewLAN(net, IEEE80211b, cfg)
+	ap1 := lan.AddAP(ap1n, Position{X: 0})
+	ap2 := lan.AddAP(ap2n, Position{X: 150})
+	ap1n.SetRoute(router.ID, l1.IfaceB())
+	ap2n.SetRoute(router.ID, l2.IfaceB())
+	st := lan.AddStation(net.NewNode("st"), Position{X: 10})
+
+	if st.AP() != ap1 {
+		t.Fatal("should start on ap1")
+	}
+	received := 0
+	st.Node().Bind(simnet.ProtoControl, func(p *simnet.Packet) { received++ })
+
+	// Stream a packet every 50 ms from the router while the station walks
+	// from x=10 to x=140 at 20 m/s (crossing the midpoint at ~3 s).
+	for i := 0; i < 140; i++ {
+		i := i
+		net.Sched.At(time.Duration(i)*50*time.Millisecond, func() {
+			router.Send(ctl(router, st.Node(), 200))
+		})
+	}
+	st.Walk(Position{X: 140}, 20, 100*time.Millisecond)
+
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.AP() != ap2 {
+		t.Errorf("station ended on %v, want ap2", st.AP())
+	}
+	if handoffs != 1 {
+		t.Errorf("handoffs = %d, want 1", handoffs)
+	}
+	if lan.Handoffs != 1 {
+		t.Errorf("lan.Handoffs = %d, want 1", lan.Handoffs)
+	}
+	// Some packets are lost in the blackout, but most must arrive.
+	if received < 100 || received >= 140 {
+		t.Errorf("received %d/140; want most-but-not-all", received)
+	}
+}
+
+func TestHandoffBlackoutDropsFrames(t *testing.T) {
+	net := simnet.NewNetwork(simnet.NewScheduler(1))
+	cfg := DefaultConfig()
+	cfg.BitErrorRate = 0
+	cfg.HandoffLatency = time.Second
+	lan := NewLAN(net, IEEE80211b, cfg)
+	ap1 := lan.AddAP(net.NewNode("ap1"), Position{X: 0})
+	lan.AddAP(net.NewNode("ap2"), Position{X: 150})
+	st := lan.AddStation(net.NewNode("st"), Position{X: 10})
+	_ = ap1
+
+	st.MoveTo(Position{X: 140}) // triggers handoff; blackout for 1 s
+	if st.Associated() {
+		t.Error("station should be in blackout immediately after handoff")
+	}
+	got := 0
+	st.Node().Bind(simnet.ProtoControl, func(p *simnet.Packet) { got++ })
+	st.Node().Send(ctl(st.Node(), st.Node(), 10)) // self-delivery is fine
+	if err := net.Sched.RunUntil(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !st.Associated() {
+		t.Error("station should be associated after blackout")
+	}
+}
+
+func TestAdHocModeDirectDelivery(t *testing.T) {
+	net := simnet.NewNetwork(simnet.NewScheduler(1))
+	cfg := DefaultConfig()
+	cfg.BitErrorRate = 0
+	cfg.AdHoc = true
+	lan := NewLAN(net, IEEE80211b, cfg) // no APs at all
+	a := lan.AddStation(net.NewNode("a"), Position{X: 0})
+	b := lan.AddStation(net.NewNode("b"), Position{X: 30})
+	got := false
+	b.Node().Bind(simnet.ProtoControl, func(p *simnet.Packet) { got = true })
+	a.Node().Send(ctl(a.Node(), b.Node(), 100))
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !got {
+		t.Error("ad hoc frame not delivered")
+	}
+}
+
+func TestAdHocOutOfRangeFails(t *testing.T) {
+	net := simnet.NewNetwork(simnet.NewScheduler(1))
+	cfg := DefaultConfig()
+	cfg.AdHoc = true
+	lan := NewLAN(net, Bluetooth, cfg) // 10 m range
+	a := lan.AddStation(net.NewNode("a"), Position{X: 0})
+	b := lan.AddStation(net.NewNode("b"), Position{X: 60})
+	got := false
+	b.Node().Bind(simnet.ProtoControl, func(p *simnet.Packet) { got = true })
+	a.Node().Send(ctl(a.Node(), b.Node(), 100))
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got {
+		t.Error("out-of-range ad hoc frame delivered")
+	}
+	if lan.LostRange == 0 {
+		t.Error("LostRange not counted")
+	}
+}
+
+func TestNoAdHocWithoutFlag(t *testing.T) {
+	net := simnet.NewNetwork(simnet.NewScheduler(1))
+	cfg := DefaultConfig()
+	cfg.AdHoc = false
+	lan := NewLAN(net, IEEE80211b, cfg)
+	a := lan.AddStation(net.NewNode("a"), Position{X: 0})
+	b := lan.AddStation(net.NewNode("b"), Position{X: 30})
+	got := false
+	b.Node().Bind(simnet.ProtoControl, func(p *simnet.Packet) { got = true })
+	a.Node().Send(ctl(a.Node(), b.Node(), 100))
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got {
+		t.Error("infrastructure-mode LAN delivered station-to-station frame without AP")
+	}
+}
+
+func TestWalkArrivesAtDestination(t *testing.T) {
+	net := simnet.NewNetwork(simnet.NewScheduler(1))
+	lan := NewLAN(net, IEEE80211b, DefaultConfig())
+	st := lan.AddStation(net.NewNode("st"), Position{})
+	st.Walk(Position{X: 30, Y: 40}, 10, 100*time.Millisecond) // 50 m at 10 m/s
+	if err := net.Sched.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d := st.Pos().Dist(Position{X: 30, Y: 40}); d > 0.01 {
+		t.Errorf("station ended %.2f m from destination", d)
+	}
+}

@@ -1,0 +1,11 @@
+// Package workload generates synthetic mobile commerce user populations
+// for capacity studies: each virtual user runs on one mobile station and
+// loops through application operations drawn from a weighted mix
+// (browsing, payments, package tracking, travel search, media downloads)
+// separated by exponentially distributed think times.
+//
+// The runner reports per-operation latencies (median, p95, worst),
+// throughput and failure counts — the load-testing companion to the
+// paper's Table 1 applications, used by the capacity experiment to find
+// where a bearer saturates as the user population grows.
+package workload
