@@ -1,0 +1,18 @@
+.PHONY: all build test bench race verify
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./internal/simnet ./...
+
+race:
+	go test -race ./internal/experiments ./internal/simnet
+
+verify:
+	./scripts/verify.sh

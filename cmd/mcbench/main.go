@@ -3,10 +3,17 @@
 //
 // Usage:
 //
-//	mcbench [-exp all|fig1|fig2|table1|table2|table3|table4|table5|tcp|mip|ablate] [-seed N]
+//	mcbench [-exp all|fig1|fig2|table1|table2|table3|table4|table5|tcp|mip|ablate]
+//	        [-seed N] [-format text|csv] [-parallel N]
 //
 // Each experiment prints an aligned table plus notes; EXPERIMENTS.md
 // records a reference run and compares it with the paper.
+//
+// Independent experiments run concurrently on up to -parallel workers
+// (default GOMAXPROCS; 1 forces a serial run). Every experiment builds its
+// own simulation world, so the output is byte-identical at any
+// parallelism: results are printed in experiment order regardless of
+// which worker finished first.
 package main
 
 import (
@@ -30,6 +37,7 @@ func run(args []string) error {
 	exp := fs.String("exp", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
 	seed := fs.Int64("seed", 1, "simulation seed")
 	format := fs.String("format", "text", "output format: text or csv")
+	parallel := fs.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,8 +53,8 @@ func run(args []string) error {
 		}
 		names = []string{*exp}
 	}
-	for _, name := range names {
-		for _, res := range registry[name](*seed) {
+	for _, results := range experiments.RunTasks(experiments.RegistryTasks(names, *seed), *parallel) {
+		for _, res := range results {
 			if *format == "csv" {
 				if err := res.WriteCSV(os.Stdout); err != nil {
 					return err

@@ -6,12 +6,19 @@
 //
 //	mcsim [-bearer wlan|cellular] [-wlan 802.11b|802.11a|802.11g|hiperlan2|bluetooth]
 //	      [-cell gprs|edge|gsm|cdma|cdma2000|wcdma] [-middleware wap|imode]
-//	      [-clients N] [-rounds N] [-seed N]
+//	      [-clients N] [-rounds N] [-seed N] [-replicas R] [-parallel N]
+//
+// With -replicas R > 1, the same scenario runs R times at seeds seed,
+// seed+1, ..., seed+R-1 on up to -parallel concurrent workers (default
+// GOMAXPROCS). Each replica builds its own simulation world, so replicas
+// are race-free and their reports are printed in seed order, byte-identical
+// to running them one at a time.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,6 +27,7 @@ import (
 	"mcommerce/internal/cellular"
 	"mcommerce/internal/core"
 	"mcommerce/internal/device"
+	"mcommerce/internal/experiments"
 	"mcommerce/internal/simnet"
 	"mcommerce/internal/webserver"
 	"mcommerce/internal/wireless"
@@ -32,6 +40,18 @@ func main() {
 	}
 }
 
+// scenario is one fully resolved simulation configuration, shared
+// read-only across replicas.
+type scenario struct {
+	bearer     core.BearerKind
+	wlan       wireless.Standard
+	cell       cellular.Standard
+	middleware string
+	clients    int
+	rounds     int
+	trace      bool
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("mcsim", flag.ContinueOnError)
 	bearer := fs.String("bearer", "wlan", "radio bearer: wlan or cellular")
@@ -40,33 +60,74 @@ func run(args []string) error {
 	middleware := fs.String("middleware", "wap", "middleware path for the workload: wap or imode")
 	clients := fs.Int("clients", 5, "number of mobile stations (cycled through Table 2)")
 	rounds := fs.Int("rounds", 10, "browse transactions per station")
-	seed := fs.Int64("seed", 1, "simulation seed")
-	trace := fs.Bool("trace", false, "print a packet trace of the whole run to stderr")
+	seed := fs.Int64("seed", 1, "simulation seed (replica i runs at seed+i)")
+	replicas := fs.Int("replicas", 1, "independent replicas at consecutive seeds")
+	parallel := fs.Int("parallel", 0, "max concurrent replicas (0 = GOMAXPROCS, 1 = serial)")
+	trace := fs.Bool("trace", false, "print a packet trace of the whole run to stderr (single replica only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1, got %d", *replicas)
+	}
+	if *trace && *replicas > 1 {
+		return fmt.Errorf("-trace requires -replicas 1 (traces from concurrent replicas would interleave)")
+	}
 
-	cfg := core.MCConfig{Seed: *seed}
+	sc := scenario{middleware: *middleware, clients: *clients, rounds: *rounds, trace: *trace}
 	switch strings.ToLower(*bearer) {
 	case "wlan":
-		cfg.Bearer = core.BearerWLAN
+		sc.bearer = core.BearerWLAN
 		std, err := wlanByName(*wlanStd)
 		if err != nil {
 			return err
 		}
-		cfg.WLANStandard = std
+		sc.wlan = std
 	case "cellular":
-		cfg.Bearer = core.BearerCellular
+		sc.bearer = core.BearerCellular
 		std, err := cellByName(*cellStd)
 		if err != nil {
 			return err
 		}
-		cfg.CellStandard = std
+		sc.cell = std
 	default:
 		return fmt.Errorf("unknown bearer %q", *bearer)
 	}
+
+	if *replicas == 1 {
+		return runOne(sc, *seed, os.Stdout)
+	}
+
+	type report struct {
+		out string
+		err error
+	}
+	reports := experiments.Fan(*replicas, *parallel, func(i int) report {
+		var b strings.Builder
+		err := runOne(sc, *seed+int64(i), &b)
+		return report{out: b.String(), err: err}
+	})
+	var firstErr error
+	for i, r := range reports {
+		fmt.Printf("===== replica %d/%d (seed %d) =====\n", i+1, *replicas, *seed+int64(i))
+		os.Stdout.WriteString(r.out)
+		if r.err != nil {
+			fmt.Printf("replica failed: %v\n", r.err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica %d (seed %d): %w", i+1, *seed+int64(i), r.err)
+			}
+		}
+		fmt.Println()
+	}
+	return firstErr
+}
+
+// runOne builds the scenario's system at the given seed, drives the
+// workload and writes the report to w.
+func runOne(sc scenario, seed int64, w io.Writer) error {
+	cfg := core.MCConfig{Seed: seed, Bearer: sc.bearer, WLANStandard: sc.wlan, CellStandard: sc.cell}
 	profiles := device.Profiles()
-	for i := 0; i < *clients; i++ {
+	for i := 0; i < sc.clients; i++ {
 		cfg.Devices = append(cfg.Devices, profiles[i%len(profiles)])
 	}
 
@@ -74,7 +135,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *trace {
+	if sc.trace {
 		mc.Net.SetTracer(simnet.NewTextTracer(os.Stderr))
 	}
 	if err := apps.RegisterAll(mc.Host); err != nil {
@@ -87,8 +148,8 @@ func run(args []string) error {
 	if err := mc.Sys.Validate(); err != nil {
 		return fmt.Errorf("system model invalid: %w", err)
 	}
-	fmt.Print(mc.Sys.Describe())
-	fmt.Println()
+	fmt.Fprint(w, mc.Sys.Describe())
+	fmt.Fprintln(w)
 
 	// For circuit-switched cellular, every station needs a data call.
 	pending := 0
@@ -108,7 +169,7 @@ func run(args []string) error {
 		}
 	}
 
-	useWAP := strings.EqualFold(*middleware, "wap")
+	useWAP := strings.EqualFold(sc.middleware, "wap")
 	var lats []time.Duration
 	okCount, errCount := 0, 0
 	for i := range mc.Clients {
@@ -123,7 +184,7 @@ func run(args []string) error {
 			}
 		}
 		round = func(n int) {
-			if n == *rounds {
+			if n == sc.rounds {
 				return
 			}
 			done := func(tr core.Transaction) {
@@ -153,36 +214,36 @@ func run(args []string) error {
 	if len(lats) > 0 {
 		mean = sum / time.Duration(len(lats))
 	}
-	fmt.Printf("workload: %d stations x %d rounds over %s\n", len(mc.Clients), *rounds, strings.ToUpper(*middleware))
-	fmt.Printf("transactions: %d ok, %d failed\n", okCount, errCount)
-	fmt.Printf("latency: mean %s, max %s\n", mean.Round(100*time.Microsecond), max.Round(100*time.Microsecond))
+	fmt.Fprintf(w, "workload: %d stations x %d rounds over %s\n", len(mc.Clients), sc.rounds, strings.ToUpper(sc.middleware))
+	fmt.Fprintf(w, "transactions: %d ok, %d failed\n", okCount, errCount)
+	fmt.Fprintf(w, "latency: mean %s, max %s\n", mean.Round(100*time.Microsecond), max.Round(100*time.Microsecond))
 
-	fmt.Println("\nper-layer statistics:")
+	fmt.Fprintln(w, "\nper-layer statistics:")
 	if mc.WLAN != nil {
-		fmt.Printf("  wireless LAN (%s): delivered=%d lostErr=%d lostRange=%d queueDrop=%d handoffs=%d\n",
+		fmt.Fprintf(w, "  wireless LAN (%s): delivered=%d lostErr=%d lostRange=%d queueDrop=%d handoffs=%d\n",
 			mc.WLAN.Standard().Name, mc.WLAN.Delivered, mc.WLAN.LostErrors, mc.WLAN.LostRange, mc.WLAN.DroppedQ, mc.WLAN.Handoffs)
 	}
 	if mc.Cell != nil {
-		fmt.Printf("  cellular (%s): delivered=%d lostErr=%d lostRange=%d queueDrop=%d blocked=%d\n",
+		fmt.Fprintf(w, "  cellular (%s): delivered=%d lostErr=%d lostRange=%d queueDrop=%d blocked=%d\n",
 			mc.Cell.Standard().Name, mc.Cell.Delivered, mc.Cell.LostErrors, mc.Cell.LostRange, mc.Cell.DroppedQ, mc.Cell.BlockedCalls)
 	}
 	if mc.WAP != nil {
 		st := mc.WAP.Stats()
-		fmt.Printf("  WAP gateway: sessions=%d requests=%d translations=%d bytesToAir=%d\n",
+		fmt.Fprintf(w, "  WAP gateway: sessions=%d requests=%d translations=%d bytesToAir=%d\n",
 			st.Sessions, st.Requests, st.Translations, st.BytesToAir)
 	}
 	if mc.IMode != nil {
 		st := mc.IMode.Stats()
-		fmt.Printf("  i-mode portal: requests=%d filtered=%d bytesToAir=%d\n",
+		fmt.Fprintf(w, "  i-mode portal: requests=%d filtered=%d bytesToAir=%d\n",
 			st.Requests, st.Filtered, st.BytesToAir)
 	}
 	hs := mc.Host.Server.Stats()
-	fmt.Printf("  host computer: requests=%d notFound=%d bytesServed=%d\n", hs.Requests, hs.NotFound, hs.BytesServed)
+	fmt.Fprintf(w, "  host computer: requests=%d notFound=%d bytesServed=%d\n", hs.Requests, hs.NotFound, hs.BytesServed)
 	commits, aborts, conflicts := mc.Host.DB.Stats()
-	fmt.Printf("  database server: commits=%d aborts=%d lockConflicts=%d tables=%d\n",
+	fmt.Fprintf(w, "  database server: commits=%d aborts=%d lockConflicts=%d tables=%d\n",
 		commits, aborts, conflicts, len(mc.Host.DB.Tables()))
 	for _, cl := range mc.Clients {
-		fmt.Printf("  station %-24s battery %.4f%% used, free RAM %d MB\n",
+		fmt.Fprintf(w, "  station %-24s battery %.4f%% used, free RAM %d MB\n",
 			cl.Station.Name()+":", (1-cl.Station.Battery())*100, cl.Station.FreeRAM()>>20)
 	}
 	return nil

@@ -98,7 +98,7 @@ type pendingSend struct {
 type discovery struct {
 	queue   []pendingSend
 	retries int
-	timer   *simnet.Timer
+	timer   simnet.Timer
 }
 
 // Router runs the ad hoc protocol on one station's node. All stations in
@@ -340,9 +340,7 @@ func (r *Router) onRREP(prevHop simnet.NodeID, m *rrep) {
 		// Discovery complete: drain the queue.
 		if d, ok := r.discoveries[m.Dst]; ok {
 			delete(r.discoveries, m.Dst)
-			if d.timer != nil {
-				d.timer.Cancel()
-			}
+			d.timer.Cancel()
 			e := r.liveRoute(m.Dst)
 			for _, ps := range d.queue {
 				if e == nil {

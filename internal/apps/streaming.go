@@ -30,7 +30,7 @@ type StreamPlayer struct {
 	played   float64
 	playing  bool
 	lastTick time.Duration
-	drain    *simnet.Timer
+	drain    simnet.Timer
 
 	startedAt  time.Duration
 	started    bool
@@ -97,10 +97,7 @@ func (p *StreamPlayer) advance() {
 // reschedule arms the buffer-drain timer for the moment playback catches
 // up with the download.
 func (p *StreamPlayer) reschedule() {
-	if p.drain != nil {
-		p.drain.Cancel()
-		p.drain = nil
-	}
+	p.drain.Cancel()
 	if !p.playing || p.finished {
 		return
 	}

@@ -128,10 +128,12 @@ func (x *xmitter) next() {
 	tx := x.rate.TxTime(f.p.Bytes)
 	s.After(tx, func() {
 		if !x.net.frameLost(f.p.Bytes) {
-			cp := f.p.Clone()
+			// f.p is already the frame's private clone (taken at enqueue,
+			// since the transmitting caller recycles its packet), so it is
+			// delivered directly.
 			s.After(x.net.cfg.Propagation, func() {
 				x.net.Delivered++
-				f.deliver(cp)
+				f.deliver(f.p)
 			})
 		} else {
 			x.net.LostErrors++
@@ -482,7 +484,7 @@ func (n *Net) txFromMobile(m *Mobile, p *simnet.Packet) {
 			n.LostRange++
 			return
 		}
-		m.callUp.enqueue(&frame{p: p, deliver: func(q *simnet.Packet) {
+		m.callUp.enqueue(&frame{p: p.Clone(), deliver: func(q *simnet.Packet) {
 			cell.node.Deliver(q, cell.radio)
 		}})
 	case PacketSwitched:
@@ -490,7 +492,7 @@ func (n *Net) txFromMobile(m *Mobile, p *simnet.Packet) {
 			n.LostRange++
 			return
 		}
-		cell.up.enqueue(&frame{p: p, class: m.classOrDefault(), deliver: func(q *simnet.Packet) {
+		cell.up.enqueue(&frame{p: p.Clone(), class: m.classOrDefault(), deliver: func(q *simnet.Packet) {
 			cell.node.Deliver(q, cell.radio)
 		}})
 	}
@@ -509,13 +511,13 @@ func (n *Net) txFromCell(c *Cell, p *simnet.Packet) {
 			n.LostRange++
 			return
 		}
-		m.callDown.enqueue(&frame{p: p, deliver: deliver})
+		m.callDown.enqueue(&frame{p: p.Clone(), deliver: deliver})
 	case PacketSwitched:
 		if !m.Attached() {
 			n.LostRange++
 			return
 		}
-		c.down.enqueue(&frame{p: p, class: m.classOrDefault(), deliver: deliver})
+		c.down.enqueue(&frame{p: p.Clone(), class: m.classOrDefault(), deliver: deliver})
 	}
 }
 

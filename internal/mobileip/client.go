@@ -56,7 +56,7 @@ type Client struct {
 type pendingReg struct {
 	done    func(error)
 	retries int
-	timer   *simnet.Timer
+	timer   simnet.Timer
 	req     *regRequest
 	to      simnet.Addr
 }
@@ -154,9 +154,7 @@ func (c *Client) onReply(_ simnet.Addr, body any, _ int) {
 		return
 	}
 	delete(c.pending, rep.Seq)
-	if p.timer != nil {
-		p.timer.Cancel()
-	}
+	p.timer.Cancel()
 	if p.done == nil {
 		return
 	}

@@ -62,7 +62,7 @@ type Conn struct {
 	rttStart time.Duration
 
 	// Retransmission timer.
-	rtoTimer *simnet.Timer
+	rtoTimer simnet.Timer
 	retries  int
 
 	// maxSent is the highest stream offset ever transmitted, used to
@@ -364,23 +364,18 @@ func (c *Conn) currentRTOBase() time.Duration {
 }
 
 func (c *Conn) ensureRTO() {
-	if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+	if !c.rtoTimer.Pending() {
 		c.restartRTO()
 	}
 }
 
 func (c *Conn) restartRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
+	c.rtoTimer.Cancel()
 	c.rtoTimer = c.sched().After(c.rto, c.onRTO)
 }
 
 func (c *Conn) stopRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Cancel()
 }
 
 func (c *Conn) onRTO() {

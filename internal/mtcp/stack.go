@@ -146,15 +146,17 @@ func (s *Stack) deliver(p *simnet.Packet) {
 	}
 }
 
-// sendRaw emits a segment outside any connection (RSTs).
+// sendRaw emits a segment. All of the stack's transmissions funnel through
+// here; the packet shell comes from the network pool so the per-segment
+// cost is only the segment itself.
 func (s *Stack) sendRaw(local simnet.Port, remote simnet.Addr, seg *Segment) {
-	s.node.Send(&simnet.Packet{
-		Src:   simnet.Addr{Node: s.node.ID, Port: local},
-		Dst:   remote,
-		Proto: simnet.ProtoTCP,
-		Bytes: simnet.TCPHeaderBytes + len(seg.Payload),
-		Body:  seg,
-	})
+	p := s.node.Network().AllocPacket()
+	p.Src = simnet.Addr{Node: s.node.ID, Port: local}
+	p.Dst = remote
+	p.Proto = simnet.ProtoTCP
+	p.Bytes = simnet.TCPHeaderBytes + len(seg.Payload)
+	p.Body = seg
+	s.node.Send(p)
 }
 
 func (s *Stack) remove(c *Conn) {

@@ -61,6 +61,134 @@ func BenchmarkLinkPacketDelivery(b *testing.B) {
 	}
 }
 
+// TestSchedulerSteadyStateZeroAlloc pins the allocation-free contract of
+// the scheduler hot path: once the arena is warm, schedule+fire allocates
+// nothing.
+func TestSchedulerSteadyStateZeroAlloc(t *testing.T) {
+	s := NewScheduler(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i), fn)
+	}
+	for s.Step() {
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	}); n != 0 {
+		t.Errorf("scheduler steady state allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestLinkForwardSteadyStateZeroAlloc pins the allocation-free contract of
+// the pooled packet path: a pooled send delivered over a link allocates
+// nothing once the pools are warm.
+func TestLinkForwardSteadyStateZeroAlloc(t *testing.T) {
+	net := NewNetwork(NewScheduler(1))
+	a := net.NewNode("a")
+	c := net.NewNode("b")
+	l := Connect(a, c, LinkConfig{Rate: Gbps, Delay: time.Microsecond, QueueLen: 1 << 20})
+	a.SetDefaultRoute(l.IfaceA())
+	delivered := 0
+	c.Bind(ProtoControl, func(p *Packet) { delivered++ })
+	iter := func() {
+		p := net.AllocPacket()
+		p.Src = Addr{Node: a.ID}
+		p.Dst = Addr{Node: c.ID}
+		p.Proto = ProtoControl
+		p.Bytes = 100
+		a.Send(p)
+		for net.Sched.Step() {
+		}
+	}
+	for i := 0; i < 64; i++ {
+		iter()
+	}
+	if n := testing.AllocsPerRun(500, iter); n != 0 {
+		t.Errorf("link forward steady state allocates %.1f/op, want 0", n)
+	}
+	if delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkSchedulerAfterStep measures the steady-state schedule+fire
+// cycle: one After and one Step per iteration, the pattern every protocol
+// timer and transmission event follows. Steady state must be 0 allocs/op.
+func BenchmarkSchedulerAfterStep(b *testing.B) {
+	s := NewScheduler(1)
+	fn := func() {}
+	// Warm the arena, heap and free list.
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		if !s.Step() {
+			b.Fatal("empty queue")
+		}
+	}
+}
+
+// BenchmarkTimerCancelChurn measures schedule+cancel cycles (the TCP RTO
+// pattern: most timers never fire), including the compaction that keeps
+// cancelled entries from accumulating. Steady state must be 0 allocs/op.
+func BenchmarkTimerCancelChurn(b *testing.B) {
+	s := NewScheduler(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Hour, fn).Cancel()
+	}
+	if got := s.Pending(); got != 0 {
+		b.Fatalf("Pending = %d after cancelling everything", got)
+	}
+}
+
+// BenchmarkLinkForward measures the full wired hot path with pooled
+// packets: pooled send -> serialize -> propagate -> deliver. Steady state
+// must be 0 allocs/op.
+func BenchmarkLinkForward(b *testing.B) {
+	net := NewNetwork(NewScheduler(1))
+	a := net.NewNode("a")
+	c := net.NewNode("b")
+	l := Connect(a, c, LinkConfig{Rate: Gbps, Delay: time.Microsecond, QueueLen: 1 << 20})
+	a.SetDefaultRoute(l.IfaceA())
+	got := 0
+	c.Bind(ProtoControl, func(p *Packet) { got++ })
+	send := func() {
+		p := net.AllocPacket()
+		p.Src = Addr{Node: a.ID}
+		p.Dst = Addr{Node: c.ID}
+		p.Proto = ProtoControl
+		p.Bytes = 100
+		a.Send(p)
+	}
+	// Warm the pools and reach queue steady state.
+	for i := 0; i < 256; i++ {
+		send()
+		for net.Sched.Pending() > 64 {
+			net.Sched.Step()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
+		for net.Sched.Pending() > 64 {
+			net.Sched.Step()
+		}
+	}
+	for net.Sched.Step() {
+	}
+	if got != b.N+256 {
+		b.Fatalf("delivered %d/%d", got, b.N+256)
+	}
+}
+
 // BenchmarkRouterForwarding measures the two-hop forwarding path.
 func BenchmarkRouterForwarding(b *testing.B) {
 	net := NewNetwork(NewScheduler(1))

@@ -126,8 +126,38 @@ func (l *Link) Peer(i *Iface) *Iface {
 	}
 }
 
+// linkDelivery is a pooled record carrying one in-flight packet from
+// serialization end to arrival; together with the package-level callback
+// funcs below it lets Transmit schedule without allocating closures.
+type linkDelivery struct {
+	link *Link
+	dst  *Iface
+	p    *Packet
+	dir  uint8
+}
+
+// run completes a delivery: count it, hand the packet to the receiving
+// node, then recycle packet and record.
+func (d *linkDelivery) run() {
+	l, dst, p, dir := d.link, d.dst, d.p, d.dir
+	l.net.freeDelivery(d)
+	l.Delivered[dir]++
+	dst.Node.Deliver(p, dst)
+	l.net.freePacket(p)
+}
+
+var (
+	linkDequeue = [2]func(any){
+		func(a any) { a.(*Link).dequeue(0) },
+		func(a any) { a.(*Link).dequeue(1) },
+	}
+	linkDeliver = func(a any) { a.(*linkDelivery).run() }
+)
+
 // Transmit implements Medium: serialize then propagate, with drop-tail
-// queueing and random loss.
+// queueing and random loss. The steady-state path performs no allocations:
+// the forwarded copy and the delivery record come from the network's free
+// lists, and the scheduler callbacks are package-level func values.
 func (l *Link) Transmit(from *Iface, p *Packet) {
 	dir := 0
 	dst := l.b
@@ -161,17 +191,14 @@ func (l *Link) Transmit(from *Iface, p *Packet) {
 		l.Lost[dir]++
 		// The transmitter is still occupied for the serialization time;
 		// decrement the queue when the frame would have finished sending.
-		s.At(txDone, func() { l.dequeue(dir) })
+		s.AtCall(txDone, linkDequeue[dir], l)
 		return
 	}
 
-	d := dir
-	s.At(txDone, func() { l.dequeue(d) })
-	cp := p.Clone()
-	s.At(arrive, func() {
-		l.Delivered[d]++
-		dst.Node.Deliver(cp, dst)
-	})
+	s.AtCall(txDone, linkDequeue[dir], l)
+	d := l.net.allocDelivery()
+	d.link, d.dst, d.p, d.dir = l, dst, l.net.clonePooled(p), uint8(dir)
+	s.AtCall(arrive, linkDeliver, d)
 }
 
 // lost draws the per-packet loss verdict: the flat Loss probability plus

@@ -21,7 +21,9 @@ func twoNodes(t testing.TB, cfg LinkConfig) (*Network, *Node, *Node, *Link) {
 func TestLinkDeliversPacket(t *testing.T) {
 	net, a, b, _ := twoNodes(t, LinkConfig{Rate: Mbps, Delay: 10 * time.Millisecond})
 	var got *Packet
-	b.Bind(ProtoControl, func(p *Packet) { got = p })
+	// Delivered packets are recycled after the handler returns; copy to
+	// retain.
+	b.Bind(ProtoControl, func(p *Packet) { cp := *p; got = &cp })
 	a.Send(&Packet{
 		Src: Addr{Node: a.ID}, Dst: Addr{Node: b.ID},
 		Proto: ProtoControl, Bytes: 1000, Body: "hello",
@@ -157,7 +159,7 @@ func TestForwardingThroughRouter(t *testing.T) {
 	r.SetRoute(b.ID, l2.IfaceA())
 
 	var got *Packet
-	b.Bind(ProtoControl, func(p *Packet) { got = p })
+	b.Bind(ProtoControl, func(p *Packet) { cp := *p; got = &cp })
 	a.Send(&Packet{Src: Addr{Node: a.ID}, Dst: Addr{Node: b.ID}, Proto: ProtoControl, Bytes: 500})
 	if err := net.Sched.Run(); err != nil {
 		t.Fatalf("Run: %v", err)

@@ -9,18 +9,22 @@ import (
 // packet to the receiving node(s) by calling Node.Deliver, typically after
 // modelling serialization, propagation and loss.
 type Medium interface {
-	// Transmit sends p from the given interface. Implementations must not
-	// retain p beyond the call unless they Clone it or deliver it intact.
+	// Transmit sends p from the given interface. The caller may recycle p
+	// as soon as Transmit returns, so implementations must not retain p
+	// beyond the call — Clone (or copy) it before any deferred use.
 	Transmit(from *Iface, p *Packet)
 }
 
-// Handler consumes packets addressed to a node for a given protocol.
+// Handler consumes packets addressed to a node for a given protocol. The
+// packet is recycled after the handler returns: retain the Body, a copy,
+// or a Clone — never the *Packet itself.
 type Handler func(p *Packet)
 
 // Tap inspects (and may veto) packets traversing a node, including packets
 // being forwarded. Taps implement in-network agents such as the Snoop TCP
 // accelerator and Mobile IP interception. Returning false swallows the
-// packet.
+// packet. Like Handlers, taps must not retain the *Packet past their own
+// return.
 type Tap func(p *Packet) bool
 
 // TapFlaggedDrop can be returned in future extensions; currently a bool
@@ -85,11 +89,17 @@ type Node struct {
 }
 
 // Network owns the scheduler and the set of nodes, and assigns node IDs.
+// It also owns the packet and delivery-record free lists that make the
+// steady-state forwarding path allocation-free; like the scheduler, these
+// are single-goroutine structures.
 type Network struct {
 	Sched  *Scheduler
 	nodes  map[NodeID]*Node
 	next   NodeID
 	tracer func(TraceEvent)
+
+	pktFree []*Packet
+	dlvFree []*linkDelivery
 }
 
 // NewNetwork creates an empty network driven by the given scheduler.
@@ -109,6 +119,58 @@ func (n *Network) NewNode(name string) *Node {
 	}
 	n.nodes[node.ID] = node
 	return node
+}
+
+// AllocPacket returns a zeroed packet from the network's free list,
+// growing it when empty. Pool-owned packets handed to Node.Send are
+// recycled automatically when the send completes, so the caller must not
+// keep a reference after Send returns. Packets built as plain &Packet{}
+// literals are never recycled and carry no such restriction.
+func (n *Network) AllocPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree = n.pktFree[:k-1]
+		p.inPool = false
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// freePacket recycles a pool-owned packet; packets from plain literals
+// pass through untouched.
+func (n *Network) freePacket(p *Packet) {
+	if !p.pooled {
+		return
+	}
+	if p.inPool {
+		panic("simnet: pooled packet freed twice")
+	}
+	*p = Packet{pooled: true, inPool: true}
+	n.pktFree = append(n.pktFree, p)
+}
+
+// clonePooled is Clone into a recycled packet, for the media hot path.
+func (n *Network) clonePooled(p *Packet) *Packet {
+	cp := n.AllocPacket()
+	*cp = *p
+	cp.pooled, cp.inPool = true, false
+	return cp
+}
+
+// allocDelivery returns a recycled link delivery record.
+func (n *Network) allocDelivery() *linkDelivery {
+	if k := len(n.dlvFree); k > 0 {
+		d := n.dlvFree[k-1]
+		n.dlvFree = n.dlvFree[:k-1]
+		return d
+	}
+	return &linkDelivery{}
+}
+
+// freeDelivery recycles a link delivery record.
+func (n *Network) freeDelivery(d *linkDelivery) {
+	*d = linkDelivery{}
+	n.dlvFree = append(n.dlvFree, d)
 }
 
 // Node returns the node with the given ID, or nil.
@@ -179,7 +241,9 @@ func (nd *Node) RouteTo(dst NodeID) *Iface {
 	return nd.defaultRoute
 }
 
-// Send originates a packet from this node, stamping defaults and routing it.
+// Send originates a packet from this node, stamping defaults and routing
+// it. Packets from Network.AllocPacket are recycled before Send returns —
+// media transmit a copy, so the caller must not touch p afterwards.
 func (nd *Node) Send(p *Packet) {
 	if p.TTL == 0 {
 		p.TTL = DefaultTTL
@@ -188,6 +252,7 @@ func (nd *Node) Send(p *Packet) {
 		p.Bytes = 1
 	}
 	nd.dispatch(p)
+	nd.net.freePacket(p)
 }
 
 // Deliver hands a packet that has arrived over a medium to the node. It is

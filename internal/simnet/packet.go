@@ -60,6 +60,12 @@ const DefaultTTL = 32
 // typed payload (a TCP segment, a WTP PDU, ...) — the simulation transfers
 // Go values instead of marshalled bytes, but accounts for wire cost through
 // Bytes, which includes simulated header overhead.
+//
+// Ownership: packets obtained from Network.AllocPacket are recycled by the
+// simulation once the send or delivery that carries them completes.
+// Handlers, taps and tracers therefore must not keep a *Packet past their
+// own return — copy the value or Clone it to retain. Body payloads may be
+// retained freely; recycling only resets the Packet struct itself.
 type Packet struct {
 	Src   Addr
 	Dst   Addr
@@ -79,15 +85,25 @@ type Packet struct {
 	// onWire records that the packet has been transmitted at least once;
 	// nodes use it to distinguish forwarding from local origination.
 	onWire bool
+
+	// pooled marks packets owned by a Network free list; they are recycled
+	// when the send or delivery carrying them completes. inPool guards
+	// against double-free while the packet sits on the free list.
+	pooled bool
+	inPool bool
 }
 
 // OnWire reports whether the packet has been transmitted on any medium.
 func (p *Packet) OnWire() bool { return p.onWire }
 
 // Clone returns a shallow copy of the packet. Body is shared; transports
-// that mutate segment state must copy it themselves.
+// that mutate segment state must copy it themselves. The copy is never
+// pool-owned, so cloning is also how a handler or tap safely retains a
+// packet past its own return.
 func (p *Packet) Clone() *Packet {
 	cp := *p
+	cp.pooled = false
+	cp.inPool = false
 	return &cp
 }
 

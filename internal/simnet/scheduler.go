@@ -1,7 +1,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"errors"
 	"math/rand"
 	"time"
@@ -11,85 +10,104 @@ import (
 // before the event queue drained.
 var ErrStopped = errors.New("simnet: scheduler stopped")
 
-// Timer is a handle to a scheduled event. The zero value is not useful;
-// timers are created by Scheduler.At and Scheduler.After.
+// Timer is a handle to a scheduled event. It is a small value (scheduler,
+// arena slot, generation) and is copied freely; the zero value is a valid
+// "no timer" for which Cancel and Pending report false. Handles stay safe
+// after the event fires or is cancelled: the slot's generation changes when
+// it is recycled, so a stale handle can never touch a newer event.
 type Timer struct {
-	ev *event
+	s    *Scheduler
+	slot int32
+	gen  uint32
 }
 
 // Cancel prevents the timer's callback from running. Cancelling an already
-// fired or already cancelled timer is a no-op. It reports whether the
-// callback was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+// fired or already cancelled timer (or the zero Timer) is a no-op. It
+// reports whether the callback was still pending.
+func (t Timer) Cancel() bool {
+	s := t.s
+	if s == nil {
 		return false
 	}
-	t.ev.cancelled = true
+	sl := &s.arena[t.slot]
+	if sl.gen != t.gen || sl.state != slotPending {
+		return false
+	}
+	sl.state = slotCancelled
+	sl.fn = nil
+	sl.fnArg = nil
+	sl.arg = nil
+	s.live--
+	s.cancelled++
+	s.maybeCompact()
 	return true
 }
 
 // Pending reports whether the timer's callback has neither fired nor been
 // cancelled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
-}
-
-type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	cancelled bool
-	fired     bool
-	index     int // heap index
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (t Timer) Pending() bool {
+	s := t.s
+	if s == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	sl := &s.arena[t.slot]
+	return sl.gen == t.gen && sl.state == slotPending
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// Event slot lifecycle states. A slot is recycled (generation bumped,
+// pushed on the free list) when its event fires, or — for cancelled events
+// — when the stale heap entry is popped or compacted away.
+const (
+	slotFree uint8 = iota
+	slotPending
+	slotCancelled
+)
+
+// eventSlot is one arena entry. Callbacks come in two flavours: a plain
+// fn func(), or fnArg(arg) for hot paths that reuse a package-level func
+// value plus a pooled argument to schedule without allocating a closure.
+type eventSlot struct {
+	fn    func()
+	fnArg func(any)
+	arg   any
+	gen   uint32
+	state uint8
 }
 
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// heapEntry is one node of the 4-ary min-heap. The ordering key (at, seq)
+// is stored inline so sift operations never chase the arena.
+type heapEntry struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// compactMinCancelled is the floor below which cancelled heap entries are
+// left to be reaped lazily; above it, compaction triggers once cancelled
+// entries are at least half the heap.
+const compactMinCancelled = 64
 
 // Scheduler is the discrete-event core: a virtual clock plus an ordered
-// queue of future callbacks. It is not safe for concurrent use; the entire
-// simulation runs on the goroutine that calls Run, RunUntil or Step.
+// queue of future callbacks. Events live in a value-typed arena indexed by
+// a 4-ary min-heap of (time, seq) keys; a free list recycles arena slots
+// so steady-state scheduling performs no allocations. It is not safe for
+// concurrent use; the entire simulation runs on the goroutine that calls
+// Run, RunUntil or Step.
 type Scheduler struct {
 	now     time.Duration
 	seq     uint64
-	events  eventHeap
+	arena   []eventSlot
+	free    []int32
+	heap    []heapEntry
 	rng     *rand.Rand
 	stopped bool
 
-	// Executed counts events that have fired, for diagnostics.
+	// live counts pending (not cancelled, not fired) events; cancelled
+	// counts cancelled events whose heap entries have not been reaped.
+	live      int
+	cancelled int
+
+	// executed counts events that have fired, for diagnostics.
 	executed uint64
 }
 
@@ -109,49 +127,123 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 // Executed returns the number of events that have fired so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not yet been reaped).
-func (s *Scheduler) Pending() int { return len(s.events) }
+// Pending returns the number of events still queued and due to fire.
+// Cancelled events are excluded, even when their heap entries have not yet
+// been reaped.
+func (s *Scheduler) Pending() int { return s.live }
 
-// At schedules fn to run at absolute virtual time t. Times in the past are
-// clamped to Now: the event fires on the next Step, after already queued
-// events at the current instant.
-func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+// alloc grabs a free arena slot (recycling before growing) and stores the
+// callback. It returns the slot index.
+func (s *Scheduler) alloc(fn func(), fnArg func(any), arg any) int32 {
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.arena = append(s.arena, eventSlot{})
+		slot = int32(len(s.arena) - 1)
+	}
+	sl := &s.arena[slot]
+	if sl.state != slotFree {
+		panic("simnet: scheduler free list holds a live slot")
+	}
+	sl.fn = fn
+	sl.fnArg = fnArg
+	sl.arg = arg
+	sl.state = slotPending
+	s.live++
+	return slot
+}
+
+// freeSlot recycles an arena slot: bump the generation so stale Timer
+// handles miss, drop callback references for the GC, push on the free list.
+func (s *Scheduler) freeSlot(slot int32) {
+	sl := &s.arena[slot]
+	sl.gen++
+	sl.state = slotFree
+	sl.fn = nil
+	sl.fnArg = nil
+	sl.arg = nil
+	s.free = append(s.free, slot)
+}
+
+// schedule inserts a pending slot into the heap at time t.
+func (s *Scheduler) schedule(t time.Duration, slot int32) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	s.heap = append(s.heap, heapEntry{at: t, seq: s.seq, slot: slot})
+	s.siftUp(len(s.heap) - 1)
+}
+
+// At schedules fn to run at absolute virtual time t. Times in the past are
+// clamped to Now: the event fires on the next Step, after already queued
+// events at the current instant.
+func (s *Scheduler) At(t time.Duration, fn func()) Timer {
+	slot := s.alloc(fn, nil, nil)
+	s.schedule(t, slot)
+	return Timer{s: s, slot: slot, gen: s.arena[slot].gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative d is
 // treated as zero.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
 }
 
+// AtCall schedules fn(arg) at absolute virtual time t. Unlike At, it does
+// not require a closure: hot paths pass a package-level func value and a
+// (typically pooled) argument, so scheduling allocates nothing. arg should
+// be a pointer; pointers stored in an interface do not allocate.
+func (s *Scheduler) AtCall(t time.Duration, fn func(any), arg any) Timer {
+	slot := s.alloc(nil, fn, arg)
+	s.schedule(t, slot)
+	return Timer{s: s, slot: slot, gen: s.arena[slot].gen}
+}
+
+// AfterCall schedules fn(arg) to run d after the current virtual time.
+// Negative d is treated as zero.
+func (s *Scheduler) AfterCall(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtCall(s.now+d, fn, arg)
+}
+
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event fired (false when the queue is
 // empty or only cancelled events remain).
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		ev, ok := heap.Pop(&s.events).(*event)
-		if !ok {
-			return false
-		}
-		if ev.cancelled {
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		s.popRoot()
+		sl := &s.arena[e.slot]
+		switch sl.state {
+		case slotCancelled:
+			s.cancelled--
+			s.freeSlot(e.slot)
 			continue
+		case slotPending:
+			// Copy the callback out and recycle the slot before firing,
+			// so the callback can schedule into the freed slot.
+			fn, fnArg, arg := sl.fn, sl.fnArg, sl.arg
+			s.freeSlot(e.slot)
+			s.live--
+			s.now = e.at
+			s.executed++
+			if fn != nil {
+				fn()
+			} else {
+				fnArg(arg)
+			}
+			return true
+		default:
+			panic("simnet: heap entry references a free event slot")
 		}
-		s.now = ev.at
-		ev.fired = true
-		s.executed++
-		ev.fn()
-		return true
 	}
 	return false
 }
@@ -195,14 +287,110 @@ func (s *Scheduler) RunFor(d time.Duration) error {
 // inside an event callback.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// peek returns the timestamp of the earliest live event.
+// peek returns the timestamp of the earliest live event, reaping cancelled
+// entries it encounters at the heap top.
 func (s *Scheduler) peek() (time.Duration, bool) {
-	for len(s.events) > 0 {
-		ev := s.events[0]
-		if !ev.cancelled {
-			return ev.at, true
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		if s.arena[e.slot].state != slotCancelled {
+			return e.at, true
 		}
-		heap.Pop(&s.events)
+		s.popRoot()
+		s.cancelled--
+		s.freeSlot(e.slot)
 	}
 	return 0, false
+}
+
+// maybeCompact sweeps cancelled entries out of the heap once they are the
+// majority of a non-trivial queue, bounding the O(cancelled) memory and
+// pop-time churn that unreaped cancellations otherwise accumulate (the TCP
+// retransmit pattern: almost every timer is cancelled before it fires).
+func (s *Scheduler) maybeCompact() {
+	if s.cancelled < compactMinCancelled || 2*s.cancelled < len(s.heap) {
+		return
+	}
+	h := s.heap[:0]
+	for _, e := range s.heap {
+		if s.arena[e.slot].state == slotCancelled {
+			s.freeSlot(e.slot)
+			continue
+		}
+		h = append(h, e)
+	}
+	s.heap = h
+	s.cancelled = 0
+	// Bottom-up heapify: sift down every internal node.
+	if n := len(h); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			s.siftDown(i)
+		}
+	}
+}
+
+// less orders heap entries by (time, schedule sequence) so ties fire in
+// scheduling order.
+func (s *Scheduler) less(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// popRoot removes the minimum heap entry.
+func (s *Scheduler) popRoot() {
+	h := s.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+}
+
+// siftUp restores heap order from leaf i toward the root (4-ary layout:
+// parent of i is (i-1)/4).
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.less(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+}
+
+// siftDown restores heap order from node i toward the leaves (children of
+// i are 4i+1..4i+4).
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// Pick the smallest of up to four children.
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if s.less(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !s.less(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = e
 }

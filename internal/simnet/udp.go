@@ -60,15 +60,17 @@ func (u *UDP) ListenAny(h DatagramHandler) Port {
 func (u *UDP) Close(port Port) { delete(u.ports, port) }
 
 // Send transmits a datagram from the given local port. bytes is the payload
-// size; UDP/IP header overhead is added automatically.
+// size; UDP/IP header overhead is added automatically. The packet travels
+// through the network's pool, so sending allocates nothing beyond what the
+// caller's body payload needs.
 func (u *UDP) Send(from Port, to Addr, body any, bytes int) {
-	u.node.Send(&Packet{
-		Src:   Addr{Node: u.node.ID, Port: from},
-		Dst:   to,
-		Proto: ProtoUDP,
-		Bytes: bytes + UDPHeaderBytes,
-		Body:  body,
-	})
+	p := u.node.net.AllocPacket()
+	p.Src = Addr{Node: u.node.ID, Port: from}
+	p.Dst = to
+	p.Proto = ProtoUDP
+	p.Bytes = bytes + UDPHeaderBytes
+	p.Body = body
+	u.node.Send(p)
 }
 
 func (u *UDP) deliver(p *Packet) {

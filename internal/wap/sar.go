@@ -59,7 +59,7 @@ type sarAssembly struct {
 	received map[int]bool
 	body     any
 	total    int
-	gapTimer *simnet.Timer
+	gapTimer simnet.Timer
 	done     bool
 	nacks    int
 }
@@ -130,9 +130,7 @@ func (w *WTP) onSegment(from simnet.Addr, seg *wtpSegment) {
 	}
 	if len(as.received) >= as.count {
 		as.done = true
-		if as.gapTimer != nil {
-			as.gapTimer.Cancel()
-		}
+		as.gapTimer.Cancel()
 		w.stats.SARReassembled++
 		w.dispatchReassembled(from, key, as)
 		// Keep the tombstone briefly, then reclaim.
@@ -141,7 +139,7 @@ func (w *WTP) onSegment(from simnet.Addr, seg *wtpSegment) {
 		return
 	}
 	// Incomplete: (re)arm the gap timer to nack missing segments.
-	if as.gapTimer == nil || !as.gapTimer.Pending() {
+	if !as.gapTimer.Pending() {
 		as.gapTimer = w.node.Sched().After(w.cfg.RetryInterval/2, func() {
 			w.nackMissing(from, key, as)
 		})

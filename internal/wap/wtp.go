@@ -104,7 +104,7 @@ type wtpPending struct {
 	inv     *wtpInvoke
 	done    func(any, int, error)
 	retries int
-	timer   *simnet.Timer
+	timer   simnet.Timer
 }
 
 type respKey struct {
@@ -117,7 +117,7 @@ type wtpServed struct {
 	to      simnet.Addr
 	acked   bool
 	retries int
-	timer   *simnet.Timer
+	timer   simnet.Timer
 }
 
 // NewWTP binds a transaction endpoint to a node's datagram port.
@@ -291,9 +291,7 @@ func (w *WTP) sendResult(sv *wtpServed, key respKey) {
 	} else {
 		simnet.UDPOf(w.node).Send(w.port, sv.to, sv.result, sv.result.Bytes+wtpHeaderBytes)
 	}
-	if sv.timer != nil {
-		sv.timer.Cancel()
-	}
+	sv.timer.Cancel()
 	sv.timer = w.node.Sched().After(w.cfg.RetryInterval, func() {
 		if sv.acked {
 			return
@@ -318,9 +316,7 @@ func (w *WTP) onResult(from simnet.Addr, m *wtpResult) {
 	}
 	delete(w.pending, m.TID)
 	delete(w.sarSends, sarGroupKey{from: from, tid: m.TID, result: false})
-	if p.timer != nil {
-		p.timer.Cancel()
-	}
+	p.timer.Cancel()
 	simnet.UDPOf(w.node).Send(w.port, from, &wtpAck{TID: m.TID}, wtpHeaderBytes)
 	if p.done != nil {
 		p.done(m.Body, m.Bytes, nil)
@@ -332,9 +328,7 @@ func (w *WTP) onAck(from simnet.Addr, m *wtpAck) {
 	if sv, ok := w.served[key]; ok {
 		sv.acked = true
 		delete(w.sarSends, sarGroupKey{from: from, tid: m.TID, result: true})
-		if sv.timer != nil {
-			sv.timer.Cancel()
-		}
+		sv.timer.Cancel()
 		// Keep the tombstone briefly for duplicate suppression, then
 		// reclaim it.
 		hold := w.cfg.RetryInterval * time.Duration(w.cfg.MaxRetries+1)

@@ -155,7 +155,7 @@ type Station struct {
 
 	ap       *AP // nil when unassociated or in handoff blackout
 	blackout bool
-	moveTmr  *simnet.Timer
+	moveTmr  simnet.Timer
 }
 
 // Node returns the node the station radio is attached to.
@@ -263,10 +263,7 @@ func (s *Station) MoveTo(pos Position) {
 // Walk moves the station toward dest at speed (m/s), updating its position
 // every step interval until it arrives. Any previous walk is cancelled.
 func (s *Station) Walk(dest Position, speed float64, step time.Duration) {
-	if s.moveTmr != nil {
-		s.moveTmr.Cancel()
-		s.moveTmr = nil
-	}
+	s.moveTmr.Cancel()
 	if speed <= 0 || step <= 0 {
 		s.MoveTo(dest)
 		return
@@ -277,7 +274,6 @@ func (s *Station) Walk(dest Position, speed float64, step time.Duration) {
 		d := s.pos.Dist(dest)
 		if d <= stride {
 			s.MoveTo(dest)
-			s.moveTmr = nil
 			return
 		}
 		f := stride / d

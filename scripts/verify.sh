@@ -1,0 +1,12 @@
+#!/bin/sh
+# verify.sh — the full local gate: static checks, build, the whole test
+# suite, and the race detector over the packages that use goroutines
+# (the parallel experiment runner and the simnet structures it drives).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/experiments ./internal/simnet
