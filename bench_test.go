@@ -183,3 +183,17 @@ func BenchmarkAblations(b *testing.B) {
 	b.ReportMetric(sync.Get("sync_delivered"), "obs-synced")
 	b.ReportMetric(sync.Get("online_delivered"), "obs-online")
 }
+
+// BenchmarkChaos regenerates the fault-injection resilience study:
+// transaction completion with the default fault plan on vs off, and with
+// the resilience policies armed vs disabled.
+func BenchmarkChaos(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Chaos(int64(i + 1))[0]
+	}
+	b.ReportMetric(res.Get("faults, resilient/completion")*100, "pct-complete-resilient")
+	b.ReportMetric(res.Get("faults, fragile/completion")*100, "pct-complete-fragile")
+	b.ReportMetric(res.Get("faults, resilient/p99_ms"), "ms-p99-faulted")
+	b.ReportMetric(res.Get("faults, resilient/amplification"), "x-retry-amplification")
+}

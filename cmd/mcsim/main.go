@@ -6,7 +6,13 @@
 //
 //	mcsim [-bearer wlan|cellular] [-wlan 802.11b|802.11a|802.11g|hiperlan2|bluetooth]
 //	      [-cell gprs|edge|gsm|cdma|cdma2000|wcdma] [-middleware wap|imode]
-//	      [-clients N] [-rounds N] [-seed N] [-replicas R] [-parallel N]
+//	      [-clients N] [-rounds N] [-seed N] [-replicas R] [-parallel N] [-faults]
+//
+// With -faults, the default chaos plan (see internal/faults) runs against
+// the deployment during the workload: WAN flap, brownout, gateway and host
+// crashes and a short partition, all on the simulation clock, so two runs
+// at the same seed inject byte-identical fault sequences. The report gains
+// the fault plan and the applied-fault log.
 //
 // With -replicas R > 1, the same scenario runs R times at seeds seed,
 // seed+1, ..., seed+R-1 on up to -parallel concurrent workers (default
@@ -28,6 +34,7 @@ import (
 	"mcommerce/internal/core"
 	"mcommerce/internal/device"
 	"mcommerce/internal/experiments"
+	"mcommerce/internal/faults"
 	"mcommerce/internal/simnet"
 	"mcommerce/internal/webserver"
 	"mcommerce/internal/wireless"
@@ -50,6 +57,7 @@ type scenario struct {
 	clients    int
 	rounds     int
 	trace      bool
+	faults     bool
 }
 
 func run(args []string) error {
@@ -64,6 +72,7 @@ func run(args []string) error {
 	replicas := fs.Int("replicas", 1, "independent replicas at consecutive seeds")
 	parallel := fs.Int("parallel", 0, "max concurrent replicas (0 = GOMAXPROCS, 1 = serial)")
 	trace := fs.Bool("trace", false, "print a packet trace of the whole run to stderr (single replica only)")
+	withFaults := fs.Bool("faults", false, "inject the default fault plan (link flaps, brownout, gateway and host crashes, partition) during the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,7 +83,7 @@ func run(args []string) error {
 		return fmt.Errorf("-trace requires -replicas 1 (traces from concurrent replicas would interleave)")
 	}
 
-	sc := scenario{middleware: *middleware, clients: *clients, rounds: *rounds, trace: *trace}
+	sc := scenario{middleware: *middleware, clients: *clients, rounds: *rounds, trace: *trace, faults: *withFaults}
 	switch strings.ToLower(*bearer) {
 	case "wlan":
 		sc.bearer = core.BearerWLAN
@@ -150,6 +159,18 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 	}
 	fmt.Fprint(w, mc.Sys.Describe())
 	fmt.Fprintln(w)
+
+	var injector *faults.Injector
+	if sc.faults {
+		injector = faults.NewInjector(mc.Net)
+		experiments.ChaosTargets(mc, injector)
+		plan := experiments.DefaultChaosPlan(seed)
+		if err := injector.Schedule(plan); err != nil {
+			return err
+		}
+		fmt.Fprint(w, plan.String())
+		fmt.Fprintln(w)
+	}
 
 	// For circuit-switched cellular, every station needs a data call.
 	pending := 0
@@ -239,6 +260,14 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 	}
 	hs := mc.Host.Server.Stats()
 	fmt.Fprintf(w, "  host computer: requests=%d notFound=%d bytesServed=%d\n", hs.Requests, hs.NotFound, hs.BytesServed)
+	if injector != nil {
+		fs := injector.Stats()
+		fmt.Fprintf(w, "  fault injection: applied=%d (linkDown=%d brownout=%d crash=%d partition=%d ifaceDown=%d)\n",
+			fs.Total(), fs.LinkDowns, fs.Brownouts, fs.Crashes, fs.Partitions, fs.IfaceDowns)
+		for _, l := range injector.Log() {
+			fmt.Fprintf(w, "    %s\n", l)
+		}
+	}
 	commits, aborts, conflicts := mc.Host.DB.Stats()
 	fmt.Fprintf(w, "  database server: commits=%d aborts=%d lockConflicts=%d tables=%d\n",
 		commits, aborts, conflicts, len(mc.Host.DB.Tables()))

@@ -5,12 +5,39 @@ import (
 	"testing"
 
 	"mcommerce/internal/cellular"
+	"mcommerce/internal/core"
 	"mcommerce/internal/wireless"
 )
 
 func TestRunSmallWLANScenario(t *testing.T) {
 	if err := run([]string{"-clients", "2", "-rounds", "2", "-middleware", "imode"}); err != nil {
 		t.Errorf("wlan scenario: %v", err)
+	}
+}
+
+func TestRunFaultedScenarioDeterministic(t *testing.T) {
+	sc := scenario{middleware: "wap", clients: 2, rounds: 2, faults: true}
+	std, err := wlanByName("802.11b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.bearer = core.BearerWLAN
+	sc.wlan = std
+	var a, b strings.Builder
+	if err := runOne(sc, 1, &a); err != nil {
+		t.Fatalf("faulted run: %v", err)
+	}
+	if err := runOne(sc, 1, &b); err != nil {
+		t.Fatalf("faulted rerun: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Error("same-seed faulted reports are not byte-identical")
+	}
+	if !strings.Contains(a.String(), "fault injection: applied=") {
+		t.Error("report missing fault-injection statistics")
+	}
+	if !strings.Contains(a.String(), "node gateway crash") {
+		t.Error("fault log missing the gateway crash")
 	}
 }
 

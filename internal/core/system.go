@@ -103,11 +103,17 @@ type MC struct {
 
 	Host        *Host
 	GatewayNode *simnet.Node
+	RouterNode  *simnet.Node
 	WAP         *wap.Gateway
 	IMode       *imode.Gateway
 	WLAN        *wireless.LAN
 	Cell        *cellular.Net
 	Clients     []*MobileClient
+
+	// LANLink (host—router) and WANLink (router—gateway) are the wired
+	// segments, exposed as fault-injection targets.
+	LANLink *simnet.Link
+	WANLink *simnet.Link
 
 	wapCfg wap.GatewayConfig
 }
@@ -166,6 +172,9 @@ func BuildMC(cfg MCConfig) (*MC, error) {
 	router.SetDefaultRoute(wan.IfaceA())
 	gw.SetRoute(host.Node.ID, wan.IfaceB())
 	mc.GatewayNode = gw
+	mc.RouterNode = router
+	mc.LANLink = lan
+	mc.WANLink = wan
 
 	// Mobile middleware on the gateway node.
 	gwStack, err := mtcp.NewStack(gw)

@@ -1,0 +1,118 @@
+package device_test
+
+import (
+	"errors"
+	"testing"
+
+	"mcommerce/internal/device"
+	"mcommerce/internal/mobiledb"
+	"mcommerce/internal/simnet"
+)
+
+// scriptedFetcher answers fetches from a map, or fails when down.
+type scriptedFetcher struct {
+	pages   map[string]string
+	down    bool
+	fetches int
+	submits int
+}
+
+var errDown = errors.New("bearer down")
+
+func (s *scriptedFetcher) Fetch(origin simnet.Addr, path string, done func([]byte, string, error)) {
+	s.fetches++
+	if s.down {
+		done(nil, "", errDown)
+		return
+	}
+	done([]byte(s.pages[path]), "text/vnd.wap.wml", nil)
+}
+
+func (s *scriptedFetcher) Submit(origin simnet.Addr, path, ct string, body []byte, done func([]byte, string, error)) {
+	s.submits++
+	if s.down {
+		done(nil, "", errDown)
+		return
+	}
+	done([]byte("ok"), "text/plain", nil)
+}
+
+func TestOfflineFetcherServesStaleWhenDown(t *testing.T) {
+	inner := &scriptedFetcher{pages: map[string]string{"/shop": "<wml/>"}}
+	f := &device.OfflineFetcher{Inner: inner, Store: mobiledb.New("handheld", 0)}
+	origin := simnet.Addr{Node: 3, Port: 80}
+
+	var payload []byte
+	var ct string
+	f.Fetch(origin, "/shop", func(p []byte, c string, err error) {
+		if err != nil {
+			t.Fatalf("online Fetch: %v", err)
+		}
+		payload, ct = p, c
+	})
+	if string(payload) != "<wml/>" || ct != "text/vnd.wap.wml" {
+		t.Fatalf("online fetch = %q %q", payload, ct)
+	}
+	if f.Cached != 1 {
+		t.Fatalf("Cached = %d, want 1", f.Cached)
+	}
+
+	inner.down = true
+	f.Fetch(origin, "/shop", func(p []byte, c string, err error) {
+		if err != nil {
+			t.Fatalf("offline Fetch: %v", err)
+		}
+		if string(p) != "<wml/>" || c != "text/vnd.wap.wml" {
+			t.Errorf("stale copy = %q %q, want original payload and type", p, c)
+		}
+	})
+	if f.StaleServed != 1 {
+		t.Errorf("StaleServed = %d, want 1", f.StaleServed)
+	}
+
+	// A page never fetched has no stale copy: the error passes through.
+	f.Fetch(origin, "/nowhere", func(p []byte, c string, err error) {
+		if !errors.Is(err, errDown) {
+			t.Errorf("uncached offline fetch err = %v, want pass-through", err)
+		}
+	})
+
+	// Submits are never served from cache.
+	f.Submit(origin, "/buy", "text/plain", []byte("x"), func(p []byte, c string, err error) {
+		if !errors.Is(err, errDown) {
+			t.Errorf("offline Submit err = %v, want pass-through", err)
+		}
+	})
+	if inner.submits != 1 {
+		t.Errorf("inner submits = %d, want 1", inner.submits)
+	}
+}
+
+func TestOfflineFetcherEvictsUnderBudget(t *testing.T) {
+	inner := &scriptedFetcher{pages: map[string]string{}}
+	for _, p := range []string{"/a", "/b", "/c", "/d"} {
+		inner.pages[p] = "page " + p
+	}
+	// Budget fits roughly two cached pages (key ~14+7 bytes, value
+	// ~20 bytes, +32 overhead each).
+	f := &device.OfflineFetcher{Inner: inner, Store: mobiledb.New("handheld", 160)}
+	origin := simnet.Addr{Node: 3, Port: 80}
+	for _, p := range []string{"/a", "/b", "/c", "/d"} {
+		f.Fetch(origin, p, func([]byte, string, error) {})
+	}
+	if f.Cached != 4 {
+		t.Fatalf("Cached = %d, want 4 (eviction keeps writes succeeding)", f.Cached)
+	}
+	inner.down = true
+	// The most recent page is still cached; the oldest was evicted.
+	f.Fetch(origin, "/d", func(p []byte, _ string, err error) {
+		if err != nil || string(p) != "page /d" {
+			t.Errorf("newest page not cached: %q %v", p, err)
+		}
+	})
+	f.Fetch(origin, "/a", func(_ []byte, _ string, err error) {
+		if err == nil {
+			t.Error("oldest page survived a budget 4x too small")
+		}
+	})
+}

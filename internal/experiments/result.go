@@ -159,10 +159,11 @@ func Registry() map[string]func(seed int64) []*Result {
 		"stream":  func(seed int64) []*Result { return []*Result{Streaming(seed)} },
 		"cap":     func(seed int64) []*Result { return []*Result{Capacity(seed)} },
 		"ablate":  Ablations,
+		"chaos":   Chaos,
 	}
 }
 
 // Names returns registry keys in run order.
 func Names() []string {
-	return []string{"fig1", "fig2", "table1", "table2", "table3", "table4", "table5", "tcp", "handoff", "adhoc", "mip", "stream", "cap", "ablate"}
+	return []string{"fig1", "fig2", "table1", "table2", "table3", "table4", "table5", "tcp", "handoff", "adhoc", "mip", "stream", "cap", "ablate", "chaos"}
 }

@@ -1,0 +1,66 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Backoff is a capped exponential retry policy with deterministic jitter:
+// attempt n (0-based) waits min(Cap, Base*Factor^n), plus a uniform random
+// extension of up to Jitter times that delay drawn from the supplied RNG.
+// Feeding it the simulation scheduler's RNG keeps jittered retries fully
+// replayable.
+//
+// The zero value is a degenerate but safe policy: a fixed 1s delay with no
+// growth and no jitter. Factor values below 1 are treated as 1 (fixed
+// interval), which lets callers layer Backoff onto a legacy fixed-interval
+// config without changing behaviour.
+type Backoff struct {
+	// Base is the delay before the first retry. Zero means 1s.
+	Base time.Duration
+	// Cap bounds the grown delay (before jitter). Zero means no cap.
+	Cap time.Duration
+	// Factor is the per-attempt multiplier; values < 1 mean 1.
+	Factor float64
+	// Jitter is the fraction of the delay added as uniform random spread
+	// in [0, Jitter*delay). Zero disables jitter.
+	Jitter float64
+}
+
+// Delay returns the wait before retry attempt n (0-based). rng may be nil
+// when Jitter is zero.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = time.Second
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 1
+	}
+	d := float64(base)
+	if factor > 1 && attempt > 0 {
+		d *= math.Pow(factor, float64(attempt))
+	}
+	if b.Cap > 0 && d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if b.Jitter > 0 && rng != nil {
+		d += d * b.Jitter * rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Window returns the total time covered by retries 0..n-1 without jitter:
+// the longest outage a caller configured with n retries is guaranteed to
+// ride out (jitter only extends it).
+func (b Backoff) Window(retries int) time.Duration {
+	var total time.Duration
+	for i := 0; i < retries; i++ {
+		noJitter := b
+		noJitter.Jitter = 0
+		total += noJitter.Delay(i, nil)
+	}
+	return total
+}

@@ -1,0 +1,24 @@
+// Package faults is the deterministic fault-injection subsystem: it knocks
+// pieces of a simulated mobile commerce deployment down and brings them
+// back, entirely through simnet scheduler timers, so a run with faults is
+// exactly as replayable as one without.
+//
+// The paper's Section 5.2 argues that mobile commerce must survive an
+// unreliable substrate — handoffs, bursty wireless error, disconnection.
+// The steady-state loss models in simnet cover the average case; this
+// package covers the transients:
+//
+//   - Plan: a script of fault events (link flap, interface down, queue
+//     brownout, node crash + restart with state loss, network partition),
+//     either hand-written or drawn by RandomPlan from a seeded RNG.
+//   - Injector: binds a Plan's symbolic targets to live simnet objects and
+//     schedules the apply/heal pairs on the simulation clock.
+//   - Backoff: the capped-exponential-with-deterministic-jitter retry
+//     policy shared by WTP retransmission, HTTP client retries and
+//     application-level transaction retries.
+//
+// Determinism: every random draw comes either from the plan's own seeded
+// RNG (at plan-build time) or the scheduler's RNG (at run time), so two
+// runs at the same seed produce byte-identical fault sequences and
+// byte-identical reports.
+package faults

@@ -1,0 +1,78 @@
+package mobiledb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestEvictReclaimsFootprint(t *testing.T) {
+	s := New("dev", 0)
+	if err := s.Put("k", []byte("value")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if !s.Evict("k") {
+		t.Fatal("Evict reported missing key")
+	}
+	if s.Evict("k") {
+		t.Error("second Evict reported success")
+	}
+	if s.UsedBytes() != 0 {
+		t.Errorf("UsedBytes = %d after evicting everything", s.UsedBytes())
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("evicted key still readable")
+	}
+	// Unlike Delete, Evict leaves no tombstone for sync.
+	if ch := s.ChangesSince(0); len(ch) != 0 {
+		t.Errorf("evicted key left %d change entries", len(ch))
+	}
+}
+
+func TestPutEvictMakesRoomOldestFirst(t *testing.T) {
+	// Budget for about three entries: each entry charges key+value+32.
+	s := New("dev", 3*(4+20+32))
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key%d", i), make([]byte, 20)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if err := s.Put("key3", make([]byte, 20)); err == nil {
+		t.Fatal("fourth Put fit; budget is wrong")
+	}
+	if err := s.PutEvict("key3", make([]byte, 20)); err != nil {
+		t.Fatalf("PutEvict: %v", err)
+	}
+	// The oldest entry went; the newer two and the new one remain.
+	if _, ok := s.Get("key0"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for _, k := range []string{"key1", "key2", "key3"} {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("%s missing after PutEvict", k)
+		}
+	}
+}
+
+func TestPutEvictNeverEvictsItsOwnKey(t *testing.T) {
+	s := New("dev", 1*(1+40+32)+10)
+	if err := s.Put("k", make([]byte, 40)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Overwriting k with a bigger value must not evict k to fit k.
+	if err := s.PutEvict("k", make([]byte, 200)); err == nil {
+		t.Error("oversized overwrite succeeded; should fail, not self-evict")
+	}
+	if _, ok := s.Get("k"); !ok {
+		t.Error("failed PutEvict destroyed the existing value")
+	}
+}
+
+func TestPutEvictOversizedValueFails(t *testing.T) {
+	s := New("dev", 64)
+	if err := s.PutEvict("big", make([]byte, 1024)); err == nil {
+		t.Error("value larger than the whole budget was accepted")
+	}
+	if s.UsedBytes() != 0 {
+		t.Errorf("failed PutEvict leaked %d bytes", s.UsedBytes())
+	}
+}

@@ -157,6 +157,51 @@ func (s *Store) install(e *Entry, checkBudget bool) error {
 	return nil
 }
 
+// Evict removes a key outright, reclaiming its full footprint without
+// leaving a tombstone. It is a cache-management operation, not a data
+// operation: evicted entries silently vanish from sync too, so use it only
+// for locally reconstructible state (cached replies, not user writes).
+// Reports whether the key existed.
+func (s *Store) Evict(key string) bool {
+	e, ok := s.data[key]
+	if !ok {
+		return false
+	}
+	delete(s.data, key)
+	s.used -= e.size()
+	return true
+}
+
+// PutEvict stores a value like Put, but answers ErrFull by evicting
+// entries (tombstones included) — lowest local log position first, i.e.
+// least-recently-written — until the write fits. The key being written is never evicted to make
+// room for itself. It fails only when the value cannot fit in an otherwise
+// empty store.
+func (s *Store) PutEvict(key string, value []byte) error {
+	err := s.Put(key, value)
+	if err == nil || !errors.Is(err, ErrFull) {
+		return err
+	}
+	// Deterministic victim order: ascending Seq (ties impossible — Seq is
+	// unique per install).
+	victims := make([]*Entry, 0, len(s.data))
+	for k, e := range s.data {
+		if k != key {
+			victims = append(victims, e)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].Seq < victims[j].Seq })
+	for _, v := range victims {
+		s.Evict(v.Key)
+		if err := s.Put(key, value); err == nil {
+			return nil
+		} else if !errors.Is(err, ErrFull) {
+			return err
+		}
+	}
+	return s.Put(key, value)
+}
+
 // Keys returns live keys in sorted order.
 func (s *Store) Keys() []string {
 	out := make([]string, 0, len(s.data))

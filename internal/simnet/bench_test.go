@@ -112,6 +112,53 @@ func TestLinkForwardSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestLinkAdminStateZeroAlloc pins the allocation-free contract of the
+// admin-state check on the forwarding hot path: toggling SetDown and
+// sending through both the up and down states allocates nothing, with or
+// without the Gilbert–Elliott burst model active.
+func TestLinkAdminStateZeroAlloc(t *testing.T) {
+	net := NewNetwork(NewScheduler(1))
+	a := net.NewNode("a")
+	c := net.NewNode("b")
+	l := Connect(a, c, LinkConfig{
+		Rate: Gbps, Delay: time.Microsecond, QueueLen: 1 << 20,
+		Burst: GilbertElliott{PGoodToBad: 0.01, PBadToGood: 0.5, LossBad: 0.5},
+	})
+	a.SetDefaultRoute(l.IfaceA())
+	delivered := 0
+	c.Bind(ProtoControl, func(p *Packet) { delivered++ })
+	iter := func() {
+		l.SetDown(true)
+		p := net.AllocPacket()
+		p.Src = Addr{Node: a.ID}
+		p.Dst = Addr{Node: c.ID}
+		p.Proto = ProtoControl
+		p.Bytes = 100
+		a.Send(p) // discarded by the admin check
+		l.SetDown(false)
+		p = net.AllocPacket()
+		p.Src = Addr{Node: a.ID}
+		p.Dst = Addr{Node: c.ID}
+		p.Proto = ProtoControl
+		p.Bytes = 100
+		a.Send(p)
+		for net.Sched.Step() {
+		}
+	}
+	for i := 0; i < 64; i++ {
+		iter()
+	}
+	if n := testing.AllocsPerRun(500, iter); n != 0 {
+		t.Errorf("admin-state hot path allocates %.1f/op, want 0", n)
+	}
+	if down := l.DroppedDown[0]; down == 0 {
+		t.Fatal("no packets discarded while down")
+	}
+	if delivered == 0 {
+		t.Fatal("nothing delivered while up")
+	}
+}
+
 // BenchmarkSchedulerAfterStep measures the steady-state schedule+fire
 // cycle: one After and one Step per iteration, the pattern every protocol
 // timer and transmission event follows. Steady state must be 0 allocs/op.

@@ -39,6 +39,40 @@ func (r Rate) TxTime(bytes int) time.Duration {
 	return time.Duration(sec * float64(time.Second))
 }
 
+// GilbertElliott parameterizes the classic two-state bursty-loss model: a
+// per-direction Markov chain alternates between a Good and a Bad state with
+// the given per-packet transition probabilities, and each state has its own
+// loss probability. Unlike independent Loss, losses cluster into bursts
+// whose mean length is 1/PBadToGood packets — the wireless-error pattern
+// the paper's Section 5.2 worries about. The zero value disables the model.
+type GilbertElliott struct {
+	// PGoodToBad is the per-packet probability of entering the Bad state.
+	PGoodToBad float64
+	// PBadToGood is the per-packet probability of returning to Good.
+	PBadToGood float64
+	// LossGood is the per-packet loss probability in the Good state
+	// (usually 0 or very small).
+	LossGood float64
+	// LossBad is the per-packet loss probability in the Bad state
+	// (usually near 1).
+	LossBad float64
+}
+
+// Enabled reports whether the model is active (any transition probability
+// set).
+func (g GilbertElliott) Enabled() bool { return g.PGoodToBad > 0 || g.PBadToGood > 0 }
+
+// StationaryLoss returns the analytic long-run loss rate: the chain's
+// stationary distribution weighted by the per-state loss probabilities.
+func (g GilbertElliott) StationaryLoss() float64 {
+	den := g.PGoodToBad + g.PBadToGood
+	if den == 0 {
+		return g.LossGood
+	}
+	pBad := g.PGoodToBad / den
+	return (1-pBad)*g.LossGood + pBad*g.LossBad
+}
+
 // LinkConfig parameterizes a point-to-point link.
 type LinkConfig struct {
 	// Rate is the transmission speed in each direction.
@@ -54,6 +88,9 @@ type LinkConfig struct {
 	// with probability 1-(1-BER)^(8n), on top of Loss. Use it when frame
 	// size should matter (radio-like links); larger frames die more often.
 	BitErrorRate float64
+	// Burst enables Gilbert–Elliott bursty loss on top of (or instead of)
+	// the independent Loss model. Each direction runs its own chain.
+	Burst GilbertElliott
 	// QueueLen is the per-direction drop-tail queue capacity in packets.
 	// Zero means DefaultQueueLen.
 	QueueLen int
@@ -79,15 +116,30 @@ type Link struct {
 	a, b *Iface
 	net  *Network
 
+	// down is the administrative state: a downed link silently discards
+	// both directions (fault injection / disconnection modelling).
+	down bool
+	// base holds the undegraded config while a brownout is active.
+	base *LinkConfig
+	// burstBad is the per-direction Gilbert–Elliott chain state.
+	burstBad [2]bool
+
 	// busyUntil is when each direction's transmitter frees up.
 	// Index 0: a->b, index 1: b->a.
 	busyUntil [2]time.Duration
 	queued    [2]int
 
-	// Stats per direction.
-	Delivered [2]uint64
-	Lost      [2]uint64
-	Dropped   [2]uint64 // queue overflow
+	// Stats per direction. Lost is the total loss-model verdict count and
+	// always equals LostRandom + LostBurst; Dropped counts only queue
+	// overflow, and DroppedDown counts admin-down discards, so the three
+	// failure modes are distinguishable (and each is traced with its own
+	// reason: "loss", "loss-burst", "queue-overflow", "link-down").
+	Delivered   [2]uint64
+	Lost        [2]uint64
+	LostRandom  [2]uint64 // independent Loss / BitErrorRate verdicts
+	LostBurst   [2]uint64 // Gilbert–Elliott bad-state verdicts
+	Dropped     [2]uint64 // queue overflow
+	DroppedDown [2]uint64 // discarded while administratively down
 }
 
 var _ Medium = (*Link)(nil)
@@ -104,8 +156,53 @@ func Connect(x, y *Node, cfg LinkConfig) *Link {
 	return l
 }
 
-// Config returns the link's configuration.
+// Config returns the link's effective configuration (including any active
+// brownout degradation).
 func (l *Link) Config() LinkConfig { return l.cfg }
+
+// SetDown sets the link's administrative state. While down, both directions
+// silently discard traffic (counted in DroppedDown and traced as
+// "link-down"). Safe on the zero Link and allocation-free: the hot-path
+// check is a single bool load.
+func (l *Link) SetDown(down bool) {
+	if l == nil {
+		return
+	}
+	l.down = down
+}
+
+// IsDown reports the administrative state; the zero Link is up.
+func (l *Link) IsDown() bool { return l != nil && l.down }
+
+// Degrade applies a brownout: the effective rate is scaled by rateFactor
+// (values in (0,1]; <=0 leaves the rate alone) and extraLoss is added to
+// the independent loss probability. Repeated calls replace, rather than
+// compound, any active brownout. Restore reverts to the configured values.
+func (l *Link) Degrade(rateFactor, extraLoss float64) {
+	if l.base == nil {
+		base := l.cfg
+		l.base = &base
+	}
+	l.cfg = *l.base
+	if rateFactor > 0 {
+		l.cfg.Rate = Rate(float64(l.base.Rate) * rateFactor)
+	}
+	if loss := l.base.Loss + extraLoss; loss > 0 {
+		if loss > 0.9999 {
+			loss = 0.9999
+		}
+		l.cfg.Loss = loss
+	}
+}
+
+// Restore ends a brownout, reverting Degrade. A link that was never
+// degraded is left untouched.
+func (l *Link) Restore() {
+	if l.base != nil {
+		l.cfg = *l.base
+		l.base = nil
+	}
+}
 
 // IfaceA returns the interface on the first node passed to Connect.
 func (l *Link) IfaceA() *Iface { return l.a }
@@ -168,6 +265,12 @@ func (l *Link) Transmit(from *Iface, p *Packet) {
 		return
 	}
 
+	if l.down {
+		l.DroppedDown[dir]++
+		l.net.trace(TraceEvent{Kind: TraceDrop, Node: from.Node, Iface: from, Packet: p, Reason: "link-down"})
+		return
+	}
+
 	s := l.net.Sched
 	now := s.Now()
 	if l.busyUntil[dir] < now {
@@ -176,6 +279,7 @@ func (l *Link) Transmit(from *Iface, p *Packet) {
 	}
 	if l.queued[dir] >= l.cfg.QueueLen {
 		l.Dropped[dir]++
+		l.net.trace(TraceEvent{Kind: TraceDrop, Node: from.Node, Iface: from, Packet: p, Reason: "queue-overflow"})
 		return
 	}
 
@@ -187,8 +291,9 @@ func (l *Link) Transmit(from *Iface, p *Packet) {
 		arrive += time.Duration(s.Rand().Int63n(int64(l.cfg.Jitter)))
 	}
 
-	if l.lost(s, p.Bytes) {
+	if reason := l.lost(s, dir, p.Bytes); reason != "" {
 		l.Lost[dir]++
+		l.net.trace(TraceEvent{Kind: TraceDrop, Node: from.Node, Iface: from, Packet: p, Reason: reason})
 		// The transmitter is still occupied for the serialization time;
 		// decrement the queue when the frame would have finished sending.
 		s.AtCall(txDone, linkDequeue[dir], l)
@@ -201,19 +306,41 @@ func (l *Link) Transmit(from *Iface, p *Packet) {
 	s.AtCall(arrive, linkDeliver, d)
 }
 
-// lost draws the per-packet loss verdict: the flat Loss probability plus
-// the size-dependent bit-error loss.
-func (l *Link) lost(s *Scheduler, bytes int) bool {
+// lost draws the per-packet loss verdict and returns the trace reason
+// ("" for survival): the flat Loss probability plus the size-dependent
+// bit-error loss, then the Gilbert–Elliott chain. The reasons are constant
+// strings, so the verdict allocates nothing.
+func (l *Link) lost(s *Scheduler, dir, bytes int) string {
 	if l.cfg.Loss > 0 && s.Rand().Float64() < l.cfg.Loss {
-		return true
+		l.LostRandom[dir]++
+		return "loss"
 	}
 	if ber := l.cfg.BitErrorRate; ber > 0 {
 		pLoss := 1 - math.Pow(1-ber, float64(bytes*8))
 		if s.Rand().Float64() < pLoss {
-			return true
+			l.LostRandom[dir]++
+			return "loss"
 		}
 	}
-	return false
+	if g := l.cfg.Burst; g.Enabled() {
+		// Evolve the chain once per packet, then apply the state's loss.
+		if l.burstBad[dir] {
+			if s.Rand().Float64() < g.PBadToGood {
+				l.burstBad[dir] = false
+			}
+		} else if s.Rand().Float64() < g.PGoodToBad {
+			l.burstBad[dir] = true
+		}
+		pLoss := g.LossGood
+		if l.burstBad[dir] {
+			pLoss = g.LossBad
+		}
+		if pLoss > 0 && s.Rand().Float64() < pLoss {
+			l.LostBurst[dir]++
+			return "loss-burst"
+		}
+	}
+	return ""
 }
 
 func (l *Link) dequeue(dir int) {

@@ -45,6 +45,19 @@ type Iface struct {
 	TxBytes, RxBytes     uint64
 }
 
+// SetDown sets the interface's administrative state (SetDown(true) is
+// equivalent to Up = false). Safe on a nil Iface and allocation-free, so
+// fault injectors can flap interfaces on the hot path.
+func (i *Iface) SetDown(down bool) {
+	if i == nil {
+		return
+	}
+	i.Up = !down
+}
+
+// IsDown reports the administrative state; a nil Iface reports down.
+func (i *Iface) IsDown() bool { return i == nil || !i.Up }
+
 // Send transmits p on this interface.
 func (i *Iface) Send(p *Packet) {
 	if !i.Up || i.Medium == nil {

@@ -36,6 +36,14 @@ type GatewayConfig struct {
 	// RequireWTLS refuses plaintext connects (Section 8 deployments like
 	// the health-records service demand it).
 	RequireWTLS bool
+	// OriginRetry retries failed wired-side fetches (connect errors,
+	// timeouts) before giving up on the origin. The zero value keeps the
+	// legacy single-attempt behaviour.
+	OriginRetry webserver.RetryPolicy
+	// ServeStale degrades gracefully when the origin is unreachable: an
+	// expired cache entry for the same GET is served (marked by a
+	// StaleHits counter) instead of a 502.
+	ServeStale bool
 }
 
 // DefaultGatewayConfig returns the configuration the experiments use.
@@ -54,7 +62,9 @@ type GatewayStats struct {
 	Translations    uint64 // HTML pages translated to WML
 	PassThroughs    uint64 // origin already served WML
 	CacheHits       uint64
+	StaleHits       uint64 // expired cache entries served during origin outages
 	OriginErrors    uint64
+	OriginRetries   uint64 // wired-side retry attempts under OriginRetry
 	BytesFromOrigin uint64 // HTML bytes fetched over the wired side
 	BytesToAir      uint64 // payload bytes sent over the wireless side
 }
@@ -129,7 +139,26 @@ func newGatewayWithStack(node *simnet.Node, stack *mtcp.Stack, cfg GatewayConfig
 func (g *Gateway) Addr() simnet.Addr { return g.wtp.Addr() }
 
 // Stats returns a snapshot of the gateway's counters.
-func (g *Gateway) Stats() GatewayStats { return g.stats }
+func (g *Gateway) Stats() GatewayStats {
+	st := g.stats
+	st.OriginRetries = g.http.Retries
+	return st
+}
+
+// WTPStats returns the gateway's transaction-layer counters (retransmits,
+// duplicates seen from clients, aborts).
+func (g *Gateway) WTPStats() WTPStats { return g.wtp.Stats() }
+
+// Crash models a gateway process crash: all volatile state — sessions,
+// the response cache, and every in-flight transaction — is lost. Clients
+// with in-flight methods see them abort or time out (no hangs); clients
+// holding old session IDs get 403 "no session" and must reconnect. Wire
+// this as the injector's onCrash hook for the gateway node.
+func (g *Gateway) Crash() {
+	g.wtp.Reset()
+	g.sessions = make(map[uint32]*gwSession)
+	g.cache = make(map[string]*cacheEntry)
+}
 
 func (g *Gateway) serve(_ simnet.Addr, body any, respond func(any, int)) {
 	switch m := body.(type) {
@@ -207,9 +236,9 @@ func (g *Gateway) serveMethod(m *wspMethod, respond func(any, int)) {
 	}
 
 	cacheKey := ""
-	if m.Method == "GET" && g.cfg.CacheTTL > 0 {
+	if m.Method == "GET" && (g.cfg.CacheTTL > 0 || g.cfg.ServeStale) {
 		cacheKey = m.URL.String()
-		if e, ok := g.cache[cacheKey]; ok && g.node.Sched().Now() < e.expires {
+		if e, ok := g.cache[cacheKey]; ok && g.cfg.CacheTTL > 0 && g.node.Sched().Now() < e.expires {
 			g.stats.CacheHits++
 			finish(e.reply)
 			return
@@ -229,9 +258,26 @@ func (g *Gateway) serveMethod(m *wspMethod, respond func(any, int)) {
 	for k, v := range m.Headers {
 		req.Headers[k] = v
 	}
-	g.http.Do(m.URL.Origin, req, func(resp *webserver.Response, err error) {
+	fetch := func(done func(*webserver.Response, error)) {
+		rp := g.cfg.OriginRetry
+		if rp.MaxRetries > 0 || rp.Timeout > 0 {
+			g.http.DoRetry(m.URL.Origin, req, rp, done)
+		} else {
+			g.http.Do(m.URL.Origin, req, done)
+		}
+	}
+	fetch(func(resp *webserver.Response, err error) {
 		if err != nil {
 			g.stats.OriginErrors++
+			// Graceful degradation: a stale copy beats a 502 when the
+			// origin is unreachable.
+			if g.cfg.ServeStale && cacheKey != "" {
+				if e, ok := g.cache[cacheKey]; ok {
+					g.stats.StaleHits++
+					finish(e.reply)
+					return
+				}
+			}
 			finish(&wspReply{Status: 502, ContentType: webserver.TypeText, Payload: []byte(err.Error())})
 			return
 		}

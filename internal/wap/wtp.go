@@ -2,8 +2,10 @@ package wap
 
 import (
 	"errors"
+	"sort"
 	"time"
 
+	"mcommerce/internal/faults"
 	"mcommerce/internal/simnet"
 )
 
@@ -43,20 +45,29 @@ type wtpAck struct {
 type WTPConfig struct {
 	// RetryInterval is the retransmission interval. Zero means 1.5s.
 	RetryInterval time.Duration
-	// MaxRetries bounds retransmissions per message. Zero means 4.
+	// MaxRetries bounds retransmissions per message. Zero means 4;
+	// negative disables retransmission entirely (one shot per message).
 	MaxRetries int
 	// MaxPDU is the segmentation threshold: messages larger than this
 	// are split into MaxPDU-sized segments with selective retransmission
 	// (WTP's SAR feature). Zero means 1400; negative disables SAR.
 	MaxPDU int
+	// Backoff grows the retransmission interval across attempts. The zero
+	// value keeps the legacy fixed RetryInterval; set Factor/Cap/Jitter to
+	// get capped exponential backoff with deterministic jitter. Base is
+	// ignored — RetryInterval is always the base.
+	Backoff faults.Backoff
 }
 
 func (c WTPConfig) withDefaults() WTPConfig {
 	if c.RetryInterval <= 0 {
 		c.RetryInterval = 1500 * time.Millisecond
 	}
-	if c.MaxRetries <= 0 {
+	switch {
+	case c.MaxRetries == 0:
 		c.MaxRetries = 4
+	case c.MaxRetries < 0:
+		c.MaxRetries = -1
 	}
 	if c.MaxPDU == 0 {
 		c.MaxPDU = 1400
@@ -154,6 +165,45 @@ func NewWTPAny(node *simnet.Node, cfg WTPConfig) *WTP {
 // Addr returns the endpoint's datagram address.
 func (w *WTP) Addr() simnet.Addr { return simnet.Addr{Node: w.node.ID, Port: w.port} }
 
+// retryDelay is the wait before retransmission attempt n (0-based):
+// RetryInterval under the legacy fixed policy, grown and jittered when the
+// config carries a Backoff.
+func (w *WTP) retryDelay(attempt int) time.Duration {
+	b := w.cfg.Backoff
+	b.Base = w.cfg.RetryInterval
+	return b.Delay(attempt, w.node.Sched().Rand())
+}
+
+// Reset models a crash of this endpoint: every pending initiator
+// transaction aborts with ErrAborted, every responder-side transaction and
+// reassembly buffer is dropped, and all retransmission timers are
+// cancelled. Counters survive (they are measurement, not protocol state).
+// TIDs keep advancing so post-restart transactions never collide with
+// pre-crash ones.
+func (w *WTP) Reset() {
+	// Sorted TID order keeps abort-callback scheduling deterministic.
+	tids := make([]uint32, 0, len(w.pending))
+	for tid := range w.pending {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		p := w.pending[tid]
+		delete(w.pending, tid)
+		p.timer.Cancel()
+		w.stats.Aborts++
+		if p.done != nil {
+			p.done(nil, 0, ErrAborted)
+		}
+	}
+	for _, sv := range w.served {
+		sv.timer.Cancel()
+	}
+	w.served = make(map[respKey]*wtpServed)
+	w.assemblies = make(map[sarGroupKey]*sarAssembly)
+	w.sarSends = make(map[sarGroupKey]*sarSendState)
+}
+
 // Stats returns a snapshot of the endpoint's counters.
 func (w *WTP) Stats() WTPStats { return w.stats }
 
@@ -184,7 +234,7 @@ func (w *WTP) sendInvoke(p *wtpPending) {
 	} else {
 		simnet.UDPOf(w.node).Send(w.port, p.to, p.inv, p.inv.Bytes+wtpHeaderBytes)
 	}
-	p.timer = w.node.Sched().After(w.cfg.RetryInterval, func() {
+	p.timer = w.node.Sched().After(w.retryDelay(p.retries), func() {
 		p.retries++
 		if p.retries > w.cfg.MaxRetries {
 			delete(w.pending, p.inv.TID)
@@ -204,7 +254,7 @@ func (w *WTP) sendInvoke(p *wtpPending) {
 func (w *WTP) resendInvoke(p *wtpPending) {
 	if st, ok := w.sarSends[sarGroupKey{from: p.to, tid: p.inv.TID, result: false}]; ok {
 		w.sendSegments(st, []int{0})
-		p.timer = w.node.Sched().After(w.cfg.RetryInterval, func() {
+		p.timer = w.node.Sched().After(w.retryDelay(p.retries), func() {
 			p.retries++
 			if p.retries > w.cfg.MaxRetries {
 				delete(w.pending, p.inv.TID)
@@ -292,7 +342,7 @@ func (w *WTP) sendResult(sv *wtpServed, key respKey) {
 		simnet.UDPOf(w.node).Send(w.port, sv.to, sv.result, sv.result.Bytes+wtpHeaderBytes)
 	}
 	sv.timer.Cancel()
-	sv.timer = w.node.Sched().After(w.cfg.RetryInterval, func() {
+	sv.timer = w.node.Sched().After(w.retryDelay(sv.retries), func() {
 		if sv.acked {
 			return
 		}
@@ -332,6 +382,9 @@ func (w *WTP) onAck(from simnet.Addr, m *wtpAck) {
 		// Keep the tombstone briefly for duplicate suppression, then
 		// reclaim it.
 		hold := w.cfg.RetryInterval * time.Duration(w.cfg.MaxRetries+1)
+		if hold < w.cfg.RetryInterval {
+			hold = w.cfg.RetryInterval
+		}
 		w.node.Sched().After(hold, func() { delete(w.served, key) })
 	}
 }

@@ -1,0 +1,66 @@
+package webserver
+
+import (
+	"errors"
+	"time"
+
+	"mcommerce/internal/faults"
+	"mcommerce/internal/simnet"
+)
+
+// ErrTimeout reports a request that exceeded its per-attempt deadline.
+var ErrTimeout = errors.New("webserver: request timed out")
+
+// RetryPolicy shapes DoRetry: how many attempts beyond the first, how long
+// each attempt may run, and how long to back off between attempts.
+type RetryPolicy struct {
+	// MaxRetries is the number of retries after the first attempt. Zero
+	// means no retries (DoRetry degenerates to Do plus the timeout).
+	MaxRetries int
+	// Timeout bounds each attempt; an attempt still unanswered when it
+	// expires fails with ErrTimeout. Zero means no per-attempt deadline.
+	Timeout time.Duration
+	// Backoff is the inter-attempt wait policy. The zero value waits a
+	// fixed 200ms between attempts.
+	Backoff faults.Backoff
+}
+
+func (p RetryPolicy) backoff() faults.Backoff {
+	b := p.Backoff
+	if b.Base <= 0 {
+		b.Base = 200 * time.Millisecond
+	}
+	return b
+}
+
+// DoRetry sends a request like Do but retries failed attempts (connection
+// errors, malformed responses, per-attempt timeouts) under the policy,
+// backing off between attempts with jitter drawn from the simulation RNG.
+// done fires exactly once, with the first success or the last failure.
+func (c *Client) DoRetry(addr simnet.Addr, req *Request, policy RetryPolicy, done func(*Response, error)) {
+	sched := c.stack.Node().Sched()
+	b := policy.backoff()
+	var attempt func(n int)
+	attempt = func(n int) {
+		settled := false
+		var deadline simnet.Timer
+		finish := func(resp *Response, err error) {
+			if settled {
+				return
+			}
+			settled = true
+			deadline.Cancel()
+			if err == nil || n >= policy.MaxRetries {
+				done(resp, err)
+				return
+			}
+			c.Retries++
+			sched.After(b.Delay(n, sched.Rand()), func() { attempt(n + 1) })
+		}
+		if policy.Timeout > 0 {
+			deadline = sched.After(policy.Timeout, func() { finish(nil, ErrTimeout) })
+		}
+		c.Do(addr, req, finish)
+	}
+	attempt(0)
+}

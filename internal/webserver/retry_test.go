@@ -1,0 +1,129 @@
+package webserver_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mcommerce/internal/faults"
+	"mcommerce/internal/mtcp"
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/webserver"
+)
+
+type retryTopo struct {
+	net    *simnet.Network
+	link   *simnet.Link
+	server *webserver.Server
+	client *webserver.Client
+}
+
+func newRetryTopo(t testing.TB, seed int64) *retryTopo {
+	t.Helper()
+	net := simnet.NewNetwork(simnet.NewScheduler(seed))
+	cn := net.NewNode("client")
+	sn := net.NewNode("server")
+	l := simnet.Connect(cn, sn, simnet.LAN)
+	cn.SetDefaultRoute(l.IfaceA())
+	sn.SetDefaultRoute(l.IfaceB())
+	srv, err := webserver.New(mtcp.MustNewStack(sn), 80, mtcp.Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv.Handle("/ping", func(r *webserver.Request) *webserver.Response {
+		return webserver.Text("pong")
+	})
+	return &retryTopo{
+		net: net, link: l, server: srv,
+		client: webserver.NewClient(mtcp.MustNewStack(cn), mtcp.Options{}),
+	}
+}
+
+// TestDoRetryRidesOutOutage pins the resilience property: a request issued
+// during a link outage succeeds once retries span the outage, and the
+// retry counter reflects the extra attempts.
+func TestDoRetryRidesOutOutage(t *testing.T) {
+	w := newRetryTopo(t, 1)
+	policy := webserver.RetryPolicy{
+		MaxRetries: 5,
+		Timeout:    500 * time.Millisecond,
+		Backoff:    faults.Backoff{Base: 300 * time.Millisecond, Factor: 2, Cap: 2 * time.Second},
+	}
+	w.link.SetDown(true)
+	w.net.Sched.After(2*time.Second, func() { w.link.SetDown(false) })
+
+	var got *webserver.Response
+	var gotErr error
+	fired := 0
+	w.client.DoRetry(w.server.Addr(), &webserver.Request{Method: "GET", Path: "/ping"}, policy,
+		func(r *webserver.Response, err error) {
+			fired++
+			got, gotErr = r, err
+		})
+	if err := w.net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("done fired %d times, want 1", fired)
+	}
+	if gotErr != nil {
+		t.Fatalf("DoRetry: %v", gotErr)
+	}
+	if got.Status != 200 || string(got.Body) != "pong" {
+		t.Errorf("response = %d %q", got.Status, got.Body)
+	}
+	if w.client.Retries == 0 {
+		t.Error("Retries counter stayed zero across an outage")
+	}
+}
+
+// TestDoRetryTimeoutSurfaces pins the failure side: a permanently dead
+// link exhausts the policy and surfaces the typed timeout error.
+func TestDoRetryTimeoutSurfaces(t *testing.T) {
+	w := newRetryTopo(t, 1)
+	w.link.SetDown(true)
+	policy := webserver.RetryPolicy{MaxRetries: 2, Timeout: 300 * time.Millisecond}
+	var gotErr error
+	fired := 0
+	w.client.DoRetry(w.server.Addr(), &webserver.Request{Method: "GET", Path: "/ping"}, policy,
+		func(r *webserver.Response, err error) {
+			fired++
+			gotErr = err
+		})
+	if err := w.net.Sched.RunFor(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("done fired %d times, want 1", fired)
+	}
+	if !errors.Is(gotErr, webserver.ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", gotErr)
+	}
+	if w.client.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", w.client.Retries)
+	}
+}
+
+// TestDoRetryZeroPolicyMatchesDo pins backward compatibility: a zero
+// policy behaves like Do (single attempt, no deadline).
+func TestDoRetryZeroPolicyMatchesDo(t *testing.T) {
+	w := newRetryTopo(t, 1)
+	var got *webserver.Response
+	w.client.DoRetry(w.server.Addr(), &webserver.Request{Method: "GET", Path: "/ping"},
+		webserver.RetryPolicy{}, func(r *webserver.Response, err error) {
+			if err != nil {
+				t.Errorf("DoRetry: %v", err)
+				return
+			}
+			got = r
+		})
+	if err := w.net.Sched.RunFor(30 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got == nil || got.Status != 200 {
+		t.Fatalf("response = %+v", got)
+	}
+	if w.client.Retries != 0 {
+		t.Errorf("Retries = %d, want 0", w.client.Retries)
+	}
+}

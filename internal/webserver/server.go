@@ -149,6 +149,9 @@ func (s *Server) respond(c *mtcp.Conn, resp *Response) {
 type Client struct {
 	stack *mtcp.Stack
 	opts  mtcp.Options
+
+	// Retries counts retry attempts issued by DoRetry (not first attempts).
+	Retries uint64
 }
 
 // NewClient creates a client on the given stack. opts configures each

@@ -1,7 +1,8 @@
 #!/bin/sh
 # verify.sh — the full local gate: static checks, build, the whole test
-# suite, and the race detector over the packages that use goroutines
-# (the parallel experiment runner and the simnet structures it drives).
+# suite, the race detector over the packages that use goroutines
+# (the parallel experiment runner and the simnet structures it drives),
+# and a chaos smoke run (small faulted scenario at a fixed seed).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -9,4 +10,5 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/experiments ./internal/simnet
+go test -race ./internal/experiments ./internal/simnet ./internal/faults/...
+go run ./cmd/mcsim -faults -clients 3 -rounds 3 -seed 1 >/dev/null
