@@ -4,7 +4,11 @@
 // Usage:
 //
 //	mcbench [-exp all|fig1|fig2|table1|table2|table3|table4|table5|tcp|mip|ablate]
-//	        [-seed N] [-format text|csv] [-parallel N]
+//	        [-seed N] [-format text|csv] [-parallel N] [-metrics]
+//
+// With -metrics, experiments that attach telemetry snapshots (chaos, for
+// one) additionally print one table per attached snapshot: every registry
+// metric's value over that run, in the selected -format.
 //
 // Each experiment prints an aligned table plus notes; EXPERIMENTS.md
 // records a reference run and compares it with the paper.
@@ -38,6 +42,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	format := fs.String("format", "text", "output format: text or csv")
 	parallel := fs.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
+	withMetrics := fs.Bool("metrics", false, "also print attached telemetry snapshots as per-metric tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,14 +60,20 @@ func run(args []string) error {
 	}
 	for _, results := range experiments.RunTasks(experiments.RegistryTasks(names, *seed), *parallel) {
 		for _, res := range results {
-			if *format == "csv" {
-				if err := res.WriteCSV(os.Stdout); err != nil {
-					return err
-				}
-				fmt.Println()
-				continue
+			all := []*experiments.Result{res}
+			if *withMetrics {
+				all = append(all, res.MetricsTables()...)
 			}
-			fmt.Println(res.String())
+			for _, r := range all {
+				if *format == "csv" {
+					if err := r.WriteCSV(os.Stdout); err != nil {
+						return err
+					}
+					fmt.Println()
+					continue
+				}
+				fmt.Println(r.String())
+			}
 		}
 	}
 	return nil

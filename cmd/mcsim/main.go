@@ -7,6 +7,14 @@
 //	mcsim [-bearer wlan|cellular] [-wlan 802.11b|802.11a|802.11g|hiperlan2|bluetooth]
 //	      [-cell gprs|edge|gsm|cdma|cdma2000|wcdma] [-middleware wap|imode]
 //	      [-clients N] [-rounds N] [-seed N] [-replicas R] [-parallel N] [-faults]
+//	      [-metrics] [-metrics-format text|csv]
+//
+// With -metrics, the report ends with the full telemetry registry: every
+// counter, gauge and latency histogram any layer registered, one line per
+// metric, sorted by hierarchical name (simnet.link.wan.dropped_queue.ab,
+// wap.wtp.gateway.retransmits, ...). The dump is deterministic per seed —
+// two runs at the same seed produce byte-identical trees. -metrics-format
+// csv emits the same entries as CSV for scripting.
 //
 // With -faults, the default chaos plan (see internal/faults) runs against
 // the deployment during the workload: WAN flap, brownout, gateway and host
@@ -58,6 +66,8 @@ type scenario struct {
 	rounds     int
 	trace      bool
 	faults     bool
+	metrics    bool
+	metricsCSV bool
 }
 
 func run(args []string) error {
@@ -73,8 +83,15 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "max concurrent replicas (0 = GOMAXPROCS, 1 = serial)")
 	trace := fs.Bool("trace", false, "print a packet trace of the whole run to stderr (single replica only)")
 	withFaults := fs.Bool("faults", false, "inject the default fault plan (link flaps, brownout, gateway and host crashes, partition) during the run")
+	withMetrics := fs.Bool("metrics", false, "dump the full telemetry registry (every layer's counters, gauges and latency histograms) after the run")
+	metricsFormat := fs.String("metrics-format", "text", "telemetry dump format: text or csv")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch strings.ToLower(*metricsFormat) {
+	case "text", "csv":
+	default:
+		return fmt.Errorf("unknown -metrics-format %q (want text or csv)", *metricsFormat)
 	}
 	if *replicas < 1 {
 		return fmt.Errorf("-replicas must be >= 1, got %d", *replicas)
@@ -83,7 +100,11 @@ func run(args []string) error {
 		return fmt.Errorf("-trace requires -replicas 1 (traces from concurrent replicas would interleave)")
 	}
 
-	sc := scenario{middleware: *middleware, clients: *clients, rounds: *rounds, trace: *trace, faults: *withFaults}
+	sc := scenario{
+		middleware: *middleware, clients: *clients, rounds: *rounds,
+		trace: *trace, faults: *withFaults,
+		metrics: *withMetrics, metricsCSV: strings.EqualFold(*metricsFormat, "csv"),
+	}
 	switch strings.ToLower(*bearer) {
 	case "wlan":
 		sc.bearer = core.BearerWLAN
@@ -274,6 +295,14 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 	for _, cl := range mc.Clients {
 		fmt.Fprintf(w, "  station %-24s battery %.4f%% used, free RAM %d MB\n",
 			cl.Station.Name()+":", (1-cl.Station.Battery())*100, cl.Station.FreeRAM()>>20)
+	}
+	if sc.metrics {
+		snap := mc.Metrics().Snapshot()
+		fmt.Fprintf(w, "\ntelemetry registry (%d metrics):\n", len(snap.Entries))
+		if sc.metricsCSV {
+			return snap.WriteCSV(w)
+		}
+		return snap.WriteText(w)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/simnet"
 	"mcommerce/internal/wireless"
 )
@@ -165,7 +166,8 @@ type Net struct {
 
 var _ simnet.Medium = (*Net)(nil)
 
-// New creates an empty cellular network of the given standard.
+// New creates an empty cellular network of the given standard. Its medium
+// counters register under cellular.<standard>.
 func New(simn *simnet.Network, std Standard, cfg Config) *Net {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = simnet.DefaultQueueLen
@@ -173,7 +175,15 @@ func New(simn *simnet.Network, std Standard, cfg Config) *Net {
 	if cfg.CellRadius <= 0 {
 		cfg.CellRadius = DefaultConfig().CellRadius
 	}
-	return &Net{std: std, cfg: cfg, simn: simn, sched: simn.Sched, byIface: make(map[*simnet.Iface]any)}
+	n := &Net{std: std, cfg: cfg, simn: simn, sched: simn.Sched, byIface: make(map[*simnet.Iface]any)}
+	sc := simn.Metrics.Instance("cellular." + metrics.Sanitize(std.Name))
+	sc.AliasCounter("delivered", &n.Delivered)
+	sc.AliasCounter("lost_errors", &n.LostErrors)
+	sc.AliasCounter("lost_range", &n.LostRange)
+	sc.AliasCounter("dropped_queue", &n.DroppedQ)
+	sc.AliasCounter("blocked_calls", &n.BlockedCalls)
+	sc.AliasCounter("handoffs", &n.Handoffs)
+	return n
 }
 
 // Standard returns the network's cellular standard.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"mcommerce/internal/database"
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/mtcp"
 	"mcommerce/internal/security"
 	"mcommerce/internal/simnet"
@@ -34,13 +35,20 @@ func NewHost(net *simnet.Network, name string, tokenKey []byte) (*Host, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Host{
+	h := &Host{
 		Node:   node,
 		Stack:  stack,
 		Server: srv,
 		DB:     database.New(),
 		Tokens: security.NewTokenAuthority(tokenKey),
-	}, nil
+	}
+	// The database keeps its counters behind a mutex, so they surface as
+	// snapshot-time gauges rather than aliased counters.
+	db := net.Metrics.Instance(metrics.Sanitize(name)).Child("db")
+	db.GaugeFunc("commits", func() int64 { c, _, _ := h.DB.Stats(); return int64(c) })
+	db.GaugeFunc("aborts", func() int64 { _, a, _ := h.DB.Stats(); return int64(a) })
+	db.GaugeFunc("lock_conflicts", func() int64 { _, _, c := h.DB.Stats(); return int64(c) })
+	return h, nil
 }
 
 // Addr returns the host's web server address.

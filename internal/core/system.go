@@ -8,6 +8,7 @@ import (
 	"mcommerce/internal/cellular"
 	"mcommerce/internal/device"
 	"mcommerce/internal/imode"
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/mtcp"
 	"mcommerce/internal/simnet"
 	"mcommerce/internal/wap"
@@ -116,7 +117,15 @@ type MC struct {
 	WANLink *simnet.Link
 
 	wapCfg wap.GatewayConfig
+
+	// End-to-end transaction latency distributions (core.txn.wap.latency /
+	// core.txn.imode.latency), observed by the Transact helpers.
+	txnWAP   metrics.Histogram
+	txnIMode metrics.Histogram
 }
+
+// Metrics returns the world's telemetry registry (owned by mc.Net).
+func (mc *MC) Metrics() *metrics.Registry { return mc.Net.Metrics }
 
 // BuildMC assembles a complete mobile commerce system:
 //
@@ -143,6 +152,9 @@ func BuildMC(cfg MCConfig) (*MC, error) {
 
 	net := simnet.NewNetwork(simnet.NewScheduler(cfg.Seed))
 	mc := &MC{Net: net, Sys: NewSystem(ModelMC)}
+	txn := net.Metrics.Scope("core.txn")
+	mc.txnWAP = txn.Histogram("wap.latency")
+	mc.txnIMode = txn.Histogram("imode.latency")
 
 	// Host computers on the wired LAN.
 	host, err := NewHost(net, "host", cfg.TokenKey)
@@ -161,6 +173,12 @@ func BuildMC(cfg MCConfig) (*MC, error) {
 	wanCfg := simnet.WAN
 	if cfg.WiredWAN != nil {
 		wanCfg = *cfg.WiredWAN
+	}
+	if lanCfg.Name == "" {
+		lanCfg.Name = "lan"
+	}
+	if wanCfg.Name == "" {
+		wanCfg.Name = "wan"
 	}
 	lan := simnet.Connect(host.Node, router, lanCfg)
 	host.Node.SetDefaultRoute(lan.IfaceA())
@@ -250,13 +268,13 @@ func BuildMC(cfg MCConfig) (*MC, error) {
 		mc.Clients = append(mc.Clients, client)
 	}
 
-	mc.buildModelGraph(cfg)
+	mc.buildModelGraph()
 	return mc, nil
 }
 
 // buildModelGraph records the Figure 2 structure for validation and
 // description.
-func (mc *MC) buildModelGraph(cfg MCConfig) {
+func (mc *MC) buildModelGraph() {
 	s := mc.Sys
 	app := s.Add(KindApplication, "MC application programs", nil)
 	hostC := s.Add(KindHostComputer, "web server + database server", mc.Host)
@@ -300,7 +318,6 @@ func (mc *MC) buildModelGraph(cfg MCConfig) {
 		s.Link(app, st)
 	}
 	s.Link(app, hostC)
-	_ = cfg
 }
 
 // Transaction is one end-to-end mobile commerce interaction's outcome.
@@ -316,7 +333,9 @@ func (mc *MC) TransactIMode(i int, path string, done func(Transaction)) {
 	cl := mc.Clients[i]
 	start := mc.Net.Sched.Now()
 	cl.BrowserIMode().Browse(mc.Host.Addr(), path, func(p *device.Page, err error) {
-		done(Transaction{Page: p, Latency: mc.Net.Sched.Now() - start, Err: err})
+		lat := mc.Net.Sched.Now() - start
+		mc.txnIMode.Observe(lat)
+		done(Transaction{Page: p, Latency: lat, Err: err})
 	})
 }
 
@@ -327,11 +346,15 @@ func (mc *MC) TransactWAP(i int, path string, done func(Transaction)) {
 	start := mc.Net.Sched.Now()
 	cl.ConnectWAP(func(br *device.Browser, err error) {
 		if err != nil {
-			done(Transaction{Latency: mc.Net.Sched.Now() - start, Err: err})
+			lat := mc.Net.Sched.Now() - start
+			mc.txnWAP.Observe(lat)
+			done(Transaction{Latency: lat, Err: err})
 			return
 		}
 		br.Browse(mc.Host.Addr(), path, func(p *device.Page, err error) {
-			done(Transaction{Page: p, Latency: mc.Net.Sched.Now() - start, Err: err})
+			lat := mc.Net.Sched.Now() - start
+			mc.txnWAP.Observe(lat)
+			done(Transaction{Page: p, Latency: lat, Err: err})
 		})
 	})
 }
@@ -357,7 +380,14 @@ type EC struct {
 	Sys     *System
 	Host    *Host
 	Clients []*ECClient
+
+	// txn is the end-to-end request latency distribution
+	// (core.txn.ec.latency), observed by Transact.
+	txn metrics.Histogram
 }
+
+// Metrics returns the world's telemetry registry (owned by ec.Net).
+func (ec *EC) Metrics() *metrics.Registry { return ec.Net.Metrics }
 
 // BuildEC assembles the four-component electronic commerce system:
 // desktop clients --LAN/WAN-- host computers.
@@ -370,6 +400,7 @@ func BuildEC(cfg ECConfig) (*EC, error) {
 	}
 	net := simnet.NewNetwork(simnet.NewScheduler(cfg.Seed))
 	ec := &EC{Net: net, Sys: NewSystem(ModelEC)}
+	ec.txn = net.Metrics.Scope("core.txn").Histogram("ec.latency")
 
 	host, err := NewHost(net, "host", cfg.TokenKey)
 	if err != nil {
@@ -378,13 +409,17 @@ func BuildEC(cfg ECConfig) (*EC, error) {
 	ec.Host = host
 	router := net.NewNode("wired-router")
 	router.Forwarding = true
-	lan := simnet.Connect(host.Node, router, simnet.LAN)
+	lanCfg := simnet.LAN
+	lanCfg.Name = "lan"
+	lan := simnet.Connect(host.Node, router, lanCfg)
 	host.Node.SetDefaultRoute(lan.IfaceA())
 	router.SetRoute(host.Node.ID, lan.IfaceB())
 
 	for i := 0; i < cfg.Clients; i++ {
 		node := net.NewNode(fmt.Sprintf("desktop-%d", i+1))
-		wan := simnet.Connect(router, node, simnet.WAN)
+		wanCfg := simnet.WAN
+		wanCfg.Name = fmt.Sprintf("wan-desktop-%d", i+1)
+		wan := simnet.Connect(router, node, wanCfg)
 		node.SetDefaultRoute(wan.IfaceB())
 		router.SetRoute(node.ID, wan.IfaceA())
 		stack, err := mtcp.NewStack(node)
@@ -415,6 +450,8 @@ func BuildEC(cfg ECConfig) (*EC, error) {
 func (ec *EC) Transact(i int, path string, done func(*webserver.Response, time.Duration, error)) {
 	start := ec.Net.Sched.Now()
 	ec.Clients[i].HTTP.Get(ec.Host.Addr(), path, nil, func(r *webserver.Response, err error) {
-		done(r, ec.Net.Sched.Now()-start, err)
+		lat := ec.Net.Sched.Now() - start
+		ec.txn.Observe(lat)
+		done(r, lat, err)
 	})
 }

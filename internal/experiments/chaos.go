@@ -7,6 +7,7 @@ import (
 
 	"mcommerce/internal/core"
 	"mcommerce/internal/faults"
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/simnet"
 	"mcommerce/internal/wap"
 	"mcommerce/internal/webserver"
@@ -79,6 +80,8 @@ type chaosReport struct {
 	wtpStats   wap.WTPStats
 	faultStats faults.Stats
 	faultLog   []string
+	// telemetry is the world registry's snapshot diff over the run.
+	telemetry metrics.Snapshot
 }
 
 // amplification is total retries (application re-submissions, wireless
@@ -203,9 +206,11 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 
 	// Generous tail: the slowest resilient transaction (WTP window + app
 	// backoff) finishes well inside it.
+	pre := mc.Metrics().Snapshot()
 	if err := sched.RunFor(chaosHorizon + 3*time.Minute); err != nil {
 		return nil, err
 	}
+	rep.telemetry = mc.Metrics().Snapshot().Diff(pre)
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	rep.p50 = percentileDur(latencies, 0.50)
@@ -266,6 +271,7 @@ func Chaos(seed int64) []*Result {
 		res.Set(m.name+"/p99_ms", float64(rep.p99.Milliseconds()))
 		res.Set(m.name+"/amplification", rep.amplification())
 		res.Set(m.name+"/faults", float64(rep.faultStats.Total()))
+		res.AttachMetrics(m.name, rep.telemetry)
 		if m.faulted && len(logged) == 0 {
 			logged = rep.faultLog
 		}

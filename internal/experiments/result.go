@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
+
+	"mcommerce/internal/metrics"
 )
 
 // Result is one experiment's output: a titled table plus free-form notes.
@@ -19,6 +22,56 @@ type Result struct {
 	// Values carries machine-readable measurements keyed by "row/metric"
 	// for benchmark assertions.
 	Values map[string]float64
+	// Metrics holds labelled registry snapshots attached by AttachMetrics.
+	// They render separately (MetricsTables) so existing result output is
+	// unchanged.
+	Metrics []LabelledSnapshot
+}
+
+// LabelledSnapshot is one labelled registry reading attached to a result —
+// typically the snapshot diff isolating a single run or mode.
+type LabelledSnapshot struct {
+	Label string
+	Snap  metrics.Snapshot
+}
+
+// AttachMetrics attaches a labelled registry snapshot (usually a Diff over
+// one run) to the result. Counters and gauges also fold into Values under
+// "metrics/<label>/<name>", histograms under "…/<name>.count" and
+// "…/<name>.p99_ns", so assertions can reach telemetry like any other
+// measurement.
+func (r *Result) AttachMetrics(label string, snap metrics.Snapshot) {
+	r.Metrics = append(r.Metrics, LabelledSnapshot{Label: label, Snap: snap})
+	for _, e := range snap.Entries {
+		key := "metrics/" + label + "/" + e.Name
+		if e.Kind == metrics.KindHistogram {
+			r.Set(key+".count", float64(e.Count))
+			r.Set(key+".p50_ns", float64(e.P50))
+			r.Set(key+".p99_ns", float64(e.P99))
+			continue
+		}
+		r.Set(key, float64(e.Value))
+	}
+}
+
+// MetricsTables renders each attached snapshot as its own result table
+// (one row per metric), for -metrics output in the CLIs.
+func (r *Result) MetricsTables() []*Result {
+	var out []*Result
+	for _, ls := range r.Metrics {
+		t := newResult(r.Name+"-metrics", "telemetry: "+ls.Label,
+			"metric", "kind", "value", "count", "p50", "p90", "p99")
+		for _, e := range ls.Snap.Entries {
+			if e.Kind == metrics.KindHistogram {
+				t.AddRow(e.Name, e.Kind.String(), "-", strconv.FormatUint(e.Count, 10),
+					e.P50.String(), e.P90.String(), e.P99.String())
+				continue
+			}
+			t.AddRow(e.Name, e.Kind.String(), strconv.FormatInt(e.Value, 10), "-", "-", "-", "-")
+		}
+		out = append(out, t)
+	}
+	return out
 }
 
 // newResult allocates a result shell.

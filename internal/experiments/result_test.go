@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mcommerce/internal/metrics"
+)
+
+func TestResultWriteCSVGolden(t *testing.T) {
+	r := newResult("E-TEST", "a tiny table", "mode", "value")
+	r.AddRow("plain", "1")
+	r.AddRow(`with "quotes", commas`, "2")
+	r.Note("notes are omitted from CSV")
+
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# E-TEST — a tiny table\n" +
+		"mode,value\n" +
+		"plain,1\n" +
+		"\"with \"\"quotes\"\", commas\",2\n"
+	if b.String() != want {
+		t.Fatalf("WriteCSV:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+// TestResultCSVRoundTrip parses WriteCSV output back and checks the table
+// survives: headers and every cell, including ones that need quoting.
+func TestResultCSVRoundTrip(t *testing.T) {
+	r := newResult("E-RT", "round trip", "a", "b", "c")
+	r.AddRow("x", "1,5", "line\nbreak")
+	r.AddRow("y", `"q"`, "plain")
+
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	cr := csv.NewReader(strings.NewReader(b.String()))
+	cr.Comment = '#'
+	records, err := cr.ReadAll()
+	if err != nil {
+		t.Fatalf("parsing our own CSV: %v", err)
+	}
+	want := [][]string{
+		{"a", "b", "c"},
+		{"x", "1,5", "line\nbreak"},
+		{"y", `"q"`, "plain"},
+	}
+	if !reflect.DeepEqual(records, want) {
+		t.Fatalf("round trip: got %q, want %q", records, want)
+	}
+}
+
+func TestAttachMetricsFoldsIntoValues(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("gw.requests").Add(12)
+	reg.Gauge("db.depth").Set(4)
+	h := reg.Histogram("txn.latency")
+	h.Observe(2 * time.Millisecond)
+
+	r := newResult("E-M", "metrics fold", "mode")
+	r.AttachMetrics("faulted", reg.Snapshot())
+
+	if got := r.Get("metrics/faulted/gw.requests"); got != 12 {
+		t.Errorf("counter fold = %v, want 12", got)
+	}
+	if got := r.Get("metrics/faulted/db.depth"); got != 4 {
+		t.Errorf("gauge fold = %v, want 4", got)
+	}
+	if got := r.Get("metrics/faulted/txn.latency.count"); got != 1 {
+		t.Errorf("histogram count fold = %v, want 1", got)
+	}
+	if r.Get("metrics/faulted/txn.latency.p99_ns") <= 0 {
+		t.Error("histogram p99 fold missing")
+	}
+
+	tables := r.MetricsTables()
+	if len(tables) != 1 {
+		t.Fatalf("MetricsTables = %d tables, want 1", len(tables))
+	}
+	tb := tables[0]
+	if tb.Name != "E-M-metrics" || len(tb.Rows) != 3 {
+		t.Fatalf("table %q has %d rows, want E-M-metrics with 3", tb.Name, len(tb.Rows))
+	}
+	out := tb.String()
+	if !strings.Contains(out, "gw.requests") || !strings.Contains(out, "telemetry: faulted") {
+		t.Fatalf("rendered table missing content:\n%s", out)
+	}
+}

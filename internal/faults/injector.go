@@ -45,15 +45,28 @@ type Injector struct {
 	log   []string
 }
 
-// NewInjector creates an injector over the network.
+// NewInjector creates an injector over the network. Its fault counters
+// register under faults.* (a second injector gets faults#2.*).
 func NewInjector(net *simnet.Network) *Injector {
-	return &Injector{
+	in := &Injector{
 		net:    net,
 		links:  make(map[string]*simnet.Link),
 		ifaces: make(map[string]*simnet.Iface),
 		nodes:  make(map[string]*crashTarget),
 		cuts:   make(map[string][]*simnet.Link),
 	}
+	sc := net.Metrics.Instance("faults")
+	sc.AliasCounter("link_downs", &in.stats.LinkDowns)
+	sc.AliasCounter("link_ups", &in.stats.LinkUps)
+	sc.AliasCounter("iface_downs", &in.stats.IfaceDowns)
+	sc.AliasCounter("iface_ups", &in.stats.IfaceUps)
+	sc.AliasCounter("brownouts", &in.stats.Brownouts)
+	sc.AliasCounter("restores", &in.stats.Restores)
+	sc.AliasCounter("crashes", &in.stats.Crashes)
+	sc.AliasCounter("restarts", &in.stats.Restarts)
+	sc.AliasCounter("partitions", &in.stats.Partitions)
+	sc.AliasCounter("heals", &in.stats.Heals)
+	return in
 }
 
 // RegisterLink names a link for LinkDown and Brownout events.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mcommerce/internal/markup"
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/mtcp"
 	"mcommerce/internal/simnet"
 	"mcommerce/internal/webserver"
@@ -75,6 +76,13 @@ func NewGatewayWithStack(node *simnet.Node, stack *mtcp.Stack, cfg GatewayConfig
 		return nil, err
 	}
 	srv.HandleAsync("/", g.proxy)
+	sc := node.Network().Metrics.Instance("imode.gw." + metrics.Sanitize(node.Name))
+	sc.AliasCounter("requests", &g.stats.Requests)
+	sc.AliasCounter("filtered", &g.stats.Filtered)
+	sc.AliasCounter("pass_throughs", &g.stats.PassThroughs)
+	sc.AliasCounter("origin_errors", &g.stats.OriginErrors)
+	sc.AliasCounter("bytes_from_origin", &g.stats.BytesFromOrigin)
+	sc.AliasCounter("bytes_to_air", &g.stats.BytesToAir)
 	return g, nil
 }
 

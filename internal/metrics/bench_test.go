@@ -1,0 +1,83 @@
+package metrics_test
+
+import (
+	"testing"
+	"time"
+
+	"mcommerce/internal/metrics"
+)
+
+// The hot-path contract: once a handle is resolved, recording through it
+// never allocates. These pins fail the build of any change that breaks it.
+
+func TestCounterIncZeroAllocs(t *testing.T) {
+	c := metrics.New().Counter("c")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op, want 0", n)
+	}
+}
+
+func TestCounterAddZeroAllocs(t *testing.T) {
+	c := metrics.New().Counter("c")
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v/op, want 0", n)
+	}
+}
+
+func TestAliasCounterIncZeroAllocs(t *testing.T) {
+	var field uint64
+	c := metrics.New().AliasCounter("c", &field)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("aliased Counter.Inc allocates %v/op, want 0", n)
+	}
+}
+
+func TestGaugeSetZeroAllocs(t *testing.T) {
+	g := metrics.New().Gauge("g")
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v/op, want 0", n)
+	}
+}
+
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	h := metrics.New().Histogram("h")
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3 * time.Millisecond) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := metrics.New().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := metrics.New().Gauge("g")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := metrics.New().Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Millisecond)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := metrics.New()
+	for _, n := range []string{"a.x", "a.y", "b.x", "b.y", "c.x"} {
+		r.Counter(n).Inc()
+	}
+	r.Histogram("a.lat").Observe(time.Millisecond)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

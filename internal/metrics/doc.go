@@ -1,0 +1,39 @@
+// Package metrics is the cross-layer telemetry spine of the reproduction:
+// a deterministic, zero-alloc-on-hot-path registry of typed counters,
+// gauges and fixed-bucket latency histograms shared by every component of
+// a simulation world (stations, middleware, wireless, wired, host).
+//
+// Design rules, in the order they constrain the implementation:
+//
+//   - Deterministic. All readings derive from simulated time and seeded
+//     randomness; the package never touches time.Now or the wall clock.
+//     Snapshot orders entries by name, and the text/CSV dumps are
+//     byte-identical across two runs at the same seed, so metrics
+//     participate in the repo's golden/replay guarantees.
+//
+//   - Zero-alloc hot paths. Counter.Add, Gauge.Set and Histogram.Observe
+//     allocate nothing (pinned by AllocsPerRun tests). All allocation
+//     happens at registration time, off the hot path.
+//
+//   - One registry per simulation world. simnet.Network owns a Registry;
+//     everything built on that network registers into it at construction.
+//     Registries are single-goroutine like the scheduler they observe —
+//     the parallel experiment runner gives every replica its own world
+//     and therefore its own registry, so no locks are needed or taken.
+//
+//   - Aliased fields. Components keep their existing exported counter
+//     fields (simnet's Link.Delivered, wap's WTPStats, ...) — the
+//     registry aliases those uint64s by pointer instead of duplicating
+//     them, so the struct field and the registry entry are one storage
+//     location and the increment stays a plain ++.
+//
+// Names are hierarchical, dot-separated, lowercase:
+//
+//	simnet.link.wan.dropped_queue.ab
+//	wap.wtp.gateway.retransmits
+//	host.db.commits
+//
+// Instance claims a prefix for one component instance and suffixes
+// collisions ("#2", "#3", ...) deterministically, so two stations built
+// from the same device profile stay distinguishable.
+package metrics

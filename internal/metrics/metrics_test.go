@@ -1,0 +1,364 @@
+package metrics_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mcommerce/internal/metrics"
+)
+
+func TestCounterRegisterAndRead(t *testing.T) {
+	r := metrics.New()
+	c := r.Counter("a.b.c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+	// Re-registering the same name returns a handle to the same storage.
+	c2 := r.Counter("a.b.c")
+	c2.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("after second handle Inc: value = %d, want 6", got)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestAliasCounterSharesStorage(t *testing.T) {
+	r := metrics.New()
+	var field uint64
+	h := r.AliasCounter("link.delivered", &field)
+	field += 3 // component's plain ++ path
+	h.Inc()    // handle path
+	if field != 4 {
+		t.Fatalf("field = %d, want 4", field)
+	}
+	if got := r.Snapshot().Counter("link.delivered"); got != 4 {
+		t.Fatalf("snapshot value = %d, want 4", got)
+	}
+	// Same pointer again is fine.
+	r.AliasCounter("link.delivered", &field)
+	// A different pointer under the same name must panic.
+	var other uint64
+	mustPanic(t, "re-alias to different field", func() { r.AliasCounter("link.delivered", &other) })
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := metrics.New()
+	r.Counter("x")
+	mustPanic(t, "counter re-registered as gauge", func() { r.Gauge("x") })
+	mustPanic(t, "counter re-registered as histogram", func() { r.Histogram("x") })
+}
+
+func TestBadNamesPanic(t *testing.T) {
+	r := metrics.New()
+	mustPanic(t, "empty name", func() { r.Counter("") })
+	mustPanic(t, "name with space", func() { r.Counter("a b") })
+	mustPanic(t, "name with comma", func() { r.Counter("a,b") })
+}
+
+func TestGaugeAndGaugeFunc(t *testing.T) {
+	r := metrics.New()
+	g := r.Gauge("level")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge value = %d, want 7", got)
+	}
+
+	n := int64(0)
+	r.GaugeFunc("computed", func() int64 { n++; return n * 100 })
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if s1.Counter("computed") != 100 || s2.Counter("computed") != 200 {
+		t.Fatalf("GaugeFunc not evaluated per snapshot: %d, %d", s1.Counter("computed"), s2.Counter("computed"))
+	}
+	mustPanic(t, "GaugeFunc registered twice", func() { r.GaugeFunc("computed", func() int64 { return 0 }) })
+	mustPanic(t, "Gauge over GaugeFunc", func() { r.Gauge("computed") })
+}
+
+func TestInstanceCollisionSuffixes(t *testing.T) {
+	r := metrics.New()
+	a := r.Instance("node.palm")
+	b := r.Instance("node.palm")
+	c := r.Instance("node.palm")
+	if a.Prefix() != "node.palm" || b.Prefix() != "node.palm#2" || c.Prefix() != "node.palm#3" {
+		t.Fatalf("prefixes = %q, %q, %q", a.Prefix(), b.Prefix(), c.Prefix())
+	}
+}
+
+func TestScopeChildAndFullNames(t *testing.T) {
+	r := metrics.New()
+	sc := r.Scope("wap").Child("wtp")
+	sc.Counter("retransmits").Inc()
+	if got := r.Snapshot().Counter("wap.wtp.retransmits"); got != 1 {
+		t.Fatalf("scoped counter = %d, want 1", got)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"802.11b (Wi-Fi)":     "802.11b-wi-fi",
+		"Nokia 9290 ":         "nokia-9290",
+		"plain":               "plain",
+		"A__B":                "a__b",
+		"--x--":               "x",
+		"(((":                 "",
+		"GPRS":                "gprs",
+		"host/db\\cache hits": "host-db-cache-hits",
+	}
+	for in, want := range cases {
+		if got := metrics.Sanitize(in); got != want {
+			t.Errorf("Sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := metrics.New()
+	h := r.HistogramBuckets("lat", []time.Duration{
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	})
+	// 10 observations: 5 in the first bucket, 3 in the second, 2 in the third.
+	for i := 0; i < 5; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	h.Observe(50 * time.Millisecond)
+	h.Observe(90 * time.Millisecond)
+
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10", h.Count())
+	}
+	// Upper-bound rule: p50 needs cum >= 5 -> first bucket bound.
+	if got := h.Quantile(0.50); got != time.Millisecond {
+		t.Errorf("p50 = %v, want 1ms", got)
+	}
+	// p80 needs cum >= 8 -> second bucket bound.
+	if got := h.Quantile(0.80); got != 10*time.Millisecond {
+		t.Errorf("p80 = %v, want 10ms", got)
+	}
+	// p99 needs cum >= 10 -> third bucket bound.
+	if got := h.Quantile(0.99); got != 100*time.Millisecond {
+		t.Errorf("p99 = %v, want 100ms", got)
+	}
+}
+
+func TestHistogramOverflowReportsMax(t *testing.T) {
+	r := metrics.New()
+	h := r.HistogramBuckets("lat", []time.Duration{time.Millisecond})
+	h.Observe(30 * time.Second) // overflow bucket
+	if got := h.Quantile(0.99); got != 30*time.Second {
+		t.Fatalf("overflow p99 = %v, want observed max 30s", got)
+	}
+	if got := h.Quantile(0); got != 30*time.Second {
+		t.Fatalf("q=0 with one overflow obs = %v, want 30s", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := metrics.New()
+	h := r.Histogram("lat")
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	r := metrics.New()
+	mustPanic(t, "non-increasing bounds", func() {
+		r.HistogramBuckets("bad", []time.Duration{time.Second, time.Second})
+	})
+}
+
+func TestSnapshotSortedAndDeterministic(t *testing.T) {
+	// Two registries registering the same metrics in different orders must
+	// dump byte-identically.
+	build := func(order []string) *metrics.Registry {
+		r := metrics.New()
+		for _, n := range order {
+			r.Counter(n).Add(uint64(len(n)))
+		}
+		r.Scope("z").Histogram("lat").Observe(3 * time.Millisecond)
+		return r
+	}
+	a := build([]string{"b.x", "a.y", "c.w"})
+	b := build([]string{"c.w", "b.x", "a.y"})
+	var sa, sb strings.Builder
+	if err := a.Snapshot().WriteText(&sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.String() != sb.String() {
+		t.Fatalf("dumps differ:\n%s\n---\n%s", sa.String(), sb.String())
+	}
+	names := a.Snapshot().Entries
+	for i := 1; i < len(names); i++ {
+		if names[i-1].Name >= names[i].Name {
+			t.Fatalf("snapshot not sorted: %q >= %q", names[i-1].Name, names[i].Name)
+		}
+	}
+}
+
+func TestSnapshotGet(t *testing.T) {
+	r := metrics.New()
+	r.Counter("one").Inc()
+	s := r.Snapshot()
+	if e, ok := s.Get("one"); !ok || e.Value != 1 {
+		t.Fatalf("Get(one) = %+v, %v", e, ok)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get(absent) reported present")
+	}
+	if s.Counter("absent") != 0 {
+		t.Fatal("Counter(absent) != 0")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	r := metrics.New()
+	c := r.Counter("reqs")
+	g := r.Gauge("depth")
+	h := r.HistogramBuckets("lat", []time.Duration{time.Millisecond, time.Second})
+
+	c.Add(10)
+	g.Set(5)
+	h.Observe(500 * time.Microsecond)
+	pre := r.Snapshot()
+
+	c.Add(7)
+	g.Set(9)
+	h.Observe(100 * time.Millisecond)
+	h.Observe(200 * time.Millisecond)
+	r.Counter("new.metric").Add(3) // registered between snapshots
+	d := r.Snapshot().Diff(pre)
+
+	if got := d.Counter("reqs"); got != 7 {
+		t.Errorf("diffed counter = %d, want 7", got)
+	}
+	if got := d.Counter("depth"); got != 9 {
+		t.Errorf("gauge after diff = %d, want current level 9", got)
+	}
+	if got := d.Counter("new.metric"); got != 3 {
+		t.Errorf("new metric after diff = %d, want full value 3", got)
+	}
+	e, ok := d.Get("lat")
+	if !ok || e.Count != 2 {
+		t.Fatalf("diffed histogram count = %d (ok=%v), want 2", e.Count, ok)
+	}
+	// Both window observations land in the 1s bucket: p50 = 1s.
+	if e.P50 != time.Second || e.P99 != time.Second {
+		t.Errorf("diffed quantiles p50=%v p99=%v, want 1s/1s", e.P50, e.P99)
+	}
+	if e.Sum != 300*time.Millisecond {
+		t.Errorf("diffed sum = %v, want 300ms", e.Sum)
+	}
+}
+
+func TestDiffEmptyWindow(t *testing.T) {
+	r := metrics.New()
+	h := r.Histogram("lat")
+	h.Observe(time.Millisecond)
+	pre := r.Snapshot()
+	d := r.Snapshot().Diff(pre)
+	e, _ := d.Get("lat")
+	if e.Count != 0 || e.Max != 0 || e.P99 != 0 {
+		t.Fatalf("empty diff window: count=%d max=%v p99=%v, want zeros", e.Count, e.Max, e.P99)
+	}
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	r := metrics.New()
+	r.Counter("sim.delivered").Add(42)
+	r.Gauge("sim.depth").Set(-3)
+	h := r.HistogramBuckets("sim.lat", []time.Duration{time.Millisecond, time.Second})
+	h.Observe(2 * time.Millisecond)
+	h.Observe(500 * time.Microsecond)
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"sim.delivered  counter    42\n" +
+		"sim.depth      gauge      -3\n" +
+		"sim.lat        histogram  count=2 sum=2.5ms min=500µs max=2ms p50=1ms p90=1s p99=1s\n"
+	if b.String() != want {
+		t.Fatalf("WriteText:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	r := metrics.New()
+	r.Counter("a").Add(7)
+	h := r.HistogramBuckets("b", []time.Duration{time.Millisecond})
+	h.Observe(time.Microsecond)
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,kind,value,count,sum_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns\n" +
+		"a,counter,7,,,,,,,\n" +
+		"b,histogram,,1,1000,1000,1000,1000000,1000000,1000000\n"
+	if b.String() != want {
+		t.Fatalf("WriteCSV:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestNilRegistryAndZeroHandles(t *testing.T) {
+	var r *metrics.Registry
+	c := r.Counter("x")
+	c.Inc()
+	g := r.Gauge("y")
+	g.Set(3)
+	h := r.Histogram("z")
+	h.Observe(time.Second)
+	r.GaugeFunc("w", func() int64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil-registry handles must read zero")
+	}
+	if r.Len() != 0 {
+		t.Fatal("nil registry Len != 0")
+	}
+	if len(r.Snapshot().Entries) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	sc := r.Scope("p")
+	if sc.Enabled() {
+		t.Fatal("nil-registry scope reports enabled")
+	}
+	var field uint64
+	ac := sc.AliasCounter("f", &field)
+	ac.Inc()
+	if field != 1 {
+		t.Fatal("nil-registry AliasCounter handle must still wrap the field")
+	}
+
+	var zc metrics.Counter
+	var zg metrics.Gauge
+	var zh metrics.Histogram
+	zc.Inc()
+	zg.Add(1)
+	zh.Observe(time.Second)
+	if zc.Value() != 0 || zg.Value() != 0 || zh.Count() != 0 || zh.Quantile(0.5) != 0 {
+		t.Fatal("zero handles must be no-ops")
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one metric's value at snapshot time.
+type Entry struct {
+	Name string
+	Kind Kind
+
+	// Value is the counter count or gauge level.
+	Value int64
+
+	// Histogram fields (zero for counters and gauges).
+	Count         uint64
+	Sum           time.Duration
+	Min, Max      time.Duration
+	P50, P90, P99 time.Duration
+	// Bounds and Buckets carry the raw distribution so Diff can subtract
+	// and recompute quantiles. Bounds is shared (read-only); Buckets is a
+	// copy owned by the snapshot.
+	Bounds  []time.Duration
+	Buckets []uint64
+}
+
+// Snapshot is a point-in-time reading of a registry, sorted by name.
+// Snapshots are plain values: safe to keep, diff and dump after the
+// simulation has moved on.
+type Snapshot struct {
+	Entries []Entry
+}
+
+// Snapshot captures every registered metric. Entries come out sorted by
+// name, so two registries that registered the same metrics in any order
+// dump identically.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	entries := make([]Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		se := Entry{Name: e.name, Kind: e.kind}
+		switch e.kind {
+		case KindCounter:
+			se.Value = int64(*e.c)
+		case KindGauge:
+			if e.gf != nil {
+				se.Value = e.gf()
+			} else {
+				se.Value = *e.g
+			}
+		case KindHistogram:
+			h := e.h
+			se.Count = h.count
+			se.Sum = h.sum
+			se.Min, se.Max = h.min, h.max
+			se.P50, se.P90, se.P99 = h.quantile(0.50), h.quantile(0.90), h.quantile(0.99)
+			se.Bounds = h.bounds
+			se.Buckets = append([]uint64(nil), h.counts...)
+		}
+		entries = append(entries, se)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return Snapshot{Entries: entries}
+}
+
+// Get returns the entry with the given name.
+func (s Snapshot) Get(name string) (Entry, bool) {
+	i := sort.Search(len(s.Entries), func(i int) bool { return s.Entries[i].Name >= name })
+	if i < len(s.Entries) && s.Entries[i].Name == name {
+		return s.Entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Counter returns a counter or gauge value by name (0 if absent).
+func (s Snapshot) Counter(name string) int64 {
+	e, _ := s.Get(name)
+	return e.Value
+}
+
+// Diff returns s minus prev: counters and histogram distributions are
+// subtracted entry-by-entry (quantiles recomputed from the subtracted
+// buckets), gauges keep their current level, and entries absent from prev
+// pass through unchanged. Metrics registered between the two snapshots
+// simply appear with their full value, so "snapshot before, run, diff
+// after" isolates one phase's activity.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{Entries: make([]Entry, len(s.Entries))}
+	copy(out.Entries, s.Entries)
+	for i := range out.Entries {
+		e := &out.Entries[i]
+		pe, ok := prev.Get(e.Name)
+		if !ok || pe.Kind != e.Kind {
+			continue
+		}
+		switch e.Kind {
+		case KindCounter:
+			e.Value -= pe.Value
+		case KindHistogram:
+			if len(pe.Buckets) != len(e.Buckets) {
+				continue // bucket layout changed; keep the absolute reading
+			}
+			d := hist{bounds: e.Bounds, counts: make([]uint64, len(e.Buckets))}
+			for j := range e.Buckets {
+				d.counts[j] = e.Buckets[j] - pe.Buckets[j]
+			}
+			d.count = e.Count - pe.Count
+			d.sum = e.Sum - pe.Sum
+			// Min/Max are not recoverable for the window; Max falls back
+			// to the cumulative max (the quantile overflow answer), Min to
+			// zero.
+			d.max = e.Max
+			e.Count, e.Sum, e.Min, e.Max = d.count, d.sum, 0, d.max
+			e.Buckets = d.counts
+			e.P50, e.P90, e.P99 = d.quantile(0.50), d.quantile(0.90), d.quantile(0.99)
+			if d.count == 0 {
+				e.Max = 0
+			}
+		}
+	}
+	return out
+}
+
+// WriteText renders the snapshot as a deterministic aligned text tree:
+// one line per metric, sorted by name.
+func (s Snapshot) WriteText(w io.Writer) error {
+	width := 0
+	for _, e := range s.Entries {
+		if len(e.Name) > width {
+			width = len(e.Name)
+		}
+	}
+	for _, e := range s.Entries {
+		var err error
+		switch e.Kind {
+		case KindHistogram:
+			_, err = fmt.Fprintf(w, "%-*s  histogram  count=%d sum=%s min=%s max=%s p50=%s p90=%s p99=%s\n",
+				width, e.Name, e.Count, e.Sum, e.Min, e.Max, e.P50, e.P90, e.P99)
+		default:
+			_, err = fmt.Fprintf(w, "%-*s  %-9s  %d\n", width, e.Name, e.Kind, e.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the snapshot as WriteText would.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	_ = s.WriteText(&b)
+	return b.String()
+}
+
+// csvHeader is the fixed column set of WriteCSV.
+var csvHeader = []string{"name", "kind", "value", "count", "sum_ns", "min_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns"}
+
+// WriteCSV renders the snapshot as CSV with a fixed header. Counter and
+// gauge rows fill only the value column; histogram rows fill the
+// distribution columns. Output is deterministic.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, e := range s.Entries {
+		row := []string{e.Name, e.Kind.String(), "", "", "", "", "", "", "", ""}
+		if e.Kind == KindHistogram {
+			row[3] = strconv.FormatUint(e.Count, 10)
+			row[4] = strconv.FormatInt(int64(e.Sum), 10)
+			row[5] = strconv.FormatInt(int64(e.Min), 10)
+			row[6] = strconv.FormatInt(int64(e.Max), 10)
+			row[7] = strconv.FormatInt(int64(e.P50), 10)
+			row[8] = strconv.FormatInt(int64(e.P90), 10)
+			row[9] = strconv.FormatInt(int64(e.P99), 10)
+		} else {
+			row[2] = strconv.FormatInt(e.Value, 10)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"mcommerce/internal/metrics"
 )
 
 // Errors returned by the store.
@@ -67,6 +69,10 @@ type Store struct {
 
 	// Conflicts counts remote entries that lost last-writer-wins locally.
 	Conflicts uint64
+	// Hits and Misses count Get outcomes (cache effectiveness).
+	Hits, Misses uint64
+	// Evictions counts entries removed by Evict (directly or via PutEvict).
+	Evictions uint64
 }
 
 // New creates a store. name must be unique among replicas (it breaks
@@ -107,8 +113,10 @@ func (s *Store) Len() int {
 func (s *Store) Get(key string) ([]byte, bool) {
 	e, ok := s.data[key]
 	if !ok || e.Deleted {
+		s.Misses++
 		return nil, false
 	}
+	s.Hits++
 	return append([]byte(nil), e.Value...), true
 }
 
@@ -169,7 +177,22 @@ func (s *Store) Evict(key string) bool {
 	}
 	delete(s.data, key)
 	s.used -= e.size()
+	s.Evictions++
 	return true
+}
+
+// RegisterMetrics aliases the store's counters and exposes its footprint
+// and logical clocks as gauges under the given scope (callers pass
+// something like <node>.db). Call at most once per store per registry.
+func (s *Store) RegisterMetrics(sc metrics.Scope) {
+	sc.AliasCounter("conflicts", &s.Conflicts)
+	sc.AliasCounter("cache_hits", &s.Hits)
+	sc.AliasCounter("cache_misses", &s.Misses)
+	sc.AliasCounter("evictions", &s.Evictions)
+	sc.GaugeFunc("used_bytes", func() int64 { return int64(s.used) })
+	sc.GaugeFunc("clock", func() int64 { return int64(s.clock) })
+	sc.GaugeFunc("seq", func() int64 { return int64(s.seq) })
+	sc.GaugeFunc("live_keys", func() int64 { return int64(s.Len()) })
 }
 
 // PutEvict stores a value like Put, but answers ErrFull by evicting

@@ -219,12 +219,14 @@ func (c *Conn) SignalReconnect() {
 	for i := 0; i < c.opts.DupAckThreshold+1; i++ {
 		c.sendAck()
 		c.stats.DupAcksSent++
+		c.stack.m.dupAcksSent.Inc()
 	}
 	// Sender role: resume our own outstanding data without waiting.
 	if c.sndNxt > c.sndUna {
 		c.retries = 0
 		c.rto = c.currentRTOBase()
 		c.stats.FastRetransmits++
+		c.stack.m.fastRetransmits.Inc()
 		c.retransmitOldest()
 		c.restartRTO()
 	}
@@ -237,6 +239,8 @@ func (c *Conn) sched() *simnet.Scheduler { return c.stack.node.Sched() }
 func (c *Conn) sendSeg(seg *Segment) {
 	c.stats.SegmentsSent++
 	c.stats.BytesSent += uint64(len(seg.Payload))
+	c.stack.m.segmentsSent.Inc()
+	c.stack.m.bytesSent.Add(uint64(len(seg.Payload)))
 	c.stack.sendRaw(c.localPort, c.remote, seg)
 }
 
@@ -293,6 +297,7 @@ func (c *Conn) trySend() {
 		}
 		if seg.Seq < c.maxSent {
 			c.stats.Retransmits++
+			c.stack.m.retransmits.Inc()
 		}
 		c.sndNxt += uint64(n)
 		if c.sndNxt > c.maxSent {
@@ -313,6 +318,7 @@ func (c *Conn) trySend() {
 // retransmitOldest re-sends the segment starting at sndUna.
 func (c *Conn) retransmitOldest() {
 	c.stats.Retransmits++
+	c.stack.m.retransmits.Inc()
 	// Karn's rule: a retransmitted sequence must not produce an RTT
 	// sample.
 	if c.rttValid && c.rttSeq >= c.sndUna {
@@ -386,6 +392,7 @@ func (c *Conn) onRTO() {
 		return // nothing outstanding
 	}
 	c.stats.Timeouts++
+	c.stack.m.timeouts.Inc()
 	c.retries++
 	if c.retries > c.opts.MaxRetries {
 		err := ErrTimeout
@@ -433,6 +440,7 @@ func (c *Conn) receive(seg *Segment) {
 		return
 	}
 	c.stats.SegmentsReceived++
+	c.stack.m.segmentsRcvd.Inc()
 	if seg.Flags&RST != 0 {
 		err := ErrReset
 		if c.state == stateSynSent && c.onConnect != nil {
@@ -560,6 +568,7 @@ func (c *Conn) processAck(seg *Segment) {
 
 func (c *Conn) fastRetransmit() {
 	c.stats.FastRetransmits++
+	c.stack.m.fastRetransmits.Inc()
 	flight := float64(c.sndNxt - c.sndUna)
 	c.ssthresh = maxf(flight/2, float64(2*c.opts.MSS))
 	c.cwnd = c.ssthresh + float64(c.opts.DupAckThreshold*c.opts.MSS)
@@ -585,6 +594,7 @@ func (c *Conn) sampleRTT(sample time.Duration) {
 	if sample <= 0 {
 		sample = time.Microsecond
 	}
+	c.stack.m.rtt.Observe(sample)
 	if c.srtt == 0 {
 		c.srtt = sample
 		c.rttvar = sample / 2
@@ -612,6 +622,7 @@ func (c *Conn) processData(seg *Segment) {
 			c.ooo[seg.Seq] = seg
 		}
 		c.stats.DupAcksSent++
+		c.stack.m.dupAcksSent.Inc()
 	default:
 		// Stale duplicate; re-ACK so the sender advances.
 	}
@@ -654,6 +665,7 @@ func (c *Conn) acceptInOrder(seg *Segment) {
 	if n := len(payload); n > 0 {
 		c.rcvNxt += uint64(n)
 		c.stats.BytesReceived += uint64(n)
+		c.stack.m.bytesRcvd.Add(uint64(n))
 		if c.onData != nil {
 			c.onData(payload)
 		}

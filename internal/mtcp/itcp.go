@@ -1,6 +1,7 @@
 package mtcp
 
 import (
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/simnet"
 )
 
@@ -38,6 +39,12 @@ type Relay struct {
 // legs.
 func NewRelay(stack *Stack, listenPort simnet.Port, target simnet.Addr, wirelessOpts, wiredOpts Options) (*Relay, error) {
 	r := &Relay{stack: stack, target: target}
+	sc := stack.node.Network().Metrics.Instance("mtcp.relay." + metrics.Sanitize(stack.node.Name))
+	sc.AliasCounter("accepted", &r.stats.Accepted)
+	sc.AliasCounter("bytes_to_fixed", &r.stats.BytesToFixed)
+	sc.AliasCounter("bytes_to_mobile", &r.stats.BytesToMobile)
+	sc.AliasCounter("wireless_errors", &r.stats.WirelessErrors)
+	sc.AliasCounter("wired_errors", &r.stats.WiredErrors)
 	err := stack.Listen(listenPort, wirelessOpts, func(mobile *Conn) {
 		r.stats.Accepted++
 		r.bridge(mobile, wiredOpts)

@@ -1,6 +1,7 @@
 package mtcp
 
 import (
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/simnet"
 )
 
@@ -61,6 +62,10 @@ func NewSnoopAgent(node *simnet.Node, isMobile func(simnet.NodeID) bool, maxCach
 		flows:    make(map[connPair]*snoopFlow),
 		maxCache: maxCache,
 	}
+	sc := node.Network().Metrics.Instance("mtcp.snoop." + metrics.Sanitize(node.Name))
+	sc.AliasCounter("cached", &a.stats.Cached)
+	sc.AliasCounter("local_retransmits", &a.stats.LocalRetransmits)
+	sc.AliasCounter("suppressed_dup_acks", &a.stats.SuppressedDupAcks)
 	node.AddTap(a.tap)
 	return a
 }

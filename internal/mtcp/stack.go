@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/simnet"
 )
 
@@ -27,6 +28,24 @@ type listener struct {
 	opts   Options
 }
 
+// stackMetrics are the stack's node-level aggregates in the world
+// registry: sums over every connection the stack ever carried, plus the
+// RTT sample distribution. Per-connection figures stay on Conn.Stats —
+// the registry holds the per-layer roll-up the telemetry spine needs.
+type stackMetrics struct {
+	connsDialed     metrics.Counter
+	connsAccepted   metrics.Counter
+	segmentsSent    metrics.Counter
+	segmentsRcvd    metrics.Counter
+	bytesSent       metrics.Counter
+	bytesRcvd       metrics.Counter
+	retransmits     metrics.Counter
+	timeouts        metrics.Counter
+	fastRetransmits metrics.Counter
+	dupAcksSent     metrics.Counter
+	rtt             metrics.Histogram
+}
+
 // Stack is a node's TCP protocol instance: it demultiplexes ProtoTCP
 // packets to connections and listeners. Create at most one per node.
 type Stack struct {
@@ -34,10 +53,12 @@ type Stack struct {
 	conns     map[connKey]*Conn
 	listeners map[simnet.Port]*listener
 	nextPort  simnet.Port
+	m         stackMetrics
 }
 
 // NewStack binds a TCP stack to the node. It returns an error if the node
-// already has a ProtoTCP handler (one stack per node).
+// already has a ProtoTCP handler (one stack per node). The stack's
+// aggregate counters register under mtcp.<node name>.
 func NewStack(node *simnet.Node) (*Stack, error) {
 	if node.Bound(simnet.ProtoTCP) {
 		return nil, fmt.Errorf("mtcp: %s already has a TCP stack", node)
@@ -47,6 +68,20 @@ func NewStack(node *simnet.Node) (*Stack, error) {
 		conns:     make(map[connKey]*Conn),
 		listeners: make(map[simnet.Port]*listener),
 		nextPort:  32768,
+	}
+	sc := node.Network().Metrics.Instance("mtcp." + metrics.Sanitize(node.Name))
+	s.m = stackMetrics{
+		connsDialed:     sc.Counter("conns_dialed"),
+		connsAccepted:   sc.Counter("conns_accepted"),
+		segmentsSent:    sc.Counter("segments_sent"),
+		segmentsRcvd:    sc.Counter("segments_received"),
+		bytesSent:       sc.Counter("bytes_sent"),
+		bytesRcvd:       sc.Counter("bytes_received"),
+		retransmits:     sc.Counter("retransmits"),
+		timeouts:        sc.Counter("timeouts"),
+		fastRetransmits: sc.Counter("fast_retransmits"),
+		dupAcksSent:     sc.Counter("dup_acks_sent"),
+		rtt:             sc.Histogram("rtt"),
 	}
 	node.Bind(simnet.ProtoTCP, s.deliver)
 	return s, nil
@@ -87,6 +122,7 @@ func (s *Stack) Dial(raddr simnet.Addr, opts Options, connected func(*Conn, erro
 	c := newConn(s, port, raddr, opts.withDefaults())
 	c.onConnect = connected
 	s.conns[connKey{local: port, remote: raddr}] = c
+	s.m.connsDialed.Inc()
 	c.startConnect()
 	return c
 }
@@ -131,6 +167,7 @@ func (s *Stack) deliver(p *simnet.Packet) {
 		c := newConn(s, p.Dst.Port, p.Src, l.opts)
 		c.acceptFn = l.accept
 		s.conns[key] = c
+		s.m.connsAccepted.Inc()
 		c.startAccept(seg)
 		return
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"mcommerce/internal/metrics"
 )
 
 // Rate is a link speed in bits per second.
@@ -75,6 +77,10 @@ func (g GilbertElliott) StationaryLoss() float64 {
 
 // LinkConfig parameterizes a point-to-point link.
 type LinkConfig struct {
+	// Name labels the link in the metrics registry (simnet.link.<name>.*).
+	// Empty means an automatic "n<idA>-n<idB>" label. Builders that know a
+	// link's role (core's "lan"/"wan" segments) set it for readable dumps.
+	Name string
 	// Rate is the transmission speed in each direction.
 	Rate Rate
 	// Delay is the one-way propagation delay.
@@ -145,7 +151,9 @@ type Link struct {
 var _ Medium = (*Link)(nil)
 
 // Connect creates a link with the given config between two nodes, attaching
-// a new interface on each. The returned link is already live.
+// a new interface on each. The returned link is already live. Its six
+// per-direction counters are aliased into the network's metrics registry
+// under simnet.link.<cfg.Name> (the "ab" direction is x->y).
 func Connect(x, y *Node, cfg LinkConfig) *Link {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = DefaultQueueLen
@@ -153,6 +161,20 @@ func Connect(x, y *Node, cfg LinkConfig) *Link {
 	l := &Link{cfg: cfg, net: x.net}
 	l.a = x.AddIface(fmt.Sprintf("link-%d-%d", x.ID, y.ID), l)
 	l.b = y.AddIface(fmt.Sprintf("link-%d-%d", y.ID, x.ID), l)
+
+	label := cfg.Name
+	if label == "" {
+		label = fmt.Sprintf("n%d-n%d", x.ID, y.ID)
+	}
+	sc := l.net.Metrics.Instance("simnet.link." + metrics.Sanitize(label))
+	for dir, suffix := range [2]string{"ab", "ba"} {
+		sc.AliasCounter("delivered."+suffix, &l.Delivered[dir])
+		sc.AliasCounter("lost."+suffix, &l.Lost[dir])
+		sc.AliasCounter("lost_random."+suffix, &l.LostRandom[dir])
+		sc.AliasCounter("lost_burst."+suffix, &l.LostBurst[dir])
+		sc.AliasCounter("dropped_queue."+suffix, &l.Dropped[dir])
+		sc.AliasCounter("dropped_down."+suffix, &l.DroppedDown[dir])
+	}
 	return l
 }
 

@@ -2,6 +2,8 @@ package simnet
 
 import (
 	"fmt"
+
+	"mcommerce/internal/metrics"
 )
 
 // Medium is anything an interface can transmit onto: a point-to-point Link,
@@ -111,16 +113,31 @@ type Network struct {
 	next   NodeID
 	tracer func(TraceEvent)
 
+	// Metrics is the world's telemetry registry. Every component built on
+	// this network registers into it at construction, so one Snapshot
+	// observes all six of the paper's layers uniformly. Like the
+	// scheduler, it is single-goroutine.
+	Metrics *metrics.Registry
+
 	pktFree []*Packet
 	dlvFree []*linkDelivery
 }
 
-// NewNetwork creates an empty network driven by the given scheduler.
+// NewNetwork creates an empty network driven by the given scheduler. The
+// network owns a fresh metrics registry; the scheduler's own gauges
+// (executed/pending event counts, virtual clock) are pre-registered.
 func NewNetwork(s *Scheduler) *Network {
-	return &Network{Sched: s, nodes: make(map[NodeID]*Node)}
+	n := &Network{Sched: s, nodes: make(map[NodeID]*Node), Metrics: metrics.New()}
+	sc := n.Metrics.Scope("simnet.sched")
+	sc.GaugeFunc("executed", func() int64 { return int64(s.Executed()) })
+	sc.GaugeFunc("pending", func() int64 { return int64(s.Pending()) })
+	sc.GaugeFunc("now_ns", func() int64 { return int64(s.Now()) })
+	return n
 }
 
-// NewNode creates and registers a node.
+// NewNode creates and registers a node. The node's drop counter is
+// aliased into the network registry as simnet.node.<name>.dropped (name
+// collisions get a deterministic "#n" suffix).
 func (n *Network) NewNode(name string) *Node {
 	n.next++
 	node := &Node{
@@ -131,6 +148,7 @@ func (n *Network) NewNode(name string) *Node {
 		routes:   make(map[NodeID]*Iface),
 	}
 	n.nodes[node.ID] = node
+	n.Metrics.Instance("simnet.node." + metrics.Sanitize(name)).AliasCounter("dropped", &node.Dropped)
 	return node
 }
 

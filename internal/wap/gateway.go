@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mcommerce/internal/markup"
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/mtcp"
 	"mcommerce/internal/security"
 	"mcommerce/internal/simnet"
@@ -132,6 +133,19 @@ func newGatewayWithStack(node *simnet.Node, stack *mtcp.Stack, cfg GatewayConfig
 	}
 	g.wtp = wtp
 	wtp.Handle(g.serve)
+	// OriginRetries lives on the wired-side HTTP client, which aliases
+	// itself under web.client.<node>; aliasing it here too would double-
+	// register the same storage.
+	sc := node.Network().Metrics.Instance("wap.gw." + metrics.Sanitize(node.Name))
+	sc.AliasCounter("sessions", &g.stats.Sessions)
+	sc.AliasCounter("requests", &g.stats.Requests)
+	sc.AliasCounter("translations", &g.stats.Translations)
+	sc.AliasCounter("pass_throughs", &g.stats.PassThroughs)
+	sc.AliasCounter("cache_hits", &g.stats.CacheHits)
+	sc.AliasCounter("stale_hits", &g.stats.StaleHits)
+	sc.AliasCounter("origin_errors", &g.stats.OriginErrors)
+	sc.AliasCounter("bytes_from_origin", &g.stats.BytesFromOrigin)
+	sc.AliasCounter("bytes_to_air", &g.stats.BytesToAir)
 	return g, nil
 }
 

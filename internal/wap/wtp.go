@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mcommerce/internal/faults"
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/simnet"
 )
 
@@ -108,6 +109,10 @@ type WTP struct {
 	sarSends   map[sarGroupKey]*sarSendState
 
 	stats WTPStats
+
+	// backoffWaits counts retransmission-delay computations — the WTP
+	// analogue of "backoff sleeps" in a threaded stack.
+	backoffWaits metrics.Counter
 }
 
 type wtpPending struct {
@@ -145,6 +150,7 @@ func NewWTP(node *simnet.Node, port simnet.Port, cfg WTPConfig) (*WTP, error) {
 	if err := simnet.UDPOf(node).Listen(port, w.deliver); err != nil {
 		return nil, err
 	}
+	w.registerMetrics()
 	return w, nil
 }
 
@@ -159,7 +165,24 @@ func NewWTPAny(node *simnet.Node, cfg WTPConfig) *WTP {
 		sarSends:   make(map[sarGroupKey]*sarSendState),
 	}
 	w.port = simnet.UDPOf(node).ListenAny(w.deliver)
+	w.registerMetrics()
 	return w
+}
+
+// registerMetrics aliases the endpoint's counters into the world registry
+// under wap.wtp.<node name>.
+func (w *WTP) registerMetrics() {
+	sc := w.node.Network().Metrics.Instance("wap.wtp." + metrics.Sanitize(w.node.Name))
+	sc.AliasCounter("invokes", &w.stats.Invokes)
+	sc.AliasCounter("results", &w.stats.Results)
+	sc.AliasCounter("retransmits", &w.stats.Retransmits)
+	sc.AliasCounter("duplicates", &w.stats.Duplicates)
+	sc.AliasCounter("aborts", &w.stats.Aborts)
+	sc.AliasCounter("sar_segmented", &w.stats.SARSegmented)
+	sc.AliasCounter("sar_reassembled", &w.stats.SARReassembled)
+	sc.AliasCounter("sar_nacks", &w.stats.SARNacks)
+	sc.AliasCounter("sar_selective_rtx", &w.stats.SARSelectiveRtx)
+	w.backoffWaits = sc.Counter("backoff_waits")
 }
 
 // Addr returns the endpoint's datagram address.
@@ -169,6 +192,7 @@ func (w *WTP) Addr() simnet.Addr { return simnet.Addr{Node: w.node.ID, Port: w.p
 // RetryInterval under the legacy fixed policy, grown and jittered when the
 // config carries a Backoff.
 func (w *WTP) retryDelay(attempt int) time.Duration {
+	w.backoffWaits.Inc()
 	b := w.cfg.Backoff
 	b.Base = w.cfg.RetryInterval
 	return b.Delay(attempt, w.node.Sched().Rand())

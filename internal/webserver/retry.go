@@ -55,6 +55,7 @@ func (c *Client) DoRetry(addr simnet.Addr, req *Request, policy RetryPolicy, don
 				return
 			}
 			c.Retries++
+			c.backoffWaits.Inc()
 			sched.After(b.Delay(n, sched.Rand()), func() { attempt(n + 1) })
 		}
 		if policy.Timeout > 0 {

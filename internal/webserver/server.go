@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/mtcp"
 	"mcommerce/internal/simnet"
 )
@@ -39,6 +40,9 @@ type Server struct {
 	prefixes []prefixHandler
 
 	stats Stats
+	// latency is the parse-to-respond service time per request, in
+	// simulated time (web.server.<node>.latency).
+	latency metrics.Histogram
 }
 
 type prefixHandler struct {
@@ -52,6 +56,12 @@ func New(stack *mtcp.Stack, port simnet.Port, opts mtcp.Options) (*Server, error
 	if err := stack.Listen(port, opts, s.accept); err != nil {
 		return nil, fmt.Errorf("webserver: %w", err)
 	}
+	sc := stack.Node().Network().Metrics.Instance("web.server." + metrics.Sanitize(stack.Node().Name))
+	sc.AliasCounter("requests", &s.stats.Requests)
+	sc.AliasCounter("not_found", &s.stats.NotFound)
+	sc.AliasCounter("errors", &s.stats.Errors)
+	sc.AliasCounter("bytes_served", &s.stats.BytesServed)
+	s.latency = sc.Histogram("latency")
 	return s, nil
 }
 
@@ -115,10 +125,15 @@ func (s *Server) accept(c *mtcp.Conn) {
 	p.onRequest = func(req *Request) {
 		req.Remote = c.RemoteAddr()
 		s.stats.Requests++
+		start := s.stack.Node().Sched().Now()
+		finish := func(resp *Response) {
+			s.latency.Observe(s.stack.Node().Sched().Now() - start)
+			s.respond(c, resp)
+		}
 		h := s.route(req.Path)
 		if h == nil {
 			s.stats.NotFound++
-			s.respond(c, Error(404, "not found: "+req.Path))
+			finish(Error(404, "not found: "+req.Path))
 			return
 		}
 		responded := false
@@ -131,7 +146,7 @@ func (s *Server) accept(c *mtcp.Conn) {
 				s.stats.Errors++
 				resp = Error(500, "handler returned no response")
 			}
-			s.respond(c, resp)
+			finish(resp)
 		})
 	}
 	c.OnData(p.feed)
@@ -152,12 +167,19 @@ type Client struct {
 
 	// Retries counts retry attempts issued by DoRetry (not first attempts).
 	Retries uint64
+	// backoffWaits counts inter-attempt backoff sleeps scheduled by DoRetry.
+	backoffWaits metrics.Counter
 }
 
 // NewClient creates a client on the given stack. opts configures each
-// request's connection.
+// request's connection. The retry counters register under
+// web.client.<node name>.
 func NewClient(stack *mtcp.Stack, opts mtcp.Options) *Client {
-	return &Client{stack: stack, opts: opts}
+	c := &Client{stack: stack, opts: opts}
+	sc := stack.Node().Network().Metrics.Instance("web.client." + metrics.Sanitize(stack.Node().Name))
+	sc.AliasCounter("retries", &c.Retries)
+	c.backoffWaits = sc.Counter("backoff_waits")
+	return c
 }
 
 // Do sends a request to addr and invokes done with the response or error.

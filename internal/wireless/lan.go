@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"mcommerce/internal/metrics"
 	"mcommerce/internal/simnet"
 )
 
@@ -94,12 +95,20 @@ type LAN struct {
 
 var _ simnet.Medium = (*LAN)(nil)
 
-// NewLAN creates an empty WLAN of the given standard.
+// NewLAN creates an empty WLAN of the given standard. Its medium counters
+// register under wireless.lan.<standard>.
 func NewLAN(net *simnet.Network, std Standard, cfg Config) *LAN {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = simnet.DefaultQueueLen
 	}
-	return &LAN{std: std, cfg: cfg, net: net, byIface: make(map[*simnet.Iface]any)}
+	l := &LAN{std: std, cfg: cfg, net: net, byIface: make(map[*simnet.Iface]any)}
+	sc := net.Metrics.Instance("wireless.lan." + metrics.Sanitize(std.Name))
+	sc.AliasCounter("delivered", &l.Delivered)
+	sc.AliasCounter("lost_errors", &l.LostErrors)
+	sc.AliasCounter("lost_range", &l.LostRange)
+	sc.AliasCounter("dropped_queue", &l.DroppedQ)
+	sc.AliasCounter("handoffs", &l.Handoffs)
+	return l
 }
 
 // Standard returns the LAN's WLAN standard.

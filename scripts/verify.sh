@@ -2,7 +2,9 @@
 # verify.sh — the full local gate: static checks, build, the whole test
 # suite, the race detector over the packages that use goroutines
 # (the parallel experiment runner and the simnet structures it drives),
-# and a chaos smoke run (small faulted scenario at a fixed seed).
+# and a chaos smoke run (small faulted scenario at a fixed seed), plus a
+# telemetry determinism smoke: two same-seed -metrics dumps must be
+# byte-identical.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,5 +12,10 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/experiments ./internal/simnet ./internal/faults/...
+go test -race ./internal/experiments ./internal/simnet ./internal/faults/... \
+	./internal/metrics/... ./internal/core/...
 go run ./cmd/mcsim -faults -clients 3 -rounds 3 -seed 1 >/dev/null
+go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics >/tmp/mc-metrics-a.txt
+go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics >/tmp/mc-metrics-b.txt
+cmp /tmp/mc-metrics-a.txt /tmp/mc-metrics-b.txt
+rm -f /tmp/mc-metrics-a.txt /tmp/mc-metrics-b.txt
