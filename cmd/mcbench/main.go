@@ -10,6 +10,12 @@
 // one) additionally print one table per attached snapshot: every registry
 // metric's value over that run, in the selected -format.
 //
+// The chaos experiment traces every transaction and emits an extra
+// E-CHAOS-CRITPATH table attributing critical-path latency to layers
+// (station, wireless, middleware, wired, host, transport) per mode, so
+// the resilient-vs-fragile latency deltas can be read as "where the time
+// went" rather than a single end-to-end number.
+//
 // Each experiment prints an aligned table plus notes; EXPERIMENTS.md
 // records a reference run and compares it with the paper.
 //

@@ -6,6 +6,13 @@
 //
 //	mcload [-bearer wlan|cellular] [-wlan 802.11b|...] [-cell gprs|...]
 //	       [-users N] [-duration 2m] [-think 2s] [-seed N]
+//	       [-trace out.json] [-trace-sample N]
+//
+// With -trace FILE, every sampled operation becomes a causal span tree and
+// the run ends by writing a Chrome trace-event (Perfetto) JSON file plus a
+// per-layer critical-path attribution table. -trace-sample N keeps every
+// Nth operation (deterministic 1-in-N sampling by trace ID) — the right
+// tool at load-test scale, where tracing every operation would be noise.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"mcommerce/internal/cellular"
 	"mcommerce/internal/core"
 	"mcommerce/internal/device"
+	"mcommerce/internal/trace"
 	"mcommerce/internal/wireless"
 	"mcommerce/internal/workload"
 )
@@ -38,8 +46,13 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 2*time.Minute, "virtual run duration")
 	think := fs.Duration("think", 2*time.Second, "mean think time between operations")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	traceFile := fs.String("trace", "", "write sampled operations as a Chrome trace-event (Perfetto) JSON file and print a critical-path table")
+	traceSample := fs.Int("trace-sample", 1, "with -trace, keep every Nth operation (deterministic 1-in-N sampling by trace ID)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceSample < 1 {
+		return fmt.Errorf("-trace-sample must be >= 1, got %d", *traceSample)
 	}
 
 	cfg := core.MCConfig{Seed: *seed}
@@ -70,6 +83,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *traceFile != "" {
+		mc.Net.Tracer.EnableExport(*traceSample)
+	}
 	if err := workload.RegisterHandlers(mc.Host); err != nil {
 		return err
 	}
@@ -89,6 +105,25 @@ func run(args []string) error {
 	}
 	fmt.Printf("bearer: %s\n", bearerName)
 	fmt.Print(report.String())
+	if *traceFile != "" {
+		spans := mc.Net.Tracer.Spans()
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		if err := trace.WritePerfetto(f, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		bds := trace.Analyze(spans)
+		fmt.Printf("trace: %d spans, %d sampled operations -> %s\n", len(spans), len(bds), *traceFile)
+		if err := trace.WriteTable(os.Stdout, bds); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

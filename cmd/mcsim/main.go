@@ -8,6 +8,18 @@
 //	      [-cell gprs|edge|gsm|cdma|cdma2000|wcdma] [-middleware wap|imode]
 //	      [-clients N] [-rounds N] [-seed N] [-replicas R] [-parallel N] [-faults]
 //	      [-metrics] [-metrics-format text|csv]
+//	      [-trace out.json] [-trace-sample N] [-packet-trace]
+//
+// With -trace FILE, every transaction becomes a causal span tree — root
+// span at the station, per-hop link spans, middleware and host serve
+// spans, transport connection spans — and the run ends by writing the
+// whole forest as a Chrome trace-event (Perfetto) JSON file plus printing
+// a per-layer critical-path attribution table. The export is
+// deterministic: two runs at the same seed write byte-identical files.
+// -trace-sample N keeps every Nth transaction (deterministic 1-in-N
+// sampling by trace ID); a sampled file's events are a strict subset of
+// the unsampled run's. -packet-trace is the old low-level packet log on
+// stderr.
 //
 // With -metrics, the report ends with the full telemetry registry: every
 // counter, gauge and latency histogram any layer registered, one line per
@@ -44,6 +56,7 @@ import (
 	"mcommerce/internal/experiments"
 	"mcommerce/internal/faults"
 	"mcommerce/internal/simnet"
+	"mcommerce/internal/trace"
 	"mcommerce/internal/webserver"
 	"mcommerce/internal/wireless"
 )
@@ -58,16 +71,18 @@ func main() {
 // scenario is one fully resolved simulation configuration, shared
 // read-only across replicas.
 type scenario struct {
-	bearer     core.BearerKind
-	wlan       wireless.Standard
-	cell       cellular.Standard
-	middleware string
-	clients    int
-	rounds     int
-	trace      bool
-	faults     bool
-	metrics    bool
-	metricsCSV bool
+	bearer      core.BearerKind
+	wlan        wireless.Standard
+	cell        cellular.Standard
+	middleware  string
+	traceFile   string
+	traceSample int
+	packetTrace bool
+	clients     int
+	rounds      int
+	faults      bool
+	metrics     bool
+	metricsCSV  bool
 }
 
 func run(args []string) error {
@@ -81,7 +96,9 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed (replica i runs at seed+i)")
 	replicas := fs.Int("replicas", 1, "independent replicas at consecutive seeds")
 	parallel := fs.Int("parallel", 0, "max concurrent replicas (0 = GOMAXPROCS, 1 = serial)")
-	trace := fs.Bool("trace", false, "print a packet trace of the whole run to stderr (single replica only)")
+	traceFile := fs.String("trace", "", "write sampled transactions as a Chrome trace-event (Perfetto) JSON file and print a critical-path table (single replica only)")
+	traceSample := fs.Int("trace-sample", 1, "with -trace, keep every Nth transaction (deterministic 1-in-N sampling by trace ID)")
+	packetTrace := fs.Bool("packet-trace", false, "print a low-level packet trace of the whole run to stderr (single replica only)")
 	withFaults := fs.Bool("faults", false, "inject the default fault plan (link flaps, brownout, gateway and host crashes, partition) during the run")
 	withMetrics := fs.Bool("metrics", false, "dump the full telemetry registry (every layer's counters, gauges and latency histograms) after the run")
 	metricsFormat := fs.String("metrics-format", "text", "telemetry dump format: text or csv")
@@ -96,13 +113,17 @@ func run(args []string) error {
 	if *replicas < 1 {
 		return fmt.Errorf("-replicas must be >= 1, got %d", *replicas)
 	}
-	if *trace && *replicas > 1 {
-		return fmt.Errorf("-trace requires -replicas 1 (traces from concurrent replicas would interleave)")
+	if (*traceFile != "" || *packetTrace) && *replicas > 1 {
+		return fmt.Errorf("-trace and -packet-trace require -replicas 1 (traces from concurrent replicas would interleave)")
+	}
+	if *traceSample < 1 {
+		return fmt.Errorf("-trace-sample must be >= 1, got %d", *traceSample)
 	}
 
 	sc := scenario{
 		middleware: *middleware, clients: *clients, rounds: *rounds,
-		trace: *trace, faults: *withFaults,
+		traceFile: *traceFile, traceSample: *traceSample, packetTrace: *packetTrace,
+		faults:  *withFaults,
 		metrics: *withMetrics, metricsCSV: strings.EqualFold(*metricsFormat, "csv"),
 	}
 	switch strings.ToLower(*bearer) {
@@ -165,8 +186,11 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if sc.trace {
+	if sc.packetTrace {
 		mc.Net.SetTracer(simnet.NewTextTracer(os.Stderr))
+	}
+	if sc.traceFile != "" {
+		mc.Net.Tracer.EnableExport(sc.traceSample)
 	}
 	if err := apps.RegisterAll(mc.Host); err != nil {
 		return err
@@ -295,6 +319,26 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 	for _, cl := range mc.Clients {
 		fmt.Fprintf(w, "  station %-24s battery %.4f%% used, free RAM %d MB\n",
 			cl.Station.Name()+":", (1-cl.Station.Battery())*100, cl.Station.FreeRAM()>>20)
+	}
+	if sc.traceFile != "" {
+		spans := mc.Net.Tracer.Spans()
+		f, err := os.Create(sc.traceFile)
+		if err != nil {
+			return err
+		}
+		if err := trace.WritePerfetto(f, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		bds := trace.Analyze(spans)
+		fmt.Fprintf(w, "\ntrace: %d spans, %d sampled transactions -> %s\n",
+			len(spans), len(bds), sc.traceFile)
+		if err := trace.WriteTable(w, bds); err != nil {
+			return err
+		}
 	}
 	if sc.metrics {
 		snap := mc.Metrics().Snapshot()

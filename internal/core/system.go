@@ -11,6 +11,7 @@ import (
 	"mcommerce/internal/metrics"
 	"mcommerce/internal/mtcp"
 	"mcommerce/internal/simnet"
+	"mcommerce/internal/trace"
 	"mcommerce/internal/wap"
 	"mcommerce/internal/webserver"
 	"mcommerce/internal/wireless"
@@ -332,9 +333,17 @@ type Transaction struct {
 func (mc *MC) TransactIMode(i int, path string, done func(Transaction)) {
 	cl := mc.Clients[i]
 	start := mc.Net.Sched.Now()
+	// The root span brackets exactly the interval the latency histogram
+	// observes, so a trace's per-layer breakdown sums to the recorded
+	// core.txn.imode.latency value.
+	tr := mc.Net.Tracer
+	root := tr.StartTrace("core.txn.imode", trace.LayerStation)
+	prev := tr.Swap(root)
+	defer tr.Swap(prev)
 	cl.BrowserIMode().Browse(mc.Host.Addr(), path, func(p *device.Page, err error) {
 		lat := mc.Net.Sched.Now() - start
 		mc.txnIMode.Observe(lat)
+		tr.Finish(root)
 		done(Transaction{Page: p, Latency: lat, Err: err})
 	})
 }
@@ -344,16 +353,26 @@ func (mc *MC) TransactIMode(i int, path string, done func(Transaction)) {
 func (mc *MC) TransactWAP(i int, path string, done func(Transaction)) {
 	cl := mc.Clients[i]
 	start := mc.Net.Sched.Now()
+	tr := mc.Net.Tracer
+	root := tr.StartTrace("core.txn.wap", trace.LayerStation)
+	prev := tr.Swap(root)
+	defer tr.Swap(prev)
 	cl.ConnectWAP(func(br *device.Browser, err error) {
 		if err != nil {
 			lat := mc.Net.Sched.Now() - start
 			mc.txnWAP.Observe(lat)
+			tr.Finish(root)
 			done(Transaction{Latency: lat, Err: err})
 			return
 		}
+		// The connect callback fires during delivery of the session reply;
+		// re-establish the root so the browse's invoke starts under it.
+		p0 := tr.Swap(root)
+		defer tr.Swap(p0)
 		br.Browse(mc.Host.Addr(), path, func(p *device.Page, err error) {
 			lat := mc.Net.Sched.Now() - start
 			mc.txnWAP.Observe(lat)
+			tr.Finish(root)
 			done(Transaction{Page: p, Latency: lat, Err: err})
 		})
 	})
@@ -449,9 +468,14 @@ func BuildEC(cfg ECConfig) (*EC, error) {
 // Transact runs one GET from EC client i and reports latency.
 func (ec *EC) Transact(i int, path string, done func(*webserver.Response, time.Duration, error)) {
 	start := ec.Net.Sched.Now()
+	tr := ec.Net.Tracer
+	root := tr.StartTrace("core.txn.ec", trace.LayerStation)
+	prev := tr.Swap(root)
+	defer tr.Swap(prev)
 	ec.Clients[i].HTTP.Get(ec.Host.Addr(), path, nil, func(r *webserver.Response, err error) {
 		lat := ec.Net.Sched.Now() - start
 		ec.txn.Observe(lat)
+		tr.Finish(root)
 		done(r, lat, err)
 	})
 }

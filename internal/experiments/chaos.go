@@ -9,6 +9,7 @@ import (
 	"mcommerce/internal/faults"
 	"mcommerce/internal/metrics"
 	"mcommerce/internal/simnet"
+	"mcommerce/internal/trace"
 	"mcommerce/internal/wap"
 	"mcommerce/internal/webserver"
 )
@@ -82,6 +83,9 @@ type chaosReport struct {
 	faultLog   []string
 	// telemetry is the world registry's snapshot diff over the run.
 	telemetry metrics.Snapshot
+	// critpath is the per-layer critical-path attribution over every traced
+	// transaction (completed and abandoned alike).
+	critpath trace.Summary
 }
 
 // amplification is total retries (application re-submissions, wireless
@@ -120,6 +124,10 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 	if err != nil {
 		return nil, err
 	}
+	// Trace every transaction so the report can attribute critical-path
+	// latency to layers — the mechanism behind the completion/latency deltas
+	// between modes.
+	mc.Net.Tracer.EnableExport(1)
 	if clients > len(mc.Clients) {
 		clients = len(mc.Clients)
 	}
@@ -166,16 +174,25 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 		stagger := time.Duration(ci) * 200 * time.Millisecond
 		transact := func(start time.Duration) {
 			rep.attempted++
+			// One root span per transaction, spanning every app-level retry
+			// and session re-establishment until success or abandonment.
+			tr := mc.Net.Tracer
+			root := tr.StartTrace("core.txn.wap", trace.LayerStation)
 			var attempt func(n int)
 			attempt = func(n int) {
 				fail := func() {
 					if n >= appRetries {
+						tr.Annotate(root, "txn.lost")
+						tr.Finish(root)
 						return // transaction lost
 					}
 					rep.appRetries++
+					tr.Annotate(root, "app.retry")
 					// The session may have died with the gateway:
 					// re-establish it before retrying.
 					sched.After(appBackoff.Delay(n, sched.Rand()), func() {
+						prev := tr.Swap(root)
+						defer tr.Swap(prev)
 						connect(func() { attempt(n + 1) })
 					})
 				}
@@ -183,6 +200,8 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 					fail()
 					return
 				}
+				prev := tr.Swap(root)
+				defer tr.Swap(prev)
 				sess.Get(url, func(r *wap.Reply, err error) {
 					if err != nil || r.Status != 200 {
 						fail()
@@ -190,6 +209,7 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 					}
 					rep.completed++
 					latencies = append(latencies, sched.Now()-start)
+					tr.Finish(root)
 				})
 			}
 			attempt(0)
@@ -220,6 +240,7 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 	rep.stale = int(rep.gwStats.StaleHits)
 	rep.faultStats = in.Stats()
 	rep.faultLog = in.Log()
+	rep.critpath = trace.Summarize(trace.Analyze(mc.Net.Tracer.Spans()))
 	return rep, nil
 }
 
@@ -242,6 +263,8 @@ func Chaos(seed int64) []*Result {
 	const clients, rounds = 5, 12
 	res := newResult("E-CHAOS", "Fault injection: transaction completion under outages",
 		"mode", "transactions", "completed", "completion", "p50 latency", "p99 latency", "retries/tx", "stale serves", "faults applied")
+	cp := newResult("E-CHAOS-CRITPATH", "Critical-path latency attribution per layer (share of traced transaction time)",
+		"mode", "traced", "station", "wireless", "middleware", "wired", "host", "transport")
 
 	modes := []chaosMode{
 		{"no faults, resilient", false, true},
@@ -253,7 +276,25 @@ func Chaos(seed int64) []*Result {
 		rep, err := chaosRun(seed, clients, rounds, m)
 		if err != nil {
 			res.AddRow(m.name, "error: "+err.Error(), "-", "-", "-", "-", "-", "-", "-")
+			cp.AddRow(m.name, "error: "+err.Error(), "-", "-", "-", "-", "-", "-")
 			continue
+		}
+		s := rep.critpath
+		share := func(l trace.Layer) string {
+			if s.Total <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%s (%.1f%%)", fmtDur(s.ByLayer[l]),
+				100*float64(s.ByLayer[l])/float64(s.Total))
+		}
+		cp.AddRow(m.name, fmt.Sprint(s.Count),
+			share(trace.LayerStation), share(trace.LayerWireless),
+			share(trace.LayerMiddleware), share(trace.LayerWired),
+			share(trace.LayerHost), share(trace.LayerTransport))
+		for _, l := range []trace.Layer{trace.LayerStation, trace.LayerWireless, trace.LayerMiddleware, trace.LayerWired, trace.LayerHost, trace.LayerTransport} {
+			if s.Total > 0 {
+				cp.Set(m.name+"/"+l.String()+"_share", float64(s.ByLayer[l])/float64(s.Total))
+			}
 		}
 		completion := float64(rep.completed) / float64(rep.attempted)
 		res.AddRow(m.name,
@@ -282,5 +323,7 @@ func Chaos(seed int64) []*Result {
 	for _, l := range logged {
 		res.Note("fault: %s", l)
 	}
-	return []*Result{res}
+	cp.Note("attribution: per-boundary sweep assigning each interval of a transaction to its deepest active span's layer; shares sum to 100%% of traced time")
+	cp.Note("traced counts completed and abandoned transactions alike; abandoned ones end at their final app-level failure")
+	return []*Result{res, cp}
 }

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mcommerce/internal/core"
+	"mcommerce/internal/faults"
+	"mcommerce/internal/trace"
+	"mcommerce/internal/webserver"
+)
+
+// tracedRun builds an MC world at seed, injects the default chaos plan,
+// drives staggered WAP transactions through the fault window and returns
+// the Perfetto export, the critical-path table, the per-transaction
+// breakdowns and the latencies the world's histogram observed.
+func tracedRun(t *testing.T, seed int64, sampleN int) (json, table string, bds []trace.Breakdown, lats []time.Duration) {
+	t.Helper()
+	mc, err := core.BuildMC(core.MCConfig{Seed: seed, DisableIMode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Net.Tracer.EnableExport(sampleN)
+	mc.Host.Server.Handle("/traced", func(r *webserver.Request) *webserver.Response {
+		return webserver.HTML(`<html><head><title>T</title></head><body><p>traced page</p></body></html>`)
+	})
+	in := faults.NewInjector(mc.Net)
+	ChaosTargets(mc, in)
+	if err := in.Schedule(DefaultChaosPlan(seed)); err != nil {
+		t.Fatal(err)
+	}
+
+	sched := mc.Net.Sched
+	attempted, finished := 0, 0
+	for i := range mc.Clients {
+		i := i
+		for r := 0; r < 8; r++ {
+			at := time.Duration(r)*7*time.Second + time.Duration(i)*300*time.Millisecond
+			attempted++
+			sched.At(at, func() {
+				mc.TransactWAP(i, "/traced", func(tx core.Transaction) {
+					finished++
+					lats = append(lats, tx.Latency)
+				})
+			})
+		}
+	}
+	if err := sched.RunFor(4 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if finished != attempted {
+		t.Fatalf("only %d/%d transactions reported an outcome", finished, attempted)
+	}
+
+	spans := mc.Net.Tracer.Spans()
+	var jb, tb bytes.Buffer
+	if err := trace.WritePerfetto(&jb, spans); err != nil {
+		t.Fatal(err)
+	}
+	bds = trace.Analyze(spans)
+	if err := trace.WriteTable(&tb, bds); err != nil {
+		t.Fatal(err)
+	}
+	return jb.String(), tb.String(), bds, lats
+}
+
+// TestTracedRunDeterministic: two same-seed runs through the full fault
+// plan produce byte-identical Perfetto exports and critical-path tables.
+func TestTracedRunDeterministic(t *testing.T) {
+	j1, t1, _, _ := tracedRun(t, 7, 1)
+	j2, t2, _, _ := tracedRun(t, 7, 1)
+	if j1 != j2 {
+		t.Fatal("Perfetto export differs across same-seed runs")
+	}
+	if t1 != t2 {
+		t.Fatal("critical-path table differs across same-seed runs")
+	}
+}
+
+// TestTracedRunSampledSubset: a 1-in-4 sampled run's export lines are a
+// strict multiset subset of the unsampled run's (trace IDs are consumed
+// even when unsampled, so the kept traces line up exactly).
+func TestTracedRunSampledSubset(t *testing.T) {
+	full, _, fullBds, _ := tracedRun(t, 7, 1)
+	samp, _, sampBds, _ := tracedRun(t, 7, 4)
+	if len(sampBds) == 0 || len(sampBds) >= len(fullBds) {
+		t.Fatalf("sampling kept %d of %d transactions, want a strict non-empty subset",
+			len(sampBds), len(fullBds))
+	}
+	avail := make(map[string]int)
+	for _, l := range strings.Split(full, "\n") {
+		avail[strings.TrimPrefix(l, ",")]++
+	}
+	for _, l := range strings.Split(samp, "\n") {
+		l = strings.TrimPrefix(l, ",")
+		if avail[l] == 0 {
+			t.Fatalf("sampled export line not present in unsampled export: %q", l)
+		}
+		avail[l]--
+	}
+}
+
+// TestBreakdownSumsToObservedLatency: each traced transaction's per-layer
+// attribution sums exactly to its root span duration, and the multiset of
+// root durations equals the multiset of latencies the transaction
+// histogram observed — the trace explains every nanosecond of what the
+// telemetry measured.
+func TestBreakdownSumsToObservedLatency(t *testing.T) {
+	_, _, bds, lats := tracedRun(t, 7, 1)
+	if len(bds) == 0 {
+		t.Fatal("no traced transactions")
+	}
+	var totals []time.Duration
+	for _, bd := range bds {
+		var sum time.Duration
+		for _, d := range bd.ByLayer {
+			sum += d
+		}
+		if sum != bd.Total {
+			t.Fatalf("trace %d: layer durations sum to %v, want root total %v", bd.Trace, sum, bd.Total)
+		}
+		totals = append(totals, bd.Total)
+	}
+	if len(totals) != len(lats) {
+		t.Fatalf("%d breakdowns but %d observed latencies", len(totals), len(lats))
+	}
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	for i := range totals {
+		if totals[i] != lats[i] {
+			t.Fatalf("sorted totals[%d]=%v != observed latency %v", i, totals[i], lats[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mcommerce/internal/simnet"
+	"mcommerce/internal/trace"
 )
 
 // Stats counts applied and healed faults.
@@ -96,6 +97,27 @@ func (in *Injector) Log() []string { return append([]string(nil), in.log...) }
 
 func (in *Injector) logf(format string, args ...any) {
 	in.log = append(in.log, fmt.Sprintf("[%v] ", in.net.Sched.Now())+fmt.Sprintf(format, args...))
+}
+
+// flightDumpMax bounds the spans a crash dump pulls from the flight
+// recorder, keeping the fault log readable under dense workloads.
+const flightDumpMax = 32
+
+// dumpFlightRecorder appends the tracer's most recent spans to the fault
+// log. It only fires for the catastrophic kinds (crashes, partitions) and
+// only when the world's tracer is recording: the spans in flight at fault
+// time are the forensic record of what the fault interrupted.
+func (in *Injector) dumpFlightRecorder() {
+	spans := in.net.Tracer.Recent(flightDumpMax)
+	if len(spans) == 0 {
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "flight recorder: %d span(s) in flight\n", len(spans))
+	trace.WriteDump(&sb, spans)
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		in.log = append(in.log, line)
+	}
 }
 
 // Schedule validates the plan and arms one timer per apply/heal. It
@@ -192,6 +214,7 @@ func (in *Injector) apply(e Event) {
 		}
 		in.stats.Crashes++
 		in.logf("node %s crash (%d ifaces down, state lost)", e.Target, len(ifaces))
+		in.dumpFlightRecorder()
 		heal(func() {
 			for _, i := range ifaces {
 				i.SetDown(false)
@@ -209,6 +232,7 @@ func (in *Injector) apply(e Event) {
 		}
 		in.stats.Partitions++
 		in.logf("partition %s (%d links down)", e.Target, len(links))
+		in.dumpFlightRecorder()
 		heal(func() {
 			for _, l := range links {
 				l.SetDown(false)

@@ -22,6 +22,7 @@ import (
 	"mcommerce/internal/metrics"
 	"mcommerce/internal/mtcp"
 	"mcommerce/internal/simnet"
+	"mcommerce/internal/trace"
 	"mcommerce/internal/webserver"
 )
 
@@ -102,6 +103,13 @@ func (g *Gateway) proxy(req *webserver.Request, respond func(*webserver.Response
 		return
 	}
 	g.stats.Requests++
+	// The middleware span covers the portal's whole turnaround: the origin
+	// fetch (whose wired transport span nests under it) plus the cHTML
+	// filtering delay.
+	tr := g.node.Network().Tracer
+	span := tr.StartSpan(tr.Current(), "imode.gw.proxy", trace.LayerMiddleware)
+	prev := tr.Swap(span)
+	defer tr.Swap(prev)
 	upstream := &webserver.Request{
 		Method:  req.Method,
 		Path:    req.Path,
@@ -112,11 +120,15 @@ func (g *Gateway) proxy(req *webserver.Request, respond func(*webserver.Response
 	g.http.Do(origin, upstream, func(resp *webserver.Response, err error) {
 		if err != nil {
 			g.stats.OriginErrors++
+			tr.Finish(span)
 			respond(webserver.Error(502, err.Error()))
 			return
 		}
 		g.stats.BytesFromOrigin += uint64(len(resp.Body))
-		finish := func() { respond(g.filter(resp)) }
+		finish := func() {
+			tr.Finish(span)
+			respond(g.filter(resp))
+		}
 		if g.cfg.ProcessingDelay > 0 {
 			g.node.Sched().After(g.cfg.ProcessingDelay, finish)
 		} else {

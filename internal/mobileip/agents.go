@@ -109,6 +109,9 @@ func (ha *HomeAgent) intercept(p *simnet.Packet) bool {
 	}
 	ha.stats.Tunneled++
 	ha.stats.TunneledBytes += uint64(p.Bytes)
+	// The encapsulation shows up in the packet's causal trace; the outer
+	// packet inherits the span context via the ambient stamp in Send.
+	ha.node.Network().Tracer.Annotate(p.Trace, "mip.tunnel")
 	inner := p.Clone()
 	ha.node.Send(&simnet.Packet{
 		Src:   simnet.Addr{Node: ha.node.ID},
@@ -198,6 +201,7 @@ func (fa *ForeignAgent) decapsulate(p *simnet.Packet) {
 	fa.stats.Decapsulated++
 	out := inner.Clone()
 	out.TTL = simnet.DefaultTTL
+	fa.node.Network().Tracer.Annotate(out.Trace, "mip.decap")
 	if via := fa.node.RouteTo(out.Dst.Node); via != nil {
 		via.Send(out)
 		return

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mcommerce/internal/simnet"
+	"mcommerce/internal/trace"
 )
 
 type connState int
@@ -24,6 +25,14 @@ type Conn struct {
 	remote    simnet.Addr
 	opts      Options
 	state     connState
+
+	// ctx is the causal span context every segment of this connection is
+	// stamped with — essential for timer-driven sends (RTO retransmits),
+	// which fire with no ambient context. Dialed connections own a
+	// dedicated transport span (ownSpan) finished at teardown; accepted
+	// connections inherit the context of the SYN that created them.
+	ctx     trace.Context
+	ownSpan bool
 
 	// Callbacks.
 	onConnect func(*Conn, error) // Dial completion
@@ -89,6 +98,7 @@ func newConn(s *Stack, local simnet.Port, remote simnet.Addr, opts Options) *Con
 		localPort: local,
 		remote:    remote,
 		opts:      opts,
+		ctx:       s.node.Network().Tracer.Current(),
 		peerWnd:   opts.MSS * opts.InitialCwndSegs,
 		cwnd:      float64(opts.MSS * opts.InitialCwndSegs),
 		ssthresh:  float64(opts.RcvWnd),
@@ -241,7 +251,7 @@ func (c *Conn) sendSeg(seg *Segment) {
 	c.stats.BytesSent += uint64(len(seg.Payload))
 	c.stack.m.segmentsSent.Inc()
 	c.stack.m.bytesSent.Add(uint64(len(seg.Payload)))
-	c.stack.sendRaw(c.localPort, c.remote, seg)
+	c.stack.sendRaw(c.localPort, c.remote, seg, c.ctx)
 }
 
 func (c *Conn) sendAck() {
@@ -393,6 +403,7 @@ func (c *Conn) onRTO() {
 	}
 	c.stats.Timeouts++
 	c.stack.m.timeouts.Inc()
+	c.stack.node.Network().Tracer.Annotate(c.ctx, "tcp.rto")
 	c.retries++
 	if c.retries > c.opts.MaxRetries {
 		err := ErrTimeout
@@ -569,6 +580,7 @@ func (c *Conn) processAck(seg *Segment) {
 func (c *Conn) fastRetransmit() {
 	c.stats.FastRetransmits++
 	c.stack.m.fastRetransmits.Inc()
+	c.stack.node.Network().Tracer.Annotate(c.ctx, "tcp.fast_retransmit")
 	flight := float64(c.sndNxt - c.sndUna)
 	c.ssthresh = maxf(flight/2, float64(2*c.opts.MSS))
 	c.cwnd = c.ssthresh + float64(c.opts.DupAckThreshold*c.opts.MSS)
@@ -699,6 +711,9 @@ func (c *Conn) teardown(err error) {
 	c.state = stateClosed
 	c.stopRTO()
 	c.stack.remove(c)
+	if c.ownSpan {
+		c.stack.node.Network().Tracer.Finish(c.ctx)
+	}
 	c.ooo = nil
 	c.sndBuf = nil
 	if c.onClose != nil && !c.closed {

@@ -143,6 +143,9 @@ func (a *SnoopAgent) handleAck(key connPair, seg *Segment) bool {
 	if f.dupCount == 1 || f.dupCount%4 == 0 {
 		rt := cached.Clone()
 		rt.TTL = simnet.DefaultTTL
+		// The cached clone still carries the original segment's span
+		// context, so the local retransmission stays in the right trace.
+		a.node.Network().Tracer.Annotate(rt.Trace, "snoop.local_rtx")
 		a.node.Send(rt)
 		a.stats.LocalRetransmits++
 	}

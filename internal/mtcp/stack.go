@@ -6,6 +6,7 @@ import (
 
 	"mcommerce/internal/metrics"
 	"mcommerce/internal/simnet"
+	"mcommerce/internal/trace"
 )
 
 // Errors reported through connection callbacks or returned by Stack calls.
@@ -121,6 +122,15 @@ func (s *Stack) Dial(raddr simnet.Addr, opts Options, connected func(*Conn, erro
 	port := s.ephemeralPort()
 	c := newConn(s, port, raddr, opts.withDefaults())
 	c.onConnect = connected
+	// The dialing side owns a transport span for the connection's whole
+	// lifetime: RTO stalls, handshake retries and retransmission waits all
+	// attribute to it (the accepted side only inherits the caller's
+	// context, so the transport leg is not double-counted).
+	tr := s.node.Network().Tracer
+	if parent := tr.Current(); parent.Sampled() {
+		c.ctx = tr.StartSpan(parent, "mtcp.conn", trace.LayerTransport)
+		c.ownSpan = true
+	}
 	s.conns[connKey{local: port, remote: raddr}] = c
 	s.m.connsDialed.Inc()
 	c.startConnect()
@@ -174,25 +184,28 @@ func (s *Stack) deliver(p *simnet.Packet) {
 	// A FIN for a connection we already closed: the peer lost our final
 	// ACK. Re-ACK instead of resetting so its orderly close completes.
 	if seg.Flags&FIN != 0 {
-		s.sendRaw(p.Dst.Port, p.Src, &Segment{Flags: ACK, Seq: seg.Ack, Ack: seg.Seq + seg.Len()})
+		s.sendRaw(p.Dst.Port, p.Src, &Segment{Flags: ACK, Seq: seg.Ack, Ack: seg.Seq + seg.Len()}, trace.Context{})
 		return
 	}
 	// Unknown connection: reset, unless this is itself a reset.
 	if seg.Flags&RST == 0 {
-		s.sendRaw(p.Dst.Port, p.Src, &Segment{Flags: RST | ACK, Seq: seg.Ack, Ack: seg.Seq + seg.Len()})
+		s.sendRaw(p.Dst.Port, p.Src, &Segment{Flags: RST | ACK, Seq: seg.Ack, Ack: seg.Seq + seg.Len()}, trace.Context{})
 	}
 }
 
 // sendRaw emits a segment. All of the stack's transmissions funnel through
 // here; the packet shell comes from the network pool so the per-segment
-// cost is only the segment itself.
-func (s *Stack) sendRaw(local simnet.Port, remote simnet.Addr, seg *Segment) {
+// cost is only the segment itself. ctx ties the packet to its connection's
+// span; the zero context falls back to the ambient one in Node.Send (the
+// right answer for raw replies emitted inside a delivery).
+func (s *Stack) sendRaw(local simnet.Port, remote simnet.Addr, seg *Segment, ctx trace.Context) {
 	p := s.node.Network().AllocPacket()
 	p.Src = simnet.Addr{Node: s.node.ID, Port: local}
 	p.Dst = remote
 	p.Proto = simnet.ProtoTCP
 	p.Bytes = simnet.TCPHeaderBytes + len(seg.Payload)
 	p.Body = seg
+	p.Trace = ctx
 	s.node.Send(p)
 }
 

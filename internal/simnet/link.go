@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mcommerce/internal/metrics"
+	"mcommerce/internal/trace"
 )
 
 // Rate is a link speed in bits per second.
@@ -122,6 +123,10 @@ type Link struct {
 	a, b *Iface
 	net  *Network
 
+	// spanName is the precomputed hop-span name ("simnet.link.<label>"),
+	// shared by both directions so span recording allocates nothing.
+	spanName string
+
 	// down is the administrative state: a downed link silently discards
 	// both directions (fault injection / disconnection modelling).
 	down bool
@@ -166,7 +171,8 @@ func Connect(x, y *Node, cfg LinkConfig) *Link {
 	if label == "" {
 		label = fmt.Sprintf("n%d-n%d", x.ID, y.ID)
 	}
-	sc := l.net.Metrics.Instance("simnet.link." + metrics.Sanitize(label))
+	l.spanName = "simnet.link." + metrics.Sanitize(label)
+	sc := l.net.Metrics.Instance(l.spanName)
 	for dir, suffix := range [2]string{"ab", "ba"} {
 		sc.AliasCounter("delivered."+suffix, &l.Delivered[dir])
 		sc.AliasCounter("lost."+suffix, &l.Lost[dir])
@@ -253,14 +259,17 @@ type linkDelivery struct {
 	dst  *Iface
 	p    *Packet
 	dir  uint8
+	// hop is the in-flight hop span, finished at arrival.
+	hop trace.Context
 }
 
 // run completes a delivery: count it, hand the packet to the receiving
 // node, then recycle packet and record.
 func (d *linkDelivery) run() {
-	l, dst, p, dir := d.link, d.dst, d.p, d.dir
+	l, dst, p, dir, hop := d.link, d.dst, d.p, d.dir, d.hop
 	l.net.freeDelivery(d)
 	l.Delivered[dir]++
+	l.net.Tracer.Finish(hop)
 	dst.Node.Deliver(p, dst)
 	l.net.freePacket(p)
 }
@@ -289,6 +298,7 @@ func (l *Link) Transmit(from *Iface, p *Packet) {
 
 	if l.down {
 		l.DroppedDown[dir]++
+		l.net.Tracer.Annotate(p.Trace, "link-down")
 		l.net.trace(TraceEvent{Kind: TraceDrop, Node: from.Node, Iface: from, Packet: p, Reason: "link-down"})
 		return
 	}
@@ -301,6 +311,7 @@ func (l *Link) Transmit(from *Iface, p *Packet) {
 	}
 	if l.queued[dir] >= l.cfg.QueueLen {
 		l.Dropped[dir]++
+		l.net.Tracer.Annotate(p.Trace, "queue-overflow")
 		l.net.trace(TraceEvent{Kind: TraceDrop, Node: from.Node, Iface: from, Packet: p, Reason: "queue-overflow"})
 		return
 	}
@@ -315,6 +326,7 @@ func (l *Link) Transmit(from *Iface, p *Packet) {
 
 	if reason := l.lost(s, dir, p.Bytes); reason != "" {
 		l.Lost[dir]++
+		l.net.Tracer.Annotate(p.Trace, reason)
 		l.net.trace(TraceEvent{Kind: TraceDrop, Node: from.Node, Iface: from, Packet: p, Reason: reason})
 		// The transmitter is still occupied for the serialization time;
 		// decrement the queue when the frame would have finished sending.
@@ -325,6 +337,9 @@ func (l *Link) Transmit(from *Iface, p *Packet) {
 	s.AtCall(txDone, linkDequeue[dir], l)
 	d := l.net.allocDelivery()
 	d.link, d.dst, d.p, d.dir = l, dst, l.net.clonePooled(p), uint8(dir)
+	// The hop span covers queueing + serialization + propagation on this
+	// wire; the name is precomputed at Connect, so this allocates nothing.
+	d.hop = l.net.Tracer.StartSpan(p.Trace, l.spanName, trace.LayerWired)
 	s.AtCall(arrive, linkDeliver, d)
 }
 

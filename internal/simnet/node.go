@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mcommerce/internal/metrics"
+	"mcommerce/internal/trace"
 )
 
 // Medium is anything an interface can transmit onto: a point-to-point Link,
@@ -65,13 +66,18 @@ func (i *Iface) Send(p *Packet) {
 	if !i.Up || i.Medium == nil {
 		return
 	}
-	if !p.onWire {
+	// A packet that has already been on the wire is being relayed or
+	// tunneled onward; distinguish that from origin sends in the trace.
+	kind := TraceSend
+	if p.onWire {
+		kind = TraceForward
+	} else {
 		p.onWire = true
 		p.Sent = i.Node.net.Sched.Now()
 	}
 	i.TxPackets++
 	i.TxBytes += uint64(p.Bytes)
-	i.Node.net.trace(TraceEvent{Kind: TraceSend, Node: i.Node, Iface: i, Packet: p})
+	i.Node.net.trace(TraceEvent{Kind: kind, Node: i.Node, Iface: i, Packet: p})
 	i.Medium.Transmit(i, p)
 }
 
@@ -119,6 +125,12 @@ type Network struct {
 	// scheduler, it is single-goroutine.
 	Metrics *metrics.Registry
 
+	// Tracer is the world's causal span tracer, disabled by default
+	// (every operation on it is then a single-branch no-op). Enable it
+	// with Tracer.EnableExport or Tracer.EnableRing; transaction layers
+	// start root spans and simnet propagates their contexts on packets.
+	Tracer *trace.Tracer
+
 	pktFree []*Packet
 	dlvFree []*linkDelivery
 }
@@ -127,7 +139,7 @@ type Network struct {
 // network owns a fresh metrics registry; the scheduler's own gauges
 // (executed/pending event counts, virtual clock) are pre-registered.
 func NewNetwork(s *Scheduler) *Network {
-	n := &Network{Sched: s, nodes: make(map[NodeID]*Node), Metrics: metrics.New()}
+	n := &Network{Sched: s, nodes: make(map[NodeID]*Node), Metrics: metrics.New(), Tracer: trace.New(s.Now)}
 	sc := n.Metrics.Scope("simnet.sched")
 	sc.GaugeFunc("executed", func() int64 { return int64(s.Executed()) })
 	sc.GaugeFunc("pending", func() int64 { return int64(s.Pending()) })
@@ -282,6 +294,12 @@ func (nd *Node) Send(p *Packet) {
 	if p.Bytes <= 0 {
 		p.Bytes = 1
 	}
+	// Inherit the ambient span context: replies sent from a delivery
+	// handler, tunnel encapsulations and timer-driven retransmits under a
+	// restored context all join the originating transaction's trace.
+	if p.Trace.Trace == 0 {
+		p.Trace = nd.net.Tracer.Current()
+	}
 	nd.dispatch(p)
 	nd.net.freePacket(p)
 }
@@ -298,6 +316,10 @@ func (nd *Node) Deliver(p *Packet, via *Iface) {
 		via.RxPackets++
 		via.RxBytes += uint64(p.Bytes)
 	}
+	// Reinstate the packet's span context for the synchronous extent of
+	// its handling: taps, handlers and anything they send inherit it.
+	prev := nd.net.Tracer.Swap(p.Trace)
+	defer nd.net.Tracer.Swap(prev)
 	nd.net.trace(TraceEvent{Kind: TraceDeliver, Node: nd, Iface: via, Packet: p})
 	for _, t := range nd.taps {
 		if !t(p) {
@@ -312,9 +334,12 @@ func (nd *Node) Deliver(p *Packet, via *Iface) {
 // layers outside this package use it so their discards appear in traces.
 func (nd *Node) Drop(p *Packet, reason string) { nd.drop(p, nil, reason) }
 
-// drop discards a packet, counting and tracing it.
+// drop discards a packet, counting and tracing it. The drop reason is
+// also annotated onto the packet's causal span (reasons are constant
+// strings, so this stays allocation-free).
 func (nd *Node) drop(p *Packet, via *Iface, reason string) {
 	nd.Dropped++
+	nd.net.Tracer.Annotate(p.Trace, reason)
 	nd.net.trace(TraceEvent{Kind: TraceDrop, Node: nd, Iface: via, Packet: p, Reason: reason})
 }
 

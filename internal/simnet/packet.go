@@ -3,6 +3,8 @@ package simnet
 import (
 	"fmt"
 	"time"
+
+	"mcommerce/internal/trace"
 )
 
 // NodeID identifies a node in the simulated internetwork. IDs are assigned
@@ -81,6 +83,13 @@ type Packet struct {
 	// Sent is the virtual time the packet first entered the network,
 	// stamped by the first interface that transmits it.
 	Sent time.Duration
+
+	// Trace is the causal span context the packet carries across hops,
+	// relays and tunnels. Node.Send stamps it from the tracer's ambient
+	// context when unset; Node.Deliver reinstates it as ambient on
+	// arrival, so replies and forwarded copies inherit the originating
+	// transaction automatically. Zero for unsampled traffic.
+	Trace trace.Context
 
 	// onWire records that the packet has been transmitted at least once;
 	// nodes use it to distinguish forwarding from local origination.

@@ -1,8 +1,8 @@
 package simnet
 
 import (
-	"fmt"
 	"io"
+	"strconv"
 	"time"
 )
 
@@ -11,12 +11,17 @@ type TraceKind int
 
 // Trace event kinds.
 const (
-	// TraceSend fires when an interface transmits a packet.
+	// TraceSend fires when an interface transmits a locally originated
+	// packet.
 	TraceSend TraceKind = iota + 1
 	// TraceDeliver fires when a packet reaches a node (before taps).
 	TraceDeliver
 	// TraceDrop fires when a node discards a packet.
 	TraceDrop
+	// TraceForward fires when an interface transmits a packet that has
+	// already been on the wire — a relay, router or tunnel hop —
+	// distinguishing it from origin sends.
+	TraceForward
 )
 
 func (k TraceKind) String() string {
@@ -27,6 +32,8 @@ func (k TraceKind) String() string {
 		return "recv"
 	case TraceDrop:
 		return "drop"
+	case TraceForward:
+		return "fwd"
 	default:
 		return "?"
 	}
@@ -59,18 +66,89 @@ func (n *Network) trace(ev TraceEvent) {
 
 // NewTextTracer returns a tracer that writes one line per event:
 //
-//	[12.345ms] send  node 3 (gateway) TCP 3:80->5:0 (1440B)
+//	[0.012345678s] send node 3 (gateway) TCP 3:80->5:0 (1440B)
+//
+// The returned callback owns a single reusable buffer and formats with
+// append-style primitives, so steady-state tracing performs no
+// allocations beyond what the io.Writer itself does.
 func NewTextTracer(w io.Writer) func(TraceEvent) {
+	buf := make([]byte, 0, 160)
 	return func(ev TraceEvent) {
-		reason := ""
-		if ev.Reason != "" {
-			reason = " [" + ev.Reason + "]"
+		b := buf[:0]
+		b = append(b, '[')
+		b = strconv.AppendInt(b, int64(ev.At/time.Second), 10)
+		b = append(b, '.')
+		b = appendPadded(b, int64(ev.At%time.Second), 9)
+		b = append(b, "s] "...)
+		b = append(b, ev.Kind.String()...)
+		for n := len(ev.Kind.String()); n < 5; n++ {
+			b = append(b, ' ')
 		}
-		ifc := ""
+		if ev.Node != nil {
+			b = append(b, "node "...)
+			b = strconv.AppendInt(b, int64(ev.Node.ID), 10)
+			b = append(b, " ("...)
+			b = append(b, ev.Node.Name...)
+			b = append(b, ')')
+		}
+		if p := ev.Packet; p != nil {
+			b = append(b, ' ')
+			b = appendProto(b, p.Proto)
+			b = append(b, ' ')
+			b = appendAddr(b, p.Src)
+			b = append(b, "->"...)
+			b = appendAddr(b, p.Dst)
+			b = append(b, " ("...)
+			b = strconv.AppendInt(b, int64(p.Bytes), 10)
+			b = append(b, "B)"...)
+		}
 		if ev.Iface != nil {
-			ifc = " via " + ev.Iface.Name
+			b = append(b, " via "...)
+			b = append(b, ev.Iface.Name...)
 		}
-		fmt.Fprintf(w, "[%v] %-4s %s %s%s%s\n",
-			ev.At, ev.Kind, ev.Node, ev.Packet, ifc, reason)
+		if ev.Reason != "" {
+			b = append(b, " ["...)
+			b = append(b, ev.Reason...)
+			b = append(b, ']')
+		}
+		b = append(b, '\n')
+		buf = b // retain any growth for the next event
+		w.Write(b)
 	}
+}
+
+// appendPadded appends v zero-padded to width digits.
+func appendPadded(b []byte, v int64, width int) []byte {
+	var tmp [20]byte
+	s := strconv.AppendInt(tmp[:0], v, 10)
+	for n := len(s); n < width; n++ {
+		b = append(b, '0')
+	}
+	return append(b, s...)
+}
+
+// appendProto appends the protocol mnemonic without allocating for the
+// known protocol numbers.
+func appendProto(b []byte, p Protocol) []byte {
+	switch p {
+	case ProtoUDP:
+		return append(b, "UDP"...)
+	case ProtoTCP:
+		return append(b, "TCP"...)
+	case ProtoTunnel:
+		return append(b, "TUNNEL"...)
+	case ProtoControl:
+		return append(b, "CTL"...)
+	default:
+		b = append(b, "PROTO("...)
+		b = strconv.AppendInt(b, int64(p), 10)
+		return append(b, ')')
+	}
+}
+
+// appendAddr appends "node:port".
+func appendAddr(b []byte, a Addr) []byte {
+	b = strconv.AppendInt(b, int64(a.Node), 10)
+	b = append(b, ':')
+	return strconv.AppendInt(b, int64(a.Port), 10)
 }

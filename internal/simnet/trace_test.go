@@ -1,9 +1,12 @@
 package simnet
 
 import (
+	"io"
 	"strings"
 	"testing"
 	"time"
+
+	"mcommerce/internal/trace"
 )
 
 func TestTracerObservesSendDeliverDrop(t *testing.T) {
@@ -57,6 +60,142 @@ func TestTextTracerFormat(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("trace output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestTraceForwardKind verifies that a routed hop re-emits as "fwd", not
+// "send": only the originating interface produces TraceSend.
+func TestTraceForwardKind(t *testing.T) {
+	net := NewNetwork(NewScheduler(1))
+	a := net.NewNode("a")
+	r := net.NewNode("r")
+	b := net.NewNode("b")
+	r.Forwarding = true
+	ar := Connect(a, r, LinkConfig{Rate: Mbps, Delay: time.Millisecond})
+	rb := Connect(r, b, LinkConfig{Rate: Mbps, Delay: time.Millisecond})
+	a.SetDefaultRoute(ar.IfaceA())
+	r.SetRoute(a.ID, ar.IfaceB())
+	r.SetRoute(b.ID, rb.IfaceA())
+	b.SetDefaultRoute(rb.IfaceB())
+	b.Bind(ProtoControl, func(p *Packet) {})
+
+	var sends, forwards int
+	net.SetTracer(func(ev TraceEvent) {
+		switch ev.Kind {
+		case TraceSend:
+			sends++
+			if ev.Node != a {
+				t.Errorf("origin send from %v, want node a", ev.Node)
+			}
+		case TraceForward:
+			forwards++
+			if ev.Node != r {
+				t.Errorf("forward from %v, want router r", ev.Node)
+			}
+		}
+	})
+	a.Send(&Packet{Src: Addr{Node: a.ID}, Dst: Addr{Node: b.ID}, Proto: ProtoControl, Bytes: 100})
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sends != 1 || forwards != 1 {
+		t.Errorf("sends=%d forwards=%d, want 1/1", sends, forwards)
+	}
+	if TraceForward.String() != "fwd" {
+		t.Errorf("TraceForward.String() = %q", TraceForward)
+	}
+}
+
+// TestTextTracerZeroAllocs pins the text tracer's per-event cost at zero
+// allocations: the formatting buffer is reused across events.
+func TestTextTracerZeroAllocs(t *testing.T) {
+	net, a, b, _ := twoNodes(t, LinkConfig{Rate: Mbps})
+	tracer := NewTextTracer(io.Discard)
+	ev := TraceEvent{
+		At:     12345678 * time.Nanosecond,
+		Kind:   TraceSend,
+		Node:   a,
+		Iface:  a.Ifaces()[0],
+		Packet: &Packet{Src: Addr{Node: a.ID, Port: 80}, Dst: Addr{Node: b.ID, Port: 8080}, Proto: ProtoTCP, Bytes: 1440},
+		Reason: "queue-overflow",
+	}
+	// Warm once so the buffer reaches steady-state capacity.
+	tracer(ev)
+	allocs := testing.AllocsPerRun(1000, func() { tracer(ev) })
+	if allocs != 0 {
+		t.Fatalf("text tracer allocates %v allocs/op, want 0", allocs)
+	}
+	_ = net
+}
+
+// TestPacketCarriesSpanContext verifies the simnet leg of causal tracing:
+// Send stamps the ambient context, link hops record wired spans under it,
+// and Deliver reinstates the context for the handler.
+func TestPacketCarriesSpanContext(t *testing.T) {
+	net, a, b, _ := twoNodes(t, LinkConfig{Rate: Mbps, Delay: time.Millisecond})
+	net.Tracer.EnableExport(1)
+	var handlerCtx trace.Context
+	b.Bind(ProtoControl, func(p *Packet) {
+		handlerCtx = net.Tracer.Current()
+	})
+
+	root := net.Tracer.StartTrace("test.txn", trace.LayerStation)
+	prev := net.Tracer.Swap(root)
+	a.Send(&Packet{Src: Addr{Node: a.ID}, Dst: Addr{Node: b.ID}, Proto: ProtoControl, Bytes: 100})
+	net.Tracer.Swap(prev)
+	if err := net.Sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	net.Tracer.Finish(root)
+
+	if handlerCtx.Trace != root.Trace {
+		t.Fatalf("handler saw trace %d, want %d", handlerCtx.Trace, root.Trace)
+	}
+	spans := net.Tracer.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want root + link hop: %+v", len(spans), spans)
+	}
+	hop := spans[1]
+	if hop.Parent != spans[0].ID || hop.Layer != trace.LayerWired || !hop.Finished {
+		t.Fatalf("bad hop span: %+v", hop)
+	}
+	if !strings.HasPrefix(hop.Name, "simnet.link.") {
+		t.Fatalf("hop span name = %q", hop.Name)
+	}
+	if hop.Duration() < time.Millisecond {
+		t.Fatalf("hop span shorter than propagation delay: %v", hop.Duration())
+	}
+}
+
+// TestLinkHopSpanZeroAllocs pins the traced forwarding path: with the
+// tracer in ring mode, sending over a link must not allocate.
+func TestLinkHopSpanZeroAllocs(t *testing.T) {
+	net, a, b, _ := twoNodes(t, LinkConfig{Rate: 100 * Mbps})
+	net.Tracer.EnableRing(256, 1)
+	b.Bind(ProtoControl, func(p *Packet) {})
+	// Warm the packet/delivery free lists.
+	for i := 0; i < 3; i++ {
+		p := net.AllocPacket()
+		p.Src, p.Dst, p.Proto, p.Bytes = Addr{Node: a.ID}, Addr{Node: b.ID}, ProtoControl, 100
+		a.Send(p)
+		if err := net.Sched.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		root := net.Tracer.StartTrace("test.txn", trace.LayerStation)
+		prev := net.Tracer.Swap(root)
+		p := net.AllocPacket()
+		p.Src, p.Dst, p.Proto, p.Bytes = Addr{Node: a.ID}, Addr{Node: b.ID}, ProtoControl, 100
+		a.Send(p)
+		net.Tracer.Swap(prev)
+		if err := net.Sched.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		net.Tracer.Finish(root)
+	})
+	if allocs != 0 {
+		t.Fatalf("traced link send allocates %v allocs/op, want 0", allocs)
 	}
 }
 

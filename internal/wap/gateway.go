@@ -8,6 +8,7 @@ import (
 	"mcommerce/internal/mtcp"
 	"mcommerce/internal/security"
 	"mcommerce/internal/simnet"
+	"mcommerce/internal/trace"
 	"mcommerce/internal/webserver"
 )
 
@@ -244,8 +245,17 @@ func (g *Gateway) serveMethod(m *wspMethod, respond func(any, int)) {
 	}
 	g.stats.Requests++
 
+	// The middleware span covers the gateway's whole method turnaround:
+	// cache lookup, origin fetch (the wired-side connection span nests
+	// under it), translation delay, and stale-degradation decisions.
+	tr := g.node.Network().Tracer
+	span := tr.StartSpan(tr.Current(), "wap.gw.serve", trace.LayerMiddleware)
+	prev := tr.Swap(span)
+	defer tr.Swap(prev)
+
 	finish := func(rep *wspReply) {
 		g.stats.BytesToAir += uint64(len(rep.Payload))
+		tr.Finish(span)
 		respond(rep, pduBytes(rep))
 	}
 
@@ -288,6 +298,7 @@ func (g *Gateway) serveMethod(m *wspMethod, respond func(any, int)) {
 			if g.cfg.ServeStale && cacheKey != "" {
 				if e, ok := g.cache[cacheKey]; ok {
 					g.stats.StaleHits++
+					tr.Annotate(span, "gw.stale")
 					finish(e.reply)
 					return
 				}

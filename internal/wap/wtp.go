@@ -8,6 +8,7 @@ import (
 	"mcommerce/internal/faults"
 	"mcommerce/internal/metrics"
 	"mcommerce/internal/simnet"
+	"mcommerce/internal/trace"
 )
 
 // GatewayPort is the well-known WAP gateway datagram port (the real
@@ -121,6 +122,10 @@ type wtpPending struct {
 	done    func(any, int, error)
 	retries int
 	timer   simnet.Timer
+	// ctx is the transaction's "wap.wtp.request" span: retransmission
+	// timers fire without ambient context, so the pending record carries
+	// it explicitly.
+	ctx trace.Context
 }
 
 type respKey struct {
@@ -134,6 +139,9 @@ type wtpServed struct {
 	acked   bool
 	retries int
 	timer   simnet.Timer
+	// ctx is the initiator's request-span context, captured from the
+	// invoke packet so result (re)transmissions join the same trace.
+	ctx trace.Context
 }
 
 // NewWTP binds a transaction endpoint to a node's datagram port.
@@ -188,6 +196,10 @@ func (w *WTP) registerMetrics() {
 // Addr returns the endpoint's datagram address.
 func (w *WTP) Addr() simnet.Addr { return simnet.Addr{Node: w.node.ID, Port: w.port} }
 
+// tracer returns the world's span tracer (all methods nil-safe no-ops
+// when tracing is disabled).
+func (w *WTP) tracer() *trace.Tracer { return w.node.Network().Tracer }
+
 // retryDelay is the wait before retransmission attempt n (0-based):
 // RetryInterval under the legacy fixed policy, grown and jittered when the
 // config carries a Backoff.
@@ -216,6 +228,8 @@ func (w *WTP) Reset() {
 		delete(w.pending, tid)
 		p.timer.Cancel()
 		w.stats.Aborts++
+		w.tracer().Annotate(p.ctx, "wtp.abort")
+		w.tracer().Finish(p.ctx)
 		if p.done != nil {
 			p.done(nil, 0, ErrAborted)
 		}
@@ -246,12 +260,18 @@ func (w *WTP) Invoke(to simnet.Addr, body any, bytes int, done func(result any, 
 		inv:  &wtpInvoke{TID: w.nextTID, Body: body, Bytes: bytes},
 		done: done,
 	}
+	// One span per transaction, parented on the caller's context; it ends
+	// at the result (or abort), so its duration is the request round trip
+	// including every retransmission wait.
+	p.ctx = w.tracer().StartSpan(w.tracer().Current(), "wap.wtp.request", trace.LayerTransport)
 	w.pending[p.inv.TID] = p
 	w.stats.Invokes++
 	w.sendInvoke(p)
 }
 
 func (w *WTP) sendInvoke(p *wtpPending) {
+	prev := w.tracer().Swap(p.ctx)
+	defer w.tracer().Swap(prev)
 	if st := w.maybeSegment(p.to, p.inv.TID, false, p.inv.Body, p.inv.Bytes); st != nil {
 		// Retries below poll with segment 0; nacks drive the rest.
 		w.sendSegments(st, nil)
@@ -263,12 +283,15 @@ func (w *WTP) sendInvoke(p *wtpPending) {
 		if p.retries > w.cfg.MaxRetries {
 			delete(w.pending, p.inv.TID)
 			w.stats.Aborts++
+			w.tracer().Annotate(p.ctx, "wtp.abort")
+			w.tracer().Finish(p.ctx)
 			if p.done != nil {
 				p.done(nil, 0, ErrAborted)
 			}
 			return
 		}
 		w.stats.Retransmits++
+		w.tracer().Annotate(p.ctx, "wtp.retransmit")
 		w.resendInvoke(p)
 	})
 }
@@ -277,19 +300,24 @@ func (w *WTP) sendInvoke(p *wtpPending) {
 // an unsegmented invoke goes out whole.
 func (w *WTP) resendInvoke(p *wtpPending) {
 	if st, ok := w.sarSends[sarGroupKey{from: p.to, tid: p.inv.TID, result: false}]; ok {
+		prev := w.tracer().Swap(p.ctx)
 		w.sendSegments(st, []int{0})
+		w.tracer().Swap(prev)
 		p.timer = w.node.Sched().After(w.retryDelay(p.retries), func() {
 			p.retries++
 			if p.retries > w.cfg.MaxRetries {
 				delete(w.pending, p.inv.TID)
 				delete(w.sarSends, sarGroupKey{from: p.to, tid: p.inv.TID, result: false})
 				w.stats.Aborts++
+				w.tracer().Annotate(p.ctx, "wtp.abort")
+				w.tracer().Finish(p.ctx)
 				if p.done != nil {
 					p.done(nil, 0, ErrAborted)
 				}
 				return
 			}
 			w.stats.Retransmits++
+			w.tracer().Annotate(p.ctx, "wtp.retransmit")
 			w.resendInvoke(p)
 		})
 		return
@@ -341,7 +369,9 @@ func (w *WTP) onInvoke(from simnet.Addr, m *wtpInvoke) {
 	if w.handler == nil {
 		return
 	}
-	sv := &wtpServed{to: from}
+	// The invoke packet's context is ambient here; result transmissions
+	// (including timer-driven retries) rejoin it through sv.ctx.
+	sv := &wtpServed{to: from, ctx: w.tracer().Current()}
 	w.served[key] = sv
 	responded := false
 	w.handler(from, m.Body, func(result any, bytes int) {
@@ -356,6 +386,8 @@ func (w *WTP) onInvoke(from simnet.Addr, m *wtpInvoke) {
 }
 
 func (w *WTP) sendResult(sv *wtpServed, key respKey) {
+	prev := w.tracer().Swap(sv.ctx)
+	defer w.tracer().Swap(prev)
 	gk := sarGroupKey{from: sv.to, tid: sv.result.TID, result: true}
 	if st, ok := w.sarSends[gk]; ok {
 		// Retry: poll with segment 0.
@@ -376,6 +408,7 @@ func (w *WTP) sendResult(sv *wtpServed, key respKey) {
 			return
 		}
 		w.stats.Retransmits++
+		w.tracer().Annotate(sv.ctx, "wtp.retransmit")
 		w.sendResult(sv, key)
 	})
 }
@@ -392,6 +425,7 @@ func (w *WTP) onResult(from simnet.Addr, m *wtpResult) {
 	delete(w.sarSends, sarGroupKey{from: from, tid: m.TID, result: false})
 	p.timer.Cancel()
 	simnet.UDPOf(w.node).Send(w.port, from, &wtpAck{TID: m.TID}, wtpHeaderBytes)
+	w.tracer().Finish(p.ctx)
 	if p.done != nil {
 		p.done(m.Body, m.Bytes, nil)
 	}

@@ -39,6 +39,11 @@ func (p RetryPolicy) backoff() faults.Backoff {
 // done fires exactly once, with the first success or the last failure.
 func (c *Client) DoRetry(addr simnet.Addr, req *Request, policy RetryPolicy, done func(*Response, error)) {
 	sched := c.stack.Node().Sched()
+	tr := c.stack.Node().Network().Tracer
+	// Backoff timers fire with no ambient span, so the caller's context is
+	// captured here and re-established around each attempt: retried dials
+	// stay inside the transaction that asked for them.
+	ctx := tr.Current()
 	b := policy.backoff()
 	var attempt func(n int)
 	attempt = func(n int) {
@@ -56,12 +61,15 @@ func (c *Client) DoRetry(addr simnet.Addr, req *Request, policy RetryPolicy, don
 			}
 			c.Retries++
 			c.backoffWaits.Inc()
+			tr.Annotate(ctx, "origin.retry")
 			sched.After(b.Delay(n, sched.Rand()), func() { attempt(n + 1) })
 		}
 		if policy.Timeout > 0 {
 			deadline = sched.After(policy.Timeout, func() { finish(nil, ErrTimeout) })
 		}
+		prev := tr.Swap(ctx)
 		c.Do(addr, req, finish)
+		tr.Swap(prev)
 	}
 	attempt(0)
 }

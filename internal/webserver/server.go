@@ -7,6 +7,7 @@ import (
 	"mcommerce/internal/metrics"
 	"mcommerce/internal/mtcp"
 	"mcommerce/internal/simnet"
+	"mcommerce/internal/trace"
 )
 
 // Handler is the CGI interface of the host computer: application programs
@@ -126,8 +127,15 @@ func (s *Server) accept(c *mtcp.Conn) {
 		req.Remote = c.RemoteAddr()
 		s.stats.Requests++
 		start := s.stack.Node().Sched().Now()
+		// The host span brackets the same parse-to-respond interval the
+		// latency histogram observes.
+		tr := s.stack.Node().Network().Tracer
+		span := tr.StartSpan(tr.Current(), "web.server.serve", trace.LayerHost)
+		prev := tr.Swap(span)
+		defer tr.Swap(prev)
 		finish := func(resp *Response) {
 			s.latency.Observe(s.stack.Node().Sched().Now() - start)
+			tr.Finish(span)
 			s.respond(c, resp)
 		}
 		h := s.route(req.Path)

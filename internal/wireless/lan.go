@@ -7,6 +7,7 @@ import (
 
 	"mcommerce/internal/metrics"
 	"mcommerce/internal/simnet"
+	"mcommerce/internal/trace"
 )
 
 // Position is a point in the 2D deployment plane, in meters.
@@ -83,6 +84,10 @@ type LAN struct {
 	stations []*Station
 	byIface  map[*simnet.Iface]any // *AP or *Station
 
+	// spanName is the precomputed airtime-span name
+	// ("wireless.lan.<standard>"), so span recording allocates nothing.
+	spanName string
+
 	adhoc channel
 
 	// Stats
@@ -102,7 +107,8 @@ func NewLAN(net *simnet.Network, std Standard, cfg Config) *LAN {
 		cfg.QueueLen = simnet.DefaultQueueLen
 	}
 	l := &LAN{std: std, cfg: cfg, net: net, byIface: make(map[*simnet.Iface]any)}
-	sc := net.Metrics.Instance("wireless.lan." + metrics.Sanitize(std.Name))
+	l.spanName = "wireless.lan." + metrics.Sanitize(std.Name)
+	sc := net.Metrics.Instance(l.spanName)
 	sc.AliasCounter("delivered", &l.Delivered)
 	sc.AliasCounter("lost_errors", &l.LostErrors)
 	sc.AliasCounter("lost_range", &l.LostRange)
@@ -356,12 +362,14 @@ func (l *LAN) txFromStation(st *Station, p *simnet.Packet) {
 		}
 	}
 	l.LostRange++
+	l.net.Tracer.Annotate(p.Trace, "no-coverage")
 }
 
 func (l *LAN) txFromAP(ap *AP, p *simnet.Packet) {
 	st := l.stationByNode(p.Dst.Node)
 	if st == nil || !st.Associated() || st.ap != ap {
 		l.LostRange++
+		l.net.Tracer.Annotate(p.Trace, "no-coverage")
 		return
 	}
 	l.send(&ap.ch, st.pos.Dist(ap.pos), p, func(q *simnet.Packet) {
@@ -384,6 +392,7 @@ func (l *LAN) send(ch *channel, dist float64, p *simnet.Packet, deliver func(*si
 	rate := l.std.RateAt(dist)
 	if rate <= 0 {
 		l.LostRange++
+		l.net.Tracer.Annotate(p.Trace, "no-coverage")
 		return
 	}
 	s := l.net.Sched
@@ -394,6 +403,7 @@ func (l *LAN) send(ch *channel, dist float64, p *simnet.Packet, deliver func(*si
 	}
 	if ch.queued >= l.cfg.QueueLen {
 		l.DroppedQ++
+		l.net.Tracer.Annotate(p.Trace, "queue-overflow")
 		return
 	}
 	txDone := ch.busyUntil + rate.TxTime(p.Bytes) + l.cfg.MACOverhead
@@ -407,11 +417,16 @@ func (l *LAN) send(ch *channel, dist float64, p *simnet.Packet, deliver func(*si
 
 	if l.frameLost(dist, p.Bytes) {
 		l.LostErrors++
+		l.net.Tracer.Annotate(p.Trace, "frame-error")
 		return
 	}
+	// The airtime span covers channel wait + serialization + MAC overhead
+	// + propagation on the shared radio channel.
+	hop := l.net.Tracer.StartSpan(p.Trace, l.spanName, trace.LayerWireless)
 	cp := p.Clone()
 	s.At(txDone+l.cfg.Propagation, func() {
 		l.Delivered++
+		l.net.Tracer.Finish(hop)
 		deliver(cp)
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"mcommerce/internal/apps"
 	"mcommerce/internal/core"
 	"mcommerce/internal/device"
+	"mcommerce/internal/trace"
 	"mcommerce/internal/webserver"
 )
 
@@ -212,7 +213,15 @@ func (r *Runner) scheduleNext(u *user, deadline time.Duration) {
 		}
 		op := r.pickOp()
 		begin := sched.Now()
+		// Each operation is one traced transaction; the think-time timer has
+		// no ambient span, so the root is established here and the span
+		// covers exactly the interval the latency sample measures.
+		tr := r.mc.Net.Tracer
+		root := tr.StartTrace("workload."+string(op), trace.LayerStation)
+		prev := tr.Swap(root)
+		defer tr.Swap(prev)
 		r.perform(u, op, func(err error) {
+			tr.Finish(root)
 			if err != nil {
 				r.failures[op]++
 			} else {

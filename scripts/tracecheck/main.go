@@ -1,0 +1,48 @@
+// Command tracecheck structurally validates a Chrome trace-event JSON
+// file: it must parse, carry a non-empty traceEvents array, and every
+// event must have a phase. Used by scripts/verify.sh when jq is absent.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: empty traceEvents", path)
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "" {
+			return fmt.Errorf("%s: event %d has no phase", path, i)
+		}
+	}
+	fmt.Printf("%s: %d events ok\n", path, len(doc.TraceEvents))
+	return nil
+}

@@ -2,9 +2,10 @@
 # verify.sh — the full local gate: static checks, build, the whole test
 # suite, the race detector over the packages that use goroutines
 # (the parallel experiment runner and the simnet structures it drives),
-# and a chaos smoke run (small faulted scenario at a fixed seed), plus a
-# telemetry determinism smoke: two same-seed -metrics dumps must be
-# byte-identical.
+# and a chaos smoke run (small faulted scenario at a fixed seed), plus
+# determinism smokes: two same-seed -metrics dumps and two same-seed
+# -trace Perfetto exports must each be byte-identical, and the trace
+# export must be structurally valid trace-event JSON.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -13,9 +14,18 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/experiments ./internal/simnet ./internal/faults/... \
-	./internal/metrics/... ./internal/core/...
+	./internal/metrics/... ./internal/core/... ./internal/trace/...
 go run ./cmd/mcsim -faults -clients 3 -rounds 3 -seed 1 >/dev/null
 go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics >/tmp/mc-metrics-a.txt
 go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics >/tmp/mc-metrics-b.txt
 cmp /tmp/mc-metrics-a.txt /tmp/mc-metrics-b.txt
 rm -f /tmp/mc-metrics-a.txt /tmp/mc-metrics-b.txt
+go run ./cmd/mcsim -faults -clients 3 -rounds 3 -seed 1 -trace /tmp/mc-trace-a.json >/dev/null
+go run ./cmd/mcsim -faults -clients 3 -rounds 3 -seed 1 -trace /tmp/mc-trace-b.json >/dev/null
+cmp /tmp/mc-trace-a.json /tmp/mc-trace-b.json
+if command -v jq >/dev/null 2>&1; then
+	jq -e '.traceEvents | length > 0' /tmp/mc-trace-a.json >/dev/null
+else
+	go run ./scripts/tracecheck /tmp/mc-trace-a.json
+fi
+rm -f /tmp/mc-trace-a.json /tmp/mc-trace-b.json
