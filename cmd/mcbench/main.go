@@ -4,7 +4,14 @@
 // Usage:
 //
 //	mcbench [-exp all|fig1|fig2|table1|table2|table3|table4|table5|tcp|mip|ablate]
-//	        [-seed N] [-format text|csv] [-parallel N] [-metrics]
+//	        [-seed N] [-format text|csv] [-parallel N] [-metrics] [-shards N]
+//	        [-cpuprofile f] [-memprofile f] [-mutexprofile f]
+//
+// -shards N sets the worker-lane count the sharded "scale" experiment
+// executes on. Results are byte-identical at any value — lanes change
+// which goroutines run the windows, never what the windows compute. The
+// profile flags write pprof CPU/heap/mutex profiles of the invocation,
+// the tool for diagnosing shard contention.
 //
 // With -metrics, experiments that attach telemetry snapshots (chaos, for
 // one) additionally print one table per attached snapshot: every registry
@@ -49,12 +56,22 @@ func run(args []string) error {
 	format := fs.String("format", "text", "output format: text or csv")
 	parallel := fs.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
 	withMetrics := fs.Bool("metrics", false, "also print attached telemetry snapshots as per-metric tables")
+	shards := fs.Int("shards", 1, "worker lanes for the sharded scale experiment (output is byte-identical at any value)")
+	prof := experiments.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *format != "text" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (want text or csv)", *format)
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	experiments.ScaleWorkers = *shards
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	registry := experiments.Registry()
 	names := experiments.Names()

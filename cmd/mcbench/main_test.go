@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"mcommerce/internal/experiments"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
@@ -22,6 +24,19 @@ func TestRunSingleExperiment(t *testing.T) {
 	// fig1 is the cheapest experiment; it must run end to end.
 	if err := run([]string{"-exp", "fig1", "-seed", "3"}); err != nil {
 		t.Errorf("run fig1: %v", err)
+	}
+}
+
+func TestRunScaleShards(t *testing.T) {
+	defer func(old int) { experiments.ScaleWorkers = old }(experiments.ScaleWorkers)
+	if err := run([]string{"-exp", "scale", "-shards", "4", "-seed", "3"}); err != nil {
+		t.Errorf("scale with 4 lanes: %v", err)
+	}
+	if experiments.ScaleWorkers != 4 {
+		t.Errorf("ScaleWorkers = %d, want 4", experiments.ScaleWorkers)
+	}
+	if err := run([]string{"-shards", "0"}); err == nil {
+		t.Error("-shards 0 accepted")
 	}
 }
 

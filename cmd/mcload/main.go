@@ -7,17 +7,31 @@
 //	mcload [-bearer wlan|cellular] [-wlan 802.11b|...] [-cell gprs|...]
 //	       [-users N] [-duration 2m] [-think 2s] [-seed N]
 //	       [-trace out.json] [-trace-sample N]
+//	       [-scale] [-gateways G] [-cells C] [-stations S] [-remote M]
+//	       [-shards N] [-metrics]
+//	       [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //
 // With -trace FILE, every sampled operation becomes a causal span tree and
 // the run ends by writing a Chrome trace-event (Perfetto) JSON file plus a
 // per-layer critical-path attribution table. -trace-sample N keeps every
 // Nth operation (deterministic 1-in-N sampling by trace ID) — the right
 // tool at load-test scale, where tracing every operation would be noise.
+//
+// With -scale, mcload switches from the full-fidelity deployment to the
+// sharded scale tier: -gateways clusters of -cells cell aggregators
+// carrying -stations virtual stations each (workload.Flows), partitioned
+// along the inter-cluster backbone and executed as one conservative
+// parallel discrete-event simulation. -shards N sets the worker-lane
+// count; the report, -metrics dump and -trace export are byte-identical
+// at any value (wall-clock goes to stderr, never stdout). -remote M
+// sends M per mille of every cell's stations to the next cluster's host,
+// keeping the cross-shard backbone loaded.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -25,19 +39,20 @@ import (
 	"mcommerce/internal/cellular"
 	"mcommerce/internal/core"
 	"mcommerce/internal/device"
+	"mcommerce/internal/experiments"
 	"mcommerce/internal/trace"
 	"mcommerce/internal/wireless"
 	"mcommerce/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mcload", flag.ContinueOnError)
 	bearer := fs.String("bearer", "wlan", "radio bearer: wlan or cellular")
 	wlanStd := fs.String("wlan", "802.11b", "WLAN standard for -bearer wlan")
@@ -48,11 +63,33 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	traceFile := fs.String("trace", "", "write sampled operations as a Chrome trace-event (Perfetto) JSON file and print a critical-path table")
 	traceSample := fs.Int("trace-sample", 1, "with -trace, keep every Nth operation (deterministic 1-in-N sampling by trace ID)")
+	scale := fs.Bool("scale", false, "run the sharded scale tier (virtual stations on cell aggregators) instead of the full-fidelity deployment")
+	gateways := fs.Int("gateways", 4, "with -scale, number of gateway clusters")
+	cells := fs.Int("cells", 2, "with -scale, cell aggregator nodes per cluster")
+	stations := fs.Int("stations", 50, "with -scale, virtual stations per cell")
+	remote := fs.Int("remote", 200, "with -scale, per mille of each cell's stations that target the next cluster's host")
+	shards := fs.Int("shards", 1, "worker lanes for the sharded executor (output is byte-identical at any value)")
+	withMetrics := fs.Bool("metrics", false, "with -scale, dump the merged telemetry registry after the run")
+	prof := experiments.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *traceSample < 1 {
 		return fmt.Errorf("-trace-sample must be >= 1, got %d", *traceSample)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
+	if *scale {
+		return runScale(scaleOpts{
+			seed: *seed, gateways: *gateways, cells: *cells, stations: *stations,
+			remote: *remote, shards: *shards, think: *think, duration: *duration,
+			metrics: *withMetrics, traceFile: *traceFile, traceSample: *traceSample,
+		}, w)
 	}
 
 	cfg := core.MCConfig{Seed: *seed}
@@ -103,28 +140,95 @@ func run(args []string) error {
 	if cfg.Bearer == core.BearerCellular {
 		bearerName = "cellular " + cfg.CellStandard.Name
 	}
-	fmt.Printf("bearer: %s\n", bearerName)
-	fmt.Print(report.String())
+	fmt.Fprintf(w, "bearer: %s\n", bearerName)
+	fmt.Fprint(w, report.String())
 	if *traceFile != "" {
-		spans := mc.Net.Tracer.Spans()
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			return err
-		}
-		if err := trace.WritePerfetto(f, spans); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		bds := trace.Analyze(spans)
-		fmt.Printf("trace: %d spans, %d sampled operations -> %s\n", len(spans), len(bds), *traceFile)
-		if err := trace.WriteTable(os.Stdout, bds); err != nil {
+		if err := exportTrace(w, mc.Net.Tracer.Spans(), *traceFile, "operations"); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// scaleOpts is the resolved -scale flag set.
+type scaleOpts struct {
+	seed                      int64
+	gateways, cells, stations int
+	remote, shards            int
+	think, duration           time.Duration
+	metrics                   bool
+	traceFile                 string
+	traceSample               int
+}
+
+// runScale builds and runs the sharded scale world. Everything written
+// to w (and the trace file) is deterministic per seed and invariant to
+// o.shards; wall-clock goes to stderr only, so two runs at different
+// worker counts stay byte-comparable.
+func runScale(o scaleOpts, w io.Writer) error {
+	sw, err := experiments.BuildScale(experiments.ScaleConfig{
+		Seed:            o.seed,
+		Gateways:        o.gateways,
+		CellsPerGateway: o.cells,
+		StationsPerCell: o.stations,
+		RemotePerMille:  o.remote,
+		ThinkMean:       o.think,
+		Duration:        o.duration,
+		Workers:         o.shards,
+	})
+	if err != nil {
+		return err
+	}
+	if o.traceFile != "" {
+		for k := 0; k < sw.World.NumShards(); k++ {
+			sw.World.Shard(k).Tracer.EnableExport(o.traceSample)
+		}
+	}
+	start := time.Now()
+	rep, err := sw.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wall: %v (%d worker lanes)\n", time.Since(start).Round(time.Millisecond), o.shards)
+
+	fmt.Fprintf(w, "scale: %d clusters x %d cells x %d stations = %d virtual stations\n",
+		o.gateways, o.cells, o.stations, rep.Stations)
+	fmt.Fprintf(w, "shards: %d, lookahead %v\n", rep.Shards, sw.World.Lookahead())
+	for c, cl := range rep.Clusters {
+		fmt.Fprintf(w, "cluster %d: ops=%d timeouts=%d served=%d\n", c, cl.Ops, cl.Timeouts, cl.Served)
+	}
+	fmt.Fprintf(w, "total: ops=%d timeouts=%d events=%d now=%v\n",
+		rep.Ops, rep.Timeouts, rep.Executed, sw.World.Now())
+	if o.traceFile != "" {
+		if err := exportTrace(w, sw.World.Spans(), o.traceFile, "operations"); err != nil {
+			return err
+		}
+	}
+	if o.metrics {
+		snap := sw.World.Snapshot()
+		fmt.Fprintf(w, "\ntelemetry registry (%d metrics):\n", len(snap.Entries))
+		return snap.WriteText(w)
+	}
+	return nil
+}
+
+// exportTrace writes spans as a Perfetto JSON file and prints the
+// critical-path attribution table.
+func exportTrace(w io.Writer, spans []trace.Span, path, what string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WritePerfetto(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	bds := trace.Analyze(spans)
+	fmt.Fprintf(w, "trace: %d spans, %d sampled %s -> %s\n", len(spans), len(bds), what, path)
+	return trace.WriteTable(w, bds)
 }
 
 func wlanStandard(name string) (wireless.Standard, error) {

@@ -7,8 +7,15 @@
 //	mcsim [-bearer wlan|cellular] [-wlan 802.11b|802.11a|802.11g|hiperlan2|bluetooth]
 //	      [-cell gprs|edge|gsm|cdma|cdma2000|wcdma] [-middleware wap|imode]
 //	      [-clients N] [-rounds N] [-seed N] [-replicas R] [-parallel N] [-faults]
-//	      [-metrics] [-metrics-format text|csv]
-//	      [-trace out.json] [-trace-sample N] [-packet-trace]
+//	      [-metrics] [-metrics-format text|csv] [-shards N]
+//	      [-trace out.json] [-trace-sample N]
+//	      [-cpuprofile f] [-memprofile f] [-mutexprofile f]
+//
+// -shards N sets the worker-lane count of the sharded executor the run
+// goes through (the full-fidelity world is one partition, so lanes only
+// change which goroutines execute it — never the results: output at any
+// -shards value is byte-identical). The profile flags write pprof
+// CPU/heap/mutex-contention profiles for the whole invocation. [-packet-trace]
 //
 // With -trace FILE, every transaction becomes a causal span tree — root
 // span at the station, per-hop link spans, middleware and host serve
@@ -80,6 +87,7 @@ type scenario struct {
 	packetTrace bool
 	clients     int
 	rounds      int
+	shards      int
 	faults      bool
 	metrics     bool
 	metricsCSV  bool
@@ -102,9 +110,18 @@ func run(args []string) error {
 	withFaults := fs.Bool("faults", false, "inject the default fault plan (link flaps, brownout, gateway and host crashes, partition) during the run")
 	withMetrics := fs.Bool("metrics", false, "dump the full telemetry registry (every layer's counters, gauges and latency histograms) after the run")
 	metricsFormat := fs.String("metrics-format", "text", "telemetry dump format: text or csv")
+	shards := fs.Int("shards", 1, "worker lanes for the sharded executor (output is byte-identical at any value)")
+	profiles := experiments.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if err := profiles.Start(); err != nil {
+		return err
+	}
+	defer profiles.Stop()
 	switch strings.ToLower(*metricsFormat) {
 	case "text", "csv":
 	default:
@@ -121,7 +138,7 @@ func run(args []string) error {
 	}
 
 	sc := scenario{
-		middleware: *middleware, clients: *clients, rounds: *rounds,
+		middleware: *middleware, clients: *clients, rounds: *rounds, shards: *shards,
 		traceFile: *traceFile, traceSample: *traceSample, packetTrace: *packetTrace,
 		faults:  *withFaults,
 		metrics: *withMetrics, metricsCSV: strings.EqualFold(*metricsFormat, "csv"),
@@ -186,6 +203,10 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Run through the sharded executor: the deployment is one partition,
+	// so sc.shards only sets how many worker lanes the window loop may
+	// use — the results cannot depend on it.
+	world := simnet.WrapNetwork(mc.Net)
 	if sc.packetTrace {
 		mc.Net.SetTracer(simnet.NewTextTracer(os.Stderr))
 	}
@@ -227,7 +248,7 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 				return fmt.Errorf("place call: %w", err)
 			}
 		}
-		if err := mc.Net.Sched.RunFor(10 * time.Second); err != nil {
+		if err := world.RunFor(10*time.Second, sc.shards); err != nil {
 			return err
 		}
 		if pending > 0 {
@@ -265,7 +286,7 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 		}
 		round(0)
 	}
-	if err := mc.Net.Sched.RunFor(time.Hour); err != nil {
+	if err := world.RunFor(time.Hour, sc.shards); err != nil {
 		return err
 	}
 

@@ -41,6 +41,34 @@ func TestRunFaultedScenarioDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunShardsGolden pins -shards byte-identity on the mcsim surface:
+// worker lanes over the (single-partition) full-fidelity world must not
+// change a byte of the report, including the telemetry dump.
+func TestRunShardsGolden(t *testing.T) {
+	std, err := wlanByName("802.11b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := scenario{middleware: "wap", clients: 2, rounds: 2, metrics: true,
+		bearer: core.BearerWLAN, wlan: std}
+	var want string
+	for _, shards := range []int{1, 4} {
+		sc := base
+		sc.shards = shards
+		var b strings.Builder
+		if err := runOne(sc, 1, &b); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if shards == 1 {
+			want = b.String()
+			continue
+		}
+		if b.String() != want {
+			t.Errorf("report differs between -shards 1 and -shards %d", shards)
+		}
+	}
+}
+
 func TestRunCellularCircuitScenario(t *testing.T) {
 	if err := run([]string{"-bearer", "cellular", "-cell", "gsm", "-clients", "1", "-rounds", "1"}); err != nil {
 		t.Errorf("gsm scenario: %v", err)

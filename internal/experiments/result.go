@@ -213,10 +213,11 @@ func Registry() map[string]func(seed int64) []*Result {
 		"cap":     func(seed int64) []*Result { return []*Result{Capacity(seed)} },
 		"ablate":  Ablations,
 		"chaos":   Chaos,
+		"scale":   func(seed int64) []*Result { return []*Result{Scale(seed)} },
 	}
 }
 
 // Names returns registry keys in run order.
 func Names() []string {
-	return []string{"fig1", "fig2", "table1", "table2", "table3", "table4", "table5", "tcp", "handoff", "adhoc", "mip", "stream", "cap", "ablate", "chaos"}
+	return []string{"fig1", "fig2", "table1", "table2", "table3", "table4", "table5", "tcp", "handoff", "adhoc", "mip", "stream", "cap", "ablate", "chaos", "scale"}
 }

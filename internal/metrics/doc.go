@@ -21,6 +21,17 @@
 //     the parallel experiment runner gives every replica its own world
 //     and therefore its own registry, so no locks are needed or taken.
 //
+//   - Per-shard ownership under sharded execution. simnet.Sharded gives
+//     every shard its own Network and therefore its own Registry; within
+//     an execution window exactly one goroutine touches a shard's
+//     registry, and windows are separated by happens-before barrier
+//     edges. Cross-shard links split their counters by writer (transmit
+//     side in the source shard's registry, delivery side in the
+//     destination's) so no counter ever has two writers. Merged combines
+//     the per-shard snapshots at dump time, off the hot path; there are
+//     no cross-shard atomics. The invariant is enforced by a -race test
+//     driving eight shards concurrently (simnet's TestShardedRaceOwnership).
+//
 //   - Aliased fields. Components keep their existing exported counter
 //     fields (simnet's Link.Delivered, wap's WTPStats, ...) — the
 //     registry aliases those uint64s by pointer instead of duplicating

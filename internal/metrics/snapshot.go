@@ -71,6 +71,29 @@ func (r *Registry) Snapshot() Snapshot {
 	return Snapshot{Entries: entries}
 }
 
+// Merged combines per-shard snapshots into one: snapshot i's entry names
+// are prefixed with prefixes[i] and the result is re-sorted by name. The
+// inputs are left untouched. With a single snapshot and an empty prefix it
+// degenerates to a copy, so serial and sharded dump paths can share code.
+func Merged(prefixes []string, snaps []Snapshot) Snapshot {
+	if len(prefixes) != len(snaps) {
+		panic("metrics: Merged prefix/snapshot count mismatch")
+	}
+	total := 0
+	for _, s := range snaps {
+		total += len(s.Entries)
+	}
+	out := Snapshot{Entries: make([]Entry, 0, total)}
+	for i, s := range snaps {
+		for _, e := range s.Entries {
+			e.Name = prefixes[i] + e.Name
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	sort.Slice(out.Entries, func(i, j int) bool { return out.Entries[i].Name < out.Entries[j].Name })
+	return out
+}
+
 // Get returns the entry with the given name.
 func (s Snapshot) Get(name string) (Entry, bool) {
 	i := sort.Search(len(s.Entries), func(i int) bool { return s.Entries[i].Name >= name })

@@ -21,4 +21,14 @@
 // All simulation state is single-threaded: callbacks run on the goroutine
 // that calls Scheduler.Run. Determinism is a design requirement — every
 // experiment in EXPERIMENTS.md must be exactly repeatable from its seed.
+//
+// For worlds too large for one core, Sharded runs several Networks — one
+// per topology shard — under a conservative time-window protocol
+// (PlanPartition derives the shards and the lookahead from the link
+// topology; CrossLink carries packets between them). Each shard keeps the
+// single-goroutine ownership story above: within a window exactly one
+// goroutine drives a shard's scheduler, registry, tracer and pools, and
+// windows are separated by barrier happens-before edges. Execution is
+// invariant to the number of worker goroutines, so a parallel run is
+// byte-identical to a serial one at the same seed.
 package simnet

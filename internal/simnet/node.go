@@ -116,6 +116,7 @@ type Node struct {
 type Network struct {
 	Sched  *Scheduler
 	nodes  map[NodeID]*Node
+	base   NodeID // ID namespace offset (see SetNodeIDBase)
 	next   NodeID
 	tracer func(TraceEvent)
 
@@ -147,6 +148,18 @@ func NewNetwork(s *Scheduler) *Network {
 	return n
 }
 
+// SetNodeIDBase offsets every NodeID this network assigns by base.
+// Sharded execution gives each shard's network a disjoint base (shard k
+// gets k<<20) so addresses stay unambiguous when packets cross shard
+// boundaries. Call before the first node is created.
+func (n *Network) SetNodeIDBase(base NodeID) {
+	if n.next != n.base {
+		panic("simnet: SetNodeIDBase after nodes were created")
+	}
+	n.base = base
+	n.next = base
+}
+
 // NewNode creates and registers a node. The node's drop counter is
 // aliased into the network registry as simnet.node.<name>.dropped (name
 // collisions get a deterministic "#n" suffix).
@@ -160,7 +173,7 @@ func (n *Network) NewNode(name string) *Node {
 		routes:   make(map[NodeID]*Iface),
 	}
 	n.nodes[node.ID] = node
-	n.Metrics.Instance("simnet.node." + metrics.Sanitize(name)).AliasCounter("dropped", &node.Dropped)
+	n.Metrics.Instance("simnet.node."+metrics.Sanitize(name)).AliasCounter("dropped", &node.Dropped)
 	return node
 }
 
@@ -222,7 +235,7 @@ func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
 // Nodes returns all nodes in ID order. The slice is freshly allocated.
 func (n *Network) Nodes() []*Node {
 	out := make([]*Node, 0, len(n.nodes))
-	for id := NodeID(1); id <= n.next; id++ {
+	for id := n.base + 1; id <= n.next; id++ {
 		if node, ok := n.nodes[id]; ok {
 			out = append(out, node)
 		}

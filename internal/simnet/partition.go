@@ -1,0 +1,222 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file is the shard planner: a pure, deterministic function from an
+// abstract topology description to a partition of its nodes into shards
+// plus the conservative lookahead the sharded executor may use. Builders
+// describe their world as keys before instantiating any simnet state, plan
+// the partition, then create each node on the shard the plan assigned it.
+
+// DefaultCutFloor is the link-delay floor below which two nodes are never
+// separated: links faster than this (LAN segments, radio cells) would
+// force an uselessly small lookahead window, so they are contracted and
+// their endpoints co-located. 1ms keeps WAN/backbone links (the paper's
+// wired network component) as the only candidate cut edges.
+const DefaultCutFloor = time.Millisecond
+
+// TopoNode describes one would-be node (or node cluster) to the planner.
+type TopoNode struct {
+	// Key names the node uniquely within the plan.
+	Key string
+	// Weight is the node's relative execution cost (event rate, station
+	// count); the packer balances total weight across shards. Zero counts
+	// as one.
+	Weight int
+	// Pin, when >= 0, is a manual override: all nodes pinned to the same
+	// value are placed in one shard together, regardless of topology.
+	// -1 (or any negative) means automatic placement.
+	Pin int
+}
+
+// TopoLink describes one would-be link between two keys. Delay is the
+// one-way propagation delay the link will be built with; links with
+// Delay below the cut floor are never cut.
+type TopoLink struct {
+	A, B  string
+	Delay time.Duration
+}
+
+// PartitionPlan is the planner's output: a shard assignment for every key
+// and the lookahead window the cut links support.
+type PartitionPlan struct {
+	// NumShards is the number of shards actually used (<= maxShards).
+	NumShards int
+	// Assign maps every node key to its shard index in [0, NumShards).
+	Assign map[string]int
+	// Lookahead is the minimum delay over cut links — the widest
+	// conservative window the executor may run shards independently for.
+	// Zero when the plan has a single shard (nothing is cut).
+	Lookahead time.Duration
+	// Groups lists the keys per shard, sorted, for diagnostics.
+	Groups [][]string
+}
+
+// ShardFor returns the shard index for key (0 if unknown).
+func (p PartitionPlan) ShardFor(key string) int { return p.Assign[key] }
+
+// PlanPartition partitions the described topology into at most maxShards
+// shards. Links with Delay < cutFloor (DefaultCutFloor when <= 0) are
+// contracted — their endpoints always share a shard — as are nodes pinned
+// to the same value; the resulting components are packed onto shards by
+// greatest weight first onto the least-loaded shard. Everything is
+// deterministic in the input order: same description, same plan.
+//
+// It returns an error when a link references an unknown key, a component
+// is pinned to two different values, or maxShards < 1.
+func PlanPartition(nodes []TopoNode, links []TopoLink, maxShards int, cutFloor time.Duration) (PartitionPlan, error) {
+	if maxShards < 1 {
+		return PartitionPlan{}, fmt.Errorf("simnet: maxShards %d < 1", maxShards)
+	}
+	if cutFloor <= 0 {
+		cutFloor = DefaultCutFloor
+	}
+	index := make(map[string]int, len(nodes))
+	for i, nd := range nodes {
+		if _, dup := index[nd.Key]; dup {
+			return PartitionPlan{}, fmt.Errorf("simnet: duplicate topology key %q", nd.Key)
+		}
+		index[nd.Key] = i
+	}
+
+	// Union-find over node indices.
+	parent := make([]int, len(nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Root at the smaller index so component identity is
+			// input-order deterministic.
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	// Contract fast links.
+	for _, l := range links {
+		ia, oka := index[l.A]
+		ib, okb := index[l.B]
+		if !oka || !okb {
+			return PartitionPlan{}, fmt.Errorf("simnet: link %s--%s references unknown key", l.A, l.B)
+		}
+		if l.Delay < cutFloor {
+			union(ia, ib)
+		}
+	}
+	// Contract shared pins.
+	pinRoot := make(map[int]int)
+	for i, nd := range nodes {
+		if nd.Pin < 0 {
+			continue
+		}
+		if first, ok := pinRoot[nd.Pin]; ok {
+			union(first, i)
+		} else {
+			pinRoot[nd.Pin] = i
+		}
+	}
+
+	// Collect components in root order (deterministic).
+	type comp struct {
+		root   int
+		weight int
+		pin    int
+	}
+	byRoot := make(map[int]*comp)
+	var comps []*comp
+	for i, nd := range nodes {
+		r := find(i)
+		c, ok := byRoot[r]
+		if !ok {
+			c = &comp{root: r, pin: -1}
+			byRoot[r] = c
+			comps = append(comps, c)
+		}
+		w := nd.Weight
+		if w <= 0 {
+			w = 1
+		}
+		c.weight += w
+		if nd.Pin >= 0 {
+			if c.pin >= 0 && c.pin != nd.Pin {
+				return PartitionPlan{}, fmt.Errorf("simnet: component of %q pinned to both %d and %d", nd.Key, c.pin, nd.Pin)
+			}
+			c.pin = nd.Pin
+		}
+	}
+
+	// Pack: heaviest component first onto the least-loaded shard, ties to
+	// the lowest shard index. Stable order for equal weights: root index.
+	order := make([]*comp, len(comps))
+	copy(order, comps)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].weight > order[j].weight })
+	numShards := len(comps)
+	if numShards > maxShards {
+		numShards = maxShards
+	}
+	load := make([]int, numShards)
+	shardOfRoot := make(map[int]int, len(comps))
+	for _, c := range order {
+		best := 0
+		for k := 1; k < numShards; k++ {
+			if load[k] < load[best] {
+				best = k
+			}
+		}
+		shardOfRoot[c.root] = best
+		load[best] += c.weight
+	}
+
+	// Renumber shards by first appearance in node input order, so shard 0
+	// always holds the first-described node and the numbering is
+	// independent of packing internals.
+	renum := make(map[int]int, numShards)
+	plan := PartitionPlan{Assign: make(map[string]int, len(nodes))}
+	for i, nd := range nodes {
+		k := shardOfRoot[find(i)]
+		nk, ok := renum[k]
+		if !ok {
+			nk = len(renum)
+			renum[k] = nk
+		}
+		plan.Assign[nd.Key] = nk
+	}
+	plan.NumShards = len(renum)
+
+	plan.Groups = make([][]string, plan.NumShards)
+	for _, nd := range nodes {
+		k := plan.Assign[nd.Key]
+		plan.Groups[k] = append(plan.Groups[k], nd.Key)
+	}
+	for _, g := range plan.Groups {
+		sort.Strings(g)
+	}
+
+	// Lookahead: the minimum delay over links whose endpoints landed in
+	// different shards.
+	for _, l := range links {
+		if plan.Assign[l.A] == plan.Assign[l.B] {
+			continue
+		}
+		if plan.Lookahead == 0 || l.Delay < plan.Lookahead {
+			plan.Lookahead = l.Delay
+		}
+	}
+	return plan, nil
+}

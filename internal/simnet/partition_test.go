@@ -1,0 +1,129 @@
+package simnet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestPlanPartitionContractsFastLinks(t *testing.T) {
+	// Two gateway clusters joined by a WAN backbone: the LAN links are
+	// below the cut floor and must never be cut; the backbone is the only
+	// candidate cut edge, so its delay becomes the lookahead.
+	nodes := []TopoNode{
+		{Key: "gw0", Weight: 10, Pin: -1},
+		{Key: "cell0", Weight: 100, Pin: -1},
+		{Key: "gw1", Weight: 10, Pin: -1},
+		{Key: "cell1", Weight: 100, Pin: -1},
+	}
+	links := []TopoLink{
+		{A: "gw0", B: "cell0", Delay: 200 * time.Microsecond},
+		{A: "gw1", B: "cell1", Delay: 200 * time.Microsecond},
+		{A: "gw0", B: "gw1", Delay: 10 * time.Millisecond},
+	}
+	plan, err := PlanPartition(nodes, links, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumShards != 2 {
+		t.Fatalf("NumShards = %d, want 2 (groups %v)", plan.NumShards, plan.Groups)
+	}
+	if plan.Assign["gw0"] != plan.Assign["cell0"] || plan.Assign["gw1"] != plan.Assign["cell1"] {
+		t.Fatalf("LAN-joined nodes split across shards: %v", plan.Assign)
+	}
+	if plan.Assign["gw0"] == plan.Assign["gw1"] {
+		t.Fatalf("backbone endpoints share a shard: %v", plan.Assign)
+	}
+	if plan.Assign["gw0"] != 0 {
+		t.Fatalf("first-described node not in shard 0: %v", plan.Assign)
+	}
+	if plan.Lookahead != 10*time.Millisecond {
+		t.Fatalf("Lookahead = %v, want 10ms", plan.Lookahead)
+	}
+}
+
+func TestPlanPartitionDeterministic(t *testing.T) {
+	nodes := []TopoNode{
+		{Key: "a", Weight: 3, Pin: -1}, {Key: "b", Weight: 5, Pin: -1},
+		{Key: "c", Weight: 2, Pin: -1}, {Key: "d", Weight: 5, Pin: -1},
+		{Key: "e", Weight: 1, Pin: -1},
+	}
+	links := []TopoLink{
+		{A: "a", B: "b", Delay: 5 * time.Millisecond},
+		{A: "b", B: "c", Delay: 7 * time.Millisecond},
+		{A: "c", B: "d", Delay: 9 * time.Millisecond},
+		{A: "d", B: "e", Delay: 11 * time.Millisecond},
+	}
+	p1, err := PlanPartition(nodes, links, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PlanPartition(nodes, links, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("plans differ:\n%v\n%v", p1, p2)
+	}
+	if p1.NumShards != 3 {
+		t.Fatalf("NumShards = %d, want 3", p1.NumShards)
+	}
+}
+
+func TestPlanPartitionPins(t *testing.T) {
+	nodes := []TopoNode{
+		{Key: "a", Weight: 1, Pin: 7},
+		{Key: "b", Weight: 1, Pin: 7},
+		{Key: "c", Weight: 1, Pin: -1},
+	}
+	links := []TopoLink{{A: "a", B: "c", Delay: 5 * time.Millisecond}}
+	plan, err := PlanPartition(nodes, links, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Assign["a"] != plan.Assign["b"] {
+		t.Fatalf("shared pin split: %v", plan.Assign)
+	}
+
+	// A fast link welding two different pins together is a conflict.
+	bad := []TopoNode{
+		{Key: "a", Weight: 1, Pin: 1},
+		{Key: "b", Weight: 1, Pin: 2},
+	}
+	weld := []TopoLink{{A: "a", B: "b", Delay: time.Microsecond}}
+	if _, err := PlanPartition(bad, weld, 4, 0); err == nil {
+		t.Fatal("conflicting pins in one component not rejected")
+	}
+}
+
+func TestPlanPartitionErrors(t *testing.T) {
+	nodes := []TopoNode{{Key: "a", Pin: -1}}
+	if _, err := PlanPartition(nodes, []TopoLink{{A: "a", B: "ghost", Delay: time.Second}}, 2, 0); err == nil {
+		t.Fatal("unknown link key not rejected")
+	}
+	if _, err := PlanPartition(nodes, nil, 0, 0); err == nil {
+		t.Fatal("maxShards 0 not rejected")
+	}
+	if _, err := PlanPartition([]TopoNode{{Key: "a", Pin: -1}, {Key: "a", Pin: -1}}, nil, 2, 0); err == nil {
+		t.Fatal("duplicate key not rejected")
+	}
+}
+
+func TestPlanPartitionBalancesWeight(t *testing.T) {
+	// Four equal-weight isolated components onto two shards: 2 + 2.
+	nodes := []TopoNode{
+		{Key: "a", Weight: 4, Pin: -1}, {Key: "b", Weight: 4, Pin: -1},
+		{Key: "c", Weight: 4, Pin: -1}, {Key: "d", Weight: 4, Pin: -1},
+	}
+	plan, err := PlanPartition(nodes, nil, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, plan.NumShards)
+	for _, k := range plan.Assign {
+		counts[k]++
+	}
+	if plan.NumShards != 2 || counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("unbalanced packing: shards=%d counts=%v", plan.NumShards, counts)
+	}
+}

@@ -1,0 +1,371 @@
+package simnet
+
+import (
+	"fmt"
+	"slices"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcommerce/internal/metrics"
+	"mcommerce/internal/trace"
+)
+
+// Sharded runs several Networks — one per topology shard — under a
+// conservative time-window protocol. Every shard owns a full world slice:
+// its own scheduler, event arena, metrics registry, tracer and packet
+// pools. Execution proceeds in windows of the lookahead duration (the
+// minimum cross-shard link delay): within a window every shard runs
+// independently, because nothing it does can affect another shard sooner
+// than one lookahead away; at the boundary the shards exchange the
+// packets that crossed (see CrossLink) and the next window begins.
+//
+// Each window has two phases separated by barriers. In the inject phase
+// every shard drains the exchange rings addressed to it — records merged
+// in (arrival time, source shard, sequence) order — into its scheduler;
+// in the run phase every shard executes its events up to the window end.
+// Within a phase exactly one goroutine touches a shard's state, and the
+// barriers carry the happens-before edges between phases, so the engine
+// needs no locks or atomics on any simulation path.
+//
+// Determinism: which goroutine runs a shard's phase never affects what
+// the phase computes — shard state is touched by exactly one goroutine
+// per phase, ring drain order is fixed, and the merge sort order is
+// total. A run with any worker count is therefore byte-identical to a
+// serial (workers=1) run of the same world at the same seed, which is
+// what the golden tests and verify.sh pin.
+//
+// IDs are namespaced so shard-local values stay globally unambiguous:
+// shard k's nodes get NodeIDs from k<<20 and its trace/span IDs from
+// k<<48. Shard 0 uses base 0 and the world's own seed, so a one-shard
+// world is indistinguishable from a plain Network.
+type Sharded struct {
+	seed    int64
+	shards  []*Network
+	shardOf map[*Network]int32
+	prefix  []string // per-shard metric prefix ("s0.", "s1.", ...)
+
+	// rings[src][dst] is the exchange buffer for packets from shard src
+	// to shard dst (nil until a cross link needs it). xseq[src] sequences
+	// the records each source produces; both are owned by the shard that
+	// indexes them during the phase that touches them.
+	rings   [][]*xring
+	xseq    []uint64
+	xdFree  [][]*xDelivery
+	scratch [][]xrec // per-destination merge scratch, owned by the inject phase
+
+	// minCross is the smallest cross-link delay seen (the lookahead
+	// ceiling); lookahead is the effective window, defaulting to minCross.
+	minCross  time.Duration
+	lookahead time.Duration
+
+	now     time.Duration
+	errs    []error
+	stopped atomic.Bool
+}
+
+// NewSharded creates a world of n empty shards. Shard 0's scheduler is
+// seeded with seed itself — so a one-shard world replays exactly like
+// NewNetwork(NewScheduler(seed)) — and shard k with a value derived
+// deterministically from (seed, k).
+func NewSharded(seed int64, n int) *Sharded {
+	if n < 1 {
+		panic("simnet: NewSharded needs at least one shard")
+	}
+	w := &Sharded{
+		seed:    seed,
+		shards:  make([]*Network, n),
+		shardOf: make(map[*Network]int32, n),
+		prefix:  make([]string, n),
+		rings:   make([][]*xring, n),
+		xseq:    make([]uint64, n),
+		xdFree:  make([][]*xDelivery, n),
+		scratch: make([][]xrec, n),
+		errs:    make([]error, n),
+	}
+	for k := 0; k < n; k++ {
+		s := seed
+		if k > 0 {
+			s = seed + int64(k)*1_000_000_007
+		}
+		net := NewNetwork(NewScheduler(s))
+		net.SetNodeIDBase(NodeID(k) << 20)
+		net.Tracer.SetIDBase(uint64(k) << 48)
+		w.shards[k] = net
+		w.shardOf[net] = int32(k)
+		w.prefix[k] = "s" + strconv.Itoa(k) + "."
+		w.rings[k] = make([]*xring, n)
+	}
+	return w
+}
+
+// WrapNetwork adopts an existing single network as a one-shard world, so
+// serial callers can run through the sharded engine unchanged: with one
+// shard the window loop degenerates to a single Sched.RunUntil and the
+// snapshot to the plain registry snapshot.
+func WrapNetwork(net *Network) *Sharded {
+	w := &Sharded{
+		seed:    0,
+		shards:  []*Network{net},
+		shardOf: map[*Network]int32{net: 0},
+		prefix:  []string{"s0."},
+		rings:   make([][]*xring, 1),
+		xseq:    make([]uint64, 1),
+		xdFree:  make([][]*xDelivery, 1),
+		scratch: make([][]xrec, 1),
+		errs:    make([]error, 1),
+	}
+	w.rings[0] = make([]*xring, 1)
+	w.now = net.Sched.Now()
+	return w
+}
+
+func (w *Sharded) ensureRing(src, dst int) {
+	if w.rings[src][dst] == nil {
+		w.rings[src][dst] = &xring{}
+	}
+}
+
+// NumShards returns the shard count.
+func (w *Sharded) NumShards() int { return len(w.shards) }
+
+// Shard returns shard k's network; builders create nodes and intra-shard
+// links on it directly.
+func (w *Sharded) Shard(k int) *Network { return w.shards[k] }
+
+// ShardOf returns the shard index owning net (-1 if foreign).
+func (w *Sharded) ShardOf(net *Network) int {
+	if k, ok := w.shardOf[net]; ok {
+		return int(k)
+	}
+	return -1
+}
+
+// Seed returns the seed the world was created with.
+func (w *Sharded) Seed() int64 { return w.seed }
+
+// Now returns the world's virtual time: the end of the last completed
+// window (every shard's clock agrees at barriers).
+func (w *Sharded) Now() time.Duration { return w.now }
+
+// Lookahead returns the effective window width: the manual override if
+// set, otherwise the minimum cross-shard link delay, otherwise zero
+// (single shard or no cross links — windows span the whole horizon).
+func (w *Sharded) Lookahead() time.Duration {
+	if w.lookahead > 0 {
+		return w.lookahead
+	}
+	return w.minCross
+}
+
+// SetLookahead overrides the window width. Narrower windows are always
+// safe (more barriers, same results); wider than the minimum cross-link
+// delay would let effects arrive in a window already running, so that is
+// an error. Zero restores the automatic value.
+func (w *Sharded) SetLookahead(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("simnet: negative lookahead %v", d)
+	}
+	if d > 0 && w.minCross > 0 && d > w.minCross {
+		return fmt.Errorf("simnet: lookahead %v exceeds minimum cross-shard delay %v", d, w.minCross)
+	}
+	w.lookahead = d
+	return nil
+}
+
+// Stop halts the window loop at the next boundary. Safe to call from any
+// shard's event callback; the shard's own scheduler stops immediately via
+// its Stop, the siblings at the window end.
+func (w *Sharded) Stop() { w.stopped.Store(true) }
+
+// RunFor executes d of virtual time from the current instant on up to
+// workers goroutines.
+func (w *Sharded) RunFor(d time.Duration, workers int) error {
+	return w.RunUntil(w.now+d, workers)
+}
+
+// RunUntil executes all shards to the deadline in conservative windows,
+// on up to workers goroutines (values < 2, or a single shard, run
+// inline). It returns ErrStopped if halted by Stop (the world's or any
+// shard scheduler's).
+func (w *Sharded) RunUntil(deadline time.Duration, workers int) error {
+	w.stopped.Store(false)
+	for k := range w.errs {
+		w.errs[k] = nil
+	}
+	la := w.Lookahead()
+	for w.now < deadline {
+		end := deadline
+		if la > 0 && w.now+la < deadline {
+			end = w.now + la
+		}
+		w.phase(workers, func(k int) { w.injectInto(k) })
+		w.phase(workers, func(k int) {
+			if err := w.shards[k].Sched.RunUntil(end); err != nil {
+				w.errs[k] = err
+				w.stopped.Store(true)
+			}
+		})
+		w.now = end
+		if w.stopped.Load() {
+			break
+		}
+	}
+	// Seal the state: records produced in the last window become pending
+	// events on their destination schedulers, so Pending is accurate and
+	// a later RunUntil resumes mid-stream.
+	for k := range w.shards {
+		w.injectInto(k)
+	}
+	for _, err := range w.errs {
+		if err != nil {
+			return err
+		}
+	}
+	if w.stopped.Load() {
+		return ErrStopped
+	}
+	return nil
+}
+
+// phase runs fn(k) for every shard on up to `workers` goroutines and
+// waits for all of them: one barrier. Shards are claimed by an atomic
+// counter; since fn(k) touches only shard k's state, the claim order
+// cannot affect results.
+func (w *Sharded) phase(workers int, fn func(k int)) {
+	p := len(w.shards)
+	if workers > p {
+		workers = p
+	}
+	if workers <= 1 || p == 1 {
+		for k := 0; k < p; k++ {
+			fn(k)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= p {
+					return
+				}
+				fn(k)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// injectInto drains every ring addressed to shard k, merges the records
+// in (arrival time, source shard, sequence) order, and schedules their
+// deliveries on k's scheduler. Arrival times are never in k's past:
+// records were produced at least one lookahead before their arrival, in
+// the previous window.
+func (w *Sharded) injectInto(k int) {
+	buf := w.scratch[k][:0]
+	for s := range w.shards {
+		r := w.rings[s][k]
+		if r == nil || len(r.recs) == 0 {
+			continue
+		}
+		buf = append(buf, r.recs...)
+		r.recs = r.recs[:0]
+	}
+	w.scratch[k] = buf
+	if len(buf) == 0 {
+		return
+	}
+	slices.SortFunc(buf, func(a, b xrec) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		if a.src != b.src {
+			return int(a.src) - int(b.src)
+		}
+		if a.seq != b.seq {
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	net := w.shards[k]
+	for i := range buf {
+		rec := &buf[i]
+		d := w.allocXDelivery(k)
+		d.link, d.dst, d.dir = rec.link, rec.dst, rec.dir
+		cp := net.AllocPacket()
+		*cp = rec.p
+		cp.pooled, cp.inPool = true, false
+		d.p = cp
+		net.Sched.AtCall(rec.at, xlinkDeliver, d)
+		rec.p = Packet{} // drop Body reference for the GC
+	}
+	w.scratch[k] = buf[:0]
+}
+
+func (w *Sharded) allocXDelivery(k int) *xDelivery {
+	free := w.xdFree[k]
+	if n := len(free); n > 0 {
+		d := free[n-1]
+		w.xdFree[k] = free[:n-1]
+		return d
+	}
+	return &xDelivery{}
+}
+
+// Snapshot captures every shard's registry as one merged snapshot. A
+// one-shard world snapshots its registry unprefixed — identical to the
+// serial path — while multi-shard entries are prefixed "s<k>." and
+// re-sorted, so dumps stay deterministic and diffable.
+func (w *Sharded) Snapshot() metrics.Snapshot {
+	if len(w.shards) == 1 {
+		return w.shards[0].Metrics.Snapshot()
+	}
+	snaps := make([]metrics.Snapshot, len(w.shards))
+	for k, net := range w.shards {
+		snaps[k] = net.Metrics.Snapshot()
+	}
+	return metrics.Merged(w.prefix, snaps)
+}
+
+// Spans returns every shard's recorded spans concatenated in shard
+// order. Span and trace IDs are disjoint across shards (SetIDBase), so
+// the result exports directly via trace.WritePerfetto.
+func (w *Sharded) Spans() []trace.Span {
+	var out []trace.Span
+	for _, net := range w.shards {
+		out = append(out, net.Tracer.Spans()...)
+	}
+	return out
+}
+
+// Executed totals events fired across shards.
+func (w *Sharded) Executed() uint64 {
+	var n uint64
+	for _, net := range w.shards {
+		n += net.Sched.Executed()
+	}
+	return n
+}
+
+// Pending totals events queued across shards (cross-shard records still
+// in rings are injected by RunUntil before it returns, so between runs
+// this is exact).
+func (w *Sharded) Pending() int {
+	n := 0
+	for _, net := range w.shards {
+		n += net.Sched.Pending()
+	}
+	return n
+}

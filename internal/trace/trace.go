@@ -140,8 +140,9 @@ type Tracer struct {
 	sampleN uint64
 
 	spans     []Span // export: append-only; ring: fixed-size arena
-	seq       uint64 // last SpanID issued
-	nextTrace uint64 // last TraceID issued (consumed even when unsampled)
+	seq       uint64 // spans issued; SpanID = base + seq
+	nextTrace uint64 // traces issued (consumed even when unsampled); TraceID = base + nextTrace
+	base      uint64 // ID namespace offset (see SetIDBase)
 	current   Context
 
 	evicted      uint64 // ring slots overwritten while holding a span
@@ -182,6 +183,20 @@ func (t *Tracer) setSample(n int) {
 		return
 	}
 	t.sampleN = uint64(n)
+}
+
+// SetIDBase offsets every TraceID and SpanID this tracer issues by base.
+// Sharded execution gives each shard's tracer a disjoint base (shard k gets
+// k<<48) so contexts, exports and Perfetto pids never collide across
+// shards, and a context minted by one shard's tracer safely resolves to nil
+// on any other. Call before the first span is recorded; the sampling
+// decision stays in local count space, so shard-local output is invariant
+// to the base.
+func (t *Tracer) SetIDBase(base uint64) {
+	if t == nil {
+		return
+	}
+	t.base = base
 }
 
 // Disable stops recording and releases the span storage.
@@ -260,7 +275,7 @@ func (t *Tracer) StartTrace(name string, layer Layer) Context {
 		return Context{}
 	}
 	t.nextTrace++
-	id := TraceID(t.nextTrace)
+	id := TraceID(t.base + t.nextTrace)
 	if (t.nextTrace-1)%t.sampleN != 0 {
 		return Context{}
 	}
@@ -280,7 +295,7 @@ func (t *Tracer) StartSpan(parent Context, name string, layer Layer) Context {
 // zero-allocation hot path: one slot overwrite, no map, no growth.
 func (t *Tracer) record(tr TraceID, parent SpanID, name string, layer Layer) Context {
 	t.seq++
-	id := SpanID(t.seq)
+	id := SpanID(t.base + t.seq)
 	var sp *Span
 	if t.mode == modeRing {
 		sp = &t.spans[t.seq%uint64(len(t.spans))]
@@ -296,17 +311,21 @@ func (t *Tracer) record(tr TraceID, parent SpanID, name string, layer Layer) Con
 }
 
 // lookup resolves a context to its live span record, or nil when the span
-// was never recorded, or was evicted from the ring.
+// was never recorded, was evicted from the ring, or belongs to a different
+// tracer's ID namespace (a cross-shard context).
 func (t *Tracer) lookup(c Context) *Span {
 	if t == nil || t.mode == modeOff || c.Span == 0 {
 		return nil
 	}
+	// seqOf underflows to a huge value for contexts below this tracer's
+	// base; both branches then reject them (bounds check or ID mismatch).
+	seqOf := uint64(c.Span) - t.base
 	var sp *Span
 	if t.mode == modeRing {
-		sp = &t.spans[uint64(c.Span)%uint64(len(t.spans))]
+		sp = &t.spans[seqOf%uint64(len(t.spans))]
 	} else {
-		i := uint64(c.Span) - 1
-		if i >= uint64(len(t.spans)) {
+		i := seqOf - 1
+		if seqOf == 0 || i >= uint64(len(t.spans)) {
 			return nil
 		}
 		sp = &t.spans[i]
@@ -375,7 +394,8 @@ func (t *Tracer) Recent(max int) []Span {
 	}
 	n := len(t.spans)
 	out := make([]Span, 0, min(max, n))
-	// Walk the ring from oldest surviving to newest: IDs seq-n+1 .. seq.
+	// Walk the ring from oldest surviving to newest in local sequence
+	// space: seq-n+1 .. seq (SpanID = base + seq).
 	lo := uint64(1)
 	if t.seq > uint64(n) {
 		lo = t.seq - uint64(n) + 1
@@ -383,9 +403,9 @@ func (t *Tracer) Recent(max int) []Span {
 	if t.seq-lo+1 > uint64(max) {
 		lo = t.seq - uint64(max) + 1
 	}
-	for id := lo; id <= t.seq; id++ {
-		sp := t.spans[id%uint64(n)]
-		if sp.ID == SpanID(id) {
+	for s := lo; s <= t.seq; s++ {
+		sp := t.spans[s%uint64(n)]
+		if sp.ID == SpanID(t.base+s) {
 			out = append(out, sp)
 		}
 	}

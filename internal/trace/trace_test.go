@@ -396,12 +396,12 @@ func TestWriteTableDeterministic(t *testing.T) {
 
 func TestUsecFormatting(t *testing.T) {
 	cases := map[time.Duration]string{
-		0:                            "0.000",
-		333 * time.Nanosecond:        "0.333",
-		time.Microsecond:             "1.000",
-		1500 * time.Nanosecond:       "1.500",
-		time.Millisecond + 7:         "1000.007",
-		-1500 * time.Nanosecond:      "-1.500",
+		0:                                "0.000",
+		333 * time.Nanosecond:            "0.333",
+		time.Microsecond:                 "1.000",
+		1500 * time.Nanosecond:           "1.500",
+		time.Millisecond + 7:             "1000.007",
+		-1500 * time.Nanosecond:          "-1.500",
 		time.Second + 42*time.Nanosecond: "1000000.042",
 	}
 	for d, want := range cases {

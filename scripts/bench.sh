@@ -1,0 +1,25 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and record a machine-readable
+# trajectory point. Runs every benchmark in simnet and experiments
+# (-benchmem, -count 5 so outliers are visible), converts the output to
+# JSON with scripts/benchjson, and writes it to the given file
+# (default BENCH.json).
+#
+#	scripts/bench.sh BENCH_5.json
+#
+# The raw text stream is echoed to stderr as it arrives, so a long run
+# shows progress. BENCH_COUNT overrides -count, BENCH_TIME -benchtime.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH.json}"
+count="${BENCH_COUNT:-5}"
+benchtime="${BENCH_TIME:-1s}"
+
+go test -run '^$' -bench . -benchmem -count "$count" -benchtime "$benchtime" \
+	-timeout 60m ./internal/simnet ./internal/experiments \
+	| tee /dev/stderr \
+	| go run ./scripts/benchjson >"$out"
+
+echo "bench.sh: wrote $out" >&2

@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so benchmark trajectories
+// (BENCH_*.json) can be diffed and plotted without re-parsing the text
+// format downstream.
+//
+//	go test -bench . -benchmem -count 5 ./... | go run ./scripts/benchjson > BENCH.json
+//
+// Each benchmark line becomes one entry: the benchmark name (GOMAXPROCS
+// suffix split off), the iteration count, and every reported value —
+// the standard ns/op, B/op and allocs/op plus any custom
+// b.ReportMetric units (events_per_sec, cores, ...). Context lines
+// (goos/goarch/pkg/cpu) are carried into the entries that follow them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement line.
+type Entry struct {
+	Pkg     string             `json:"pkg"`
+	Name    string             `json:"name"`
+	Procs   int                `json:"procs"`
+	N       int64              `json:"n"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the whole document.
+type Doc struct {
+	Goos    string  `json:"goos,omitempty"`
+	Goarch  string  `json:"goarch,omitempty"`
+	CPU     string  `json:"cpu,omitempty"`
+	Entries []Entry `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Doc, error) {
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	doc := &Doc{Entries: []Entry{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			e, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			e.Pkg = pkg
+			doc.Entries = append(doc.Entries, e)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseLine parses one "BenchmarkFoo/sub-8  N  v unit  v unit ..." line.
+func parseLine(line string) (Entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Entry{}, false
+	}
+	e := Entry{Name: f[0], Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndex(e.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(e.Name[i+1:]); err == nil {
+			e.Name, e.Procs = e.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e.N = n
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		default:
+			e.Metrics[unit] = v
+		}
+	}
+	if len(e.Metrics) == 0 {
+		e.Metrics = nil
+	}
+	return e, true
+}

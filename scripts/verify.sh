@@ -4,8 +4,10 @@
 # (the parallel experiment runner and the simnet structures it drives),
 # and a chaos smoke run (small faulted scenario at a fixed seed), plus
 # determinism smokes: two same-seed -metrics dumps and two same-seed
-# -trace Perfetto exports must each be byte-identical, and the trace
-# export must be structurally valid trace-event JSON.
+# -trace Perfetto exports must each be byte-identical, the trace
+# export must be structurally valid trace-event JSON, and a sharded
+# mcload -scale run (-shards 4) must be byte-identical to the serial
+# (-shards 1) run at the same seed.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -29,3 +31,15 @@ else
 	go run ./scripts/tracecheck /tmp/mc-trace-a.json
 fi
 rm -f /tmp/mc-trace-a.json /tmp/mc-trace-b.json
+# Sharded execution: the ownership race test (8 shards driving their
+# metrics registries and trace rings concurrently) must be race-clean,
+# and a sharded run must be byte-identical to a serial run of the same
+# seed on the mcload -scale surface (wall-clock goes to stderr, so
+# stdout is directly comparable).
+go test -race -run 'TestShardedRaceOwnership' ./internal/simnet
+go run ./cmd/mcload -scale -seed 7 -gateways 3 -cells 2 -stations 20 \
+	-duration 5s -think 300ms -metrics -shards 1 >/tmp/mc-scale-a.txt 2>/dev/null
+go run ./cmd/mcload -scale -seed 7 -gateways 3 -cells 2 -stations 20 \
+	-duration 5s -think 300ms -metrics -shards 4 >/tmp/mc-scale-b.txt 2>/dev/null
+cmp /tmp/mc-scale-a.txt /tmp/mc-scale-b.txt
+rm -f /tmp/mc-scale-a.txt /tmp/mc-scale-b.txt
