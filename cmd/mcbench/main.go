@@ -57,6 +57,7 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
 	withMetrics := fs.Bool("metrics", false, "also print attached telemetry snapshots as per-metric tables")
 	shards := fs.Int("shards", 1, "worker lanes for the sharded scale experiment (output is byte-identical at any value)")
+	optimistic := fs.Bool("optimistic", false, "run the sharded scale experiment on the optimistic executor (output is byte-identical to conservative)")
 	prof := experiments.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +69,7 @@ func run(args []string) error {
 		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
 	}
 	experiments.ScaleWorkers = *shards
+	experiments.ScaleOptimistic = *optimistic
 	if err := prof.Start(); err != nil {
 		return err
 	}

@@ -8,7 +8,7 @@
 //	       [-users N] [-duration 2m] [-think 2s] [-seed N]
 //	       [-trace out.json] [-trace-sample N]
 //	       [-scale] [-gateways G] [-cells C] [-stations S] [-remote M]
-//	       [-shards N] [-metrics]
+//	       [-shards N] [-optimistic] [-metrics]
 //	       [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //
 // With -trace FILE, every sampled operation becomes a causal span tree and
@@ -25,7 +25,10 @@
 // count; the report, -metrics dump and -trace export are byte-identical
 // at any value (wall-clock goes to stderr, never stdout). -remote M
 // sends M per mille of every cell's stations to the next cluster's host,
-// keeping the cross-shard backbone loaded.
+// keeping the cross-shard backbone loaded. -optimistic switches the
+// executor to speculative windows with checkpoint/rollback; results stay
+// byte-identical to the conservative run. Engine internals (window,
+// synchronization, steal and rollback counters) go to stderr.
 package main
 
 import (
@@ -69,6 +72,7 @@ func run(args []string, w io.Writer) error {
 	stations := fs.Int("stations", 50, "with -scale, virtual stations per cell")
 	remote := fs.Int("remote", 200, "with -scale, per mille of each cell's stations that target the next cluster's host")
 	shards := fs.Int("shards", 1, "worker lanes for the sharded executor (output is byte-identical at any value)")
+	optimistic := fs.Bool("optimistic", false, "with -scale, use the optimistic executor (speculative windows with checkpoint/rollback; output is byte-identical to conservative)")
 	withMetrics := fs.Bool("metrics", false, "with -scale, dump the merged telemetry registry after the run")
 	prof := experiments.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -87,7 +91,8 @@ func run(args []string, w io.Writer) error {
 	if *scale {
 		return runScale(scaleOpts{
 			seed: *seed, gateways: *gateways, cells: *cells, stations: *stations,
-			remote: *remote, shards: *shards, think: *think, duration: *duration,
+			remote: *remote, shards: *shards, optimistic: *optimistic,
+			think: *think, duration: *duration,
 			metrics: *withMetrics, traceFile: *traceFile, traceSample: *traceSample,
 		}, w)
 	}
@@ -155,6 +160,7 @@ type scaleOpts struct {
 	seed                      int64
 	gateways, cells, stations int
 	remote, shards            int
+	optimistic                bool
 	think, duration           time.Duration
 	metrics                   bool
 	traceFile                 string
@@ -175,6 +181,7 @@ func runScale(o scaleOpts, w io.Writer) error {
 		ThinkMean:       o.think,
 		Duration:        o.duration,
 		Workers:         o.shards,
+		Optimistic:      o.optimistic,
 	})
 	if err != nil {
 		return err
@@ -190,6 +197,10 @@ func runScale(o scaleOpts, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wall: %v (%d worker lanes)\n", time.Since(start).Round(time.Millisecond), o.shards)
+	// Engine internals vary with worker count and execution mode, so they
+	// go to stderr: stdout stays byte-comparable across both.
+	fmt.Fprintln(os.Stderr, "engine internals:")
+	sw.World.EngineSnapshot().WriteText(os.Stderr)
 
 	fmt.Fprintf(w, "scale: %d clusters x %d cells x %d stations = %d virtual stations\n",
 		o.gateways, o.cells, o.stations, rep.Stations)

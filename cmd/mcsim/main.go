@@ -7,7 +7,7 @@
 //	mcsim [-bearer wlan|cellular] [-wlan 802.11b|802.11a|802.11g|hiperlan2|bluetooth]
 //	      [-cell gprs|edge|gsm|cdma|cdma2000|wcdma] [-middleware wap|imode]
 //	      [-clients N] [-rounds N] [-seed N] [-replicas R] [-parallel N] [-faults]
-//	      [-metrics] [-metrics-format text|csv] [-shards N]
+//	      [-metrics] [-metrics-format text|csv] [-shards N] [-optimistic]
 //	      [-trace out.json] [-trace-sample N]
 //	      [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //
@@ -88,6 +88,7 @@ type scenario struct {
 	clients     int
 	rounds      int
 	shards      int
+	optimistic  bool
 	faults      bool
 	metrics     bool
 	metricsCSV  bool
@@ -111,6 +112,7 @@ func run(args []string) error {
 	withMetrics := fs.Bool("metrics", false, "dump the full telemetry registry (every layer's counters, gauges and latency histograms) after the run")
 	metricsFormat := fs.String("metrics-format", "text", "telemetry dump format: text or csv")
 	shards := fs.Int("shards", 1, "worker lanes for the sharded executor (output is byte-identical at any value)")
+	optimistic := fs.Bool("optimistic", false, "use the optimistic executor (a one-shard world never speculates, so output is identical; the flag mirrors mcload)")
 	profiles := experiments.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,6 +141,7 @@ func run(args []string) error {
 
 	sc := scenario{
 		middleware: *middleware, clients: *clients, rounds: *rounds, shards: *shards,
+		optimistic: *optimistic,
 		traceFile: *traceFile, traceSample: *traceSample, packetTrace: *packetTrace,
 		faults:  *withFaults,
 		metrics: *withMetrics, metricsCSV: strings.EqualFold(*metricsFormat, "csv"),
@@ -207,6 +210,7 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 	// so sc.shards only sets how many worker lanes the window loop may
 	// use — the results cannot depend on it.
 	world := simnet.WrapNetwork(mc.Net)
+	world.SetOptimistic(sc.optimistic)
 	if sc.packetTrace {
 		mc.Net.SetTracer(simnet.NewTextTracer(os.Stderr))
 	}

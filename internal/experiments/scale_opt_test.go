@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScaleOptimisticGolden: the scale world is fully checkpoint-covered
+// (simnet structures, metrics, traces, Flows station state via
+// OnCheckpoint), so the optimistic executor must reproduce the
+// conservative digest byte for byte, at any worker count.
+func TestScaleOptimisticGolden(t *testing.T) {
+	run := func(optimistic bool, workers int) (string, *ScaleWorld) {
+		sw, err := BuildScale(ScaleConfig{
+			Seed:            11,
+			Gateways:        3,
+			CellsPerGateway: 2,
+			StationsPerCell: 20,
+			ThinkMean:       300 * time.Millisecond,
+			Duration:        5 * time.Second,
+			Workers:         workers,
+			Optimistic:      optimistic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sw.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sw.Digest(), sw
+	}
+	want, _ := run(false, 1)
+	for _, workers := range []int{1, 4} {
+		got, sw := run(true, workers)
+		if got != want {
+			t.Fatalf("optimistic scale run diverged at workers=%d:\n--- conservative ---\n%s\n--- optimistic ---\n%s",
+				workers, want, got)
+		}
+		// The flows keep the backbone busy enough that wide windows
+		// misspeculate; a run that never rolled back proves nothing.
+		if sw.World.EngineSnapshot().Counter("simnet.shard.rollbacks") == 0 {
+			t.Fatal("optimistic scale run never rolled back — speculation untested")
+		}
+	}
+}

@@ -3,6 +3,7 @@ package simnet
 import (
 	"errors"
 	"math/rand"
+	"slices"
 	"time"
 )
 
@@ -100,6 +101,8 @@ type Scheduler struct {
 	free    []int32
 	heap    []heapEntry
 	rng     *rand.Rand
+	rsrc    *countingSource
+	seed    int64
 	stopped bool
 
 	// live counts pending (not cancelled, not fired) events; cancelled
@@ -115,7 +118,77 @@ type Scheduler struct {
 // Two schedulers with the same seed and the same sequence of scheduling
 // calls produce identical executions.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Scheduler{rng: rand.New(src), rsrc: src, seed: seed}
+}
+
+// countingSource wraps the stock math/rand source and counts draws. Each
+// Rand method consumes source steps through exactly these two entry
+// points, so the count is a complete description of the stream position:
+// a fresh source advanced count steps is byte-for-byte the same stream.
+// That is what lets the optimistic executor roll a scheduler back — the
+// wrapper changes no values, only remembers how many were taken.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed); c.n = 0 }
+
+// schedCheckpoint is a full copy of a scheduler's mutable state: clock,
+// event arena, heap, free list, counters and the RNG stream position.
+// Callback references are shared with the live arena — the contents of
+// pooled callback arguments are saved separately by the engine (see
+// Network.checkpoint), since the scheduler cannot know their types.
+type schedCheckpoint struct {
+	now       time.Duration
+	seq       uint64
+	arena     []eventSlot
+	free      []int32
+	heap      []heapEntry
+	live      int
+	cancelled int
+	executed  uint64
+	rngCount  uint64
+}
+
+// checkpoint captures the scheduler's state for a later restore.
+func (s *Scheduler) checkpoint() schedCheckpoint {
+	return schedCheckpoint{
+		now:       s.now,
+		seq:       s.seq,
+		arena:     slices.Clone(s.arena),
+		free:      slices.Clone(s.free),
+		heap:      slices.Clone(s.heap),
+		live:      s.live,
+		cancelled: s.cancelled,
+		executed:  s.executed,
+		rngCount:  s.rsrc.n,
+	}
+}
+
+// restore rewinds the scheduler to a checkpoint. The RNG is rebuilt from
+// the seed and advanced to the recorded stream position, so draws after
+// the restore replay exactly the draws after the checkpoint.
+func (s *Scheduler) restore(c schedCheckpoint) {
+	s.now, s.seq = c.now, c.seq
+	s.arena = append(s.arena[:0], c.arena...)
+	s.free = append(s.free[:0], c.free...)
+	s.heap = append(s.heap[:0], c.heap...)
+	s.live, s.cancelled = c.live, c.cancelled
+	s.executed = c.executed
+	s.stopped = false
+	src := &countingSource{src: rand.NewSource(s.seed).(rand.Source64)}
+	for i := uint64(0); i < c.rngCount; i++ {
+		src.src.Uint64()
+	}
+	src.n = c.rngCount
+	s.rsrc = src
+	s.rng = rand.New(src)
 }
 
 // Now returns the current virtual time (duration since simulation start).

@@ -15,26 +15,33 @@ import (
 // Sharded runs several Networks — one per topology shard — under a
 // conservative time-window protocol. Every shard owns a full world slice:
 // its own scheduler, event arena, metrics registry, tracer and packet
-// pools. Execution proceeds in windows of the lookahead duration (the
-// minimum cross-shard link delay): within a window every shard runs
+// pools. Execution proceeds in windows; within a window every shard runs
 // independently, because nothing it does can affect another shard sooner
-// than one lookahead away; at the boundary the shards exchange the
-// packets that crossed (see CrossLink) and the next window begins.
+// than one cross-link delay away; at window boundaries shards exchange
+// the packets that crossed (see CrossLink).
 //
-// Each window has two phases separated by barriers. In the inject phase
-// every shard drains the exchange rings addressed to it — records merged
-// in (arrival time, source shard, sequence) order — into its scheduler;
-// in the run phase every shard executes its events up to the window end.
-// Within a phase exactly one goroutine touches a shard's state, and the
-// barriers carry the happens-before edges between phases, so the engine
-// needs no locks or atomics on any simulation path.
+// Synchronization is relaxed and per-pair, not a global barrier. Each
+// directed shard pair (s→d) has its own exchange period derived from its
+// lookahead — the smallest cross-link delay between the two shards plus
+// shard s's declared service floor (SetServiceFloor) — measured in base
+// windows. A pair only synchronizes at multiples of its period: shard d
+// drains s's ring at due boundaries, and otherwise skips it entirely
+// (the idle-pair fast path), so weakly-coupled shards synchronize
+// rarely. Progress is tracked by per-shard epoch counters on a shared
+// scoreboard; a window of shard k is claimable the moment its own
+// per-pair dependencies are met, regardless of where unrelated shards
+// are. Worker lanes claim whole windows from the scoreboard, preferring
+// their home shards; a lane that drains its shards early steals another
+// shard's next window (counted in simnet.shard.steals), keeping lanes
+// busy under skewed populations.
 //
-// Determinism: which goroutine runs a shard's phase never affects what
-// the phase computes — shard state is touched by exactly one goroutine
-// per phase, ring drain order is fixed, and the merge sort order is
-// total. A run with any worker count is therefore byte-identical to a
-// serial (workers=1) run of the same world at the same seed, which is
-// what the golden tests and verify.sh pin.
+// Determinism: which lane runs a shard's window never affects what the
+// window computes — shard state is touched by exactly one lane per
+// claimed task, ring drain order is fixed, the merge sort order is
+// total, and the scoreboard's readiness conditions encode every
+// happens-before edge a task needs. A run with any worker count is
+// therefore byte-identical to a serial (workers=1) run of the same world
+// at the same seed, which is what the golden tests and verify.sh pin.
 //
 // IDs are namespaced so shard-local values stay globally unambiguous:
 // shard k's nodes get NodeIDs from k<<20 and its trace/span IDs from
@@ -49,16 +56,38 @@ type Sharded struct {
 	// rings[src][dst] is the exchange buffer for packets from shard src
 	// to shard dst (nil until a cross link needs it). xseq[src] sequences
 	// the records each source produces; both are owned by the shard that
-	// indexes them during the phase that touches them.
+	// indexes them during the task that touches them.
 	rings   [][]*xring
 	xseq    []uint64
 	xdFree  [][]*xDelivery
-	scratch [][]xrec // per-destination merge scratch, owned by the inject phase
+	scratch [][]xrec // per-destination merge scratch, owned by the drain task
+
+	// minPair[s][d] is the smallest delay among cross links from shard s
+	// to shard d (0 = none); floors[s] is shard s's declared service
+	// floor; xlinks lists every cross link for checkpointing.
+	minPair [][]time.Duration
+	floors  []time.Duration
+	xlinks  []*CrossLink
 
 	// minCross is the smallest cross-link delay seen (the lookahead
-	// ceiling); lookahead is the effective window, defaulting to minCross.
+	// ceiling); lookahead is the base window, defaulting to minCross.
 	minCross  time.Duration
 	lookahead time.Duration
+
+	// optimistic selects checkpoint/rollback execution (see shard_opt.go).
+	optimistic bool
+
+	// Engine telemetry: windows run, pair synchronization episodes, work
+	// steals, optimistic rollbacks and stragglers. Kept in a separate
+	// registry — not merged into Snapshot — because steals depend on the
+	// worker count and windows on the execution mode, and the world
+	// snapshot must stay byte-identical across both. See EngineSnapshot.
+	engine      *metrics.Registry
+	cWindows    uint64
+	cBarrier    uint64
+	cSteals     uint64
+	cRollbacks  uint64
+	cStragglers uint64
 
 	now     time.Duration
 	errs    []error
@@ -82,6 +111,8 @@ func NewSharded(seed int64, n int) *Sharded {
 		xseq:    make([]uint64, n),
 		xdFree:  make([][]*xDelivery, n),
 		scratch: make([][]xrec, n),
+		minPair: make([][]time.Duration, n),
+		floors:  make([]time.Duration, n),
 		errs:    make([]error, n),
 	}
 	for k := 0; k < n; k++ {
@@ -96,7 +127,9 @@ func NewSharded(seed int64, n int) *Sharded {
 		w.shardOf[net] = int32(k)
 		w.prefix[k] = "s" + strconv.Itoa(k) + "."
 		w.rings[k] = make([]*xring, n)
+		w.minPair[k] = make([]time.Duration, n)
 	}
+	w.initEngine()
 	return w
 }
 
@@ -114,16 +147,47 @@ func WrapNetwork(net *Network) *Sharded {
 		xseq:    make([]uint64, 1),
 		xdFree:  make([][]*xDelivery, 1),
 		scratch: make([][]xrec, 1),
+		minPair: [][]time.Duration{make([]time.Duration, 1)},
+		floors:  make([]time.Duration, 1),
 		errs:    make([]error, 1),
 	}
 	w.rings[0] = make([]*xring, 1)
 	w.now = net.Sched.Now()
+	w.initEngine()
 	return w
+}
+
+// initEngine creates the engine-internals registry. The counters are
+// alias-registered fields so engine hot paths increment plain uint64s.
+func (w *Sharded) initEngine() {
+	w.engine = metrics.New()
+	sc := w.engine.Scope("simnet.shard")
+	sc.AliasCounter("windows", &w.cWindows)
+	sc.AliasCounter("barrier_waits", &w.cBarrier)
+	sc.AliasCounter("steals", &w.cSteals)
+	sc.AliasCounter("rollbacks", &w.cRollbacks)
+	sc.AliasCounter("stragglers", &w.cStragglers)
+}
+
+// EngineSnapshot captures the engine-internals registry: window counts,
+// per-pair synchronization episodes, lane steals, optimistic rollbacks
+// and stragglers. These live outside Snapshot deliberately — steals vary
+// with the worker count and windows with the execution mode, while the
+// world snapshot is pinned byte-identical across both.
+func (w *Sharded) EngineSnapshot() metrics.Snapshot {
+	return w.engine.Snapshot()
 }
 
 func (w *Sharded) ensureRing(src, dst int) {
 	if w.rings[src][dst] == nil {
 		w.rings[src][dst] = &xring{}
+	}
+}
+
+// notePairDelay records a cross-link delay into the per-pair minimum.
+func (w *Sharded) notePairDelay(src, dst int, d time.Duration) {
+	if w.minPair[src][dst] == 0 || d < w.minPair[src][dst] {
+		w.minPair[src][dst] = d
 	}
 }
 
@@ -145,13 +209,16 @@ func (w *Sharded) ShardOf(net *Network) int {
 // Seed returns the seed the world was created with.
 func (w *Sharded) Seed() int64 { return w.seed }
 
-// Now returns the world's virtual time: the end of the last completed
-// window (every shard's clock agrees at barriers).
+// Now returns the world's virtual time: the horizon every shard has
+// reached (after a clean run, the deadline; after a stop, the earliest
+// point any shard froze at).
 func (w *Sharded) Now() time.Duration { return w.now }
 
-// Lookahead returns the effective window width: the manual override if
-// set, otherwise the minimum cross-shard link delay, otherwise zero
-// (single shard or no cross links — windows span the whole horizon).
+// Lookahead returns the base window width: the manual override if set,
+// otherwise the minimum cross-shard link delay, otherwise zero (single
+// shard or no cross links — windows span the whole horizon). Individual
+// shard pairs may synchronize less often than every base window; see
+// PairLookahead.
 func (w *Sharded) Lookahead() time.Duration {
 	if w.lookahead > 0 {
 		return w.lookahead
@@ -159,10 +226,21 @@ func (w *Sharded) Lookahead() time.Duration {
 	return w.minCross
 }
 
-// SetLookahead overrides the window width. Narrower windows are always
-// safe (more barriers, same results); wider than the minimum cross-link
-// delay would let effects arrive in a window already running, so that is
-// an error. Zero restores the automatic value.
+// PairLookahead returns the directed pair's effective lookahead: the
+// minimum cross-link delay from src to dst plus src's declared service
+// floor (zero when the shards share no cross link). The pair exchanges
+// records every floor(PairLookahead/Lookahead()) base windows.
+func (w *Sharded) PairLookahead(src, dst int) time.Duration {
+	if w.minPair[src][dst] == 0 {
+		return 0
+	}
+	return w.minPair[src][dst] + w.floors[src]
+}
+
+// SetLookahead overrides the base window width. Narrower windows are
+// always safe (more boundaries, same results); wider than the minimum
+// cross-link delay would let effects arrive in a window already running,
+// so that is an error. Zero restores the automatic value.
 func (w *Sharded) SetLookahead(d time.Duration) error {
 	if d < 0 {
 		return fmt.Errorf("simnet: negative lookahead %v", d)
@@ -174,9 +252,53 @@ func (w *Sharded) SetLookahead(d time.Duration) error {
 	return nil
 }
 
-// Stop halts the window loop at the next boundary. Safe to call from any
-// shard's event callback; the shard's own scheduler stops immediately via
-// its Stop, the siblings at the window end.
+// SetServiceFloor declares extra lookahead for shard k's outbound pairs:
+// the paper's gateway service time, promised on top of the link delay.
+// A pair (k→d) then exchanges every floor((delay+d)/W) base windows
+// instead of every floor(delay/W), so neighbours synchronize with k
+// less often.
+//
+// The declaration is a promise about k's emission phase: every
+// cross-shard record k emits during one of the widened exchange periods
+// must still arrive at or after that period's end. Link delay alone
+// guarantees this for the default period; the extra width is honest only
+// when k's service structure keeps emissions at least d into each period
+// (batched or fixed-cycle services aligned with the traffic cadence —
+// note a plain delayed reply does NOT suffice when its timer crosses a
+// period boundary). The engine verifies every drained record and reports
+// a deterministic error naming the floor if the promise breaks, so a
+// dishonest declaration fails loudly instead of corrupting causality.
+// Zero (the default) promises nothing.
+func (w *Sharded) SetServiceFloor(k int, d time.Duration) error {
+	if k < 0 || k >= len(w.shards) {
+		return fmt.Errorf("simnet: service floor for unknown shard %d", k)
+	}
+	if d < 0 {
+		return fmt.Errorf("simnet: negative service floor %v", d)
+	}
+	w.floors[k] = d
+	return nil
+}
+
+// ServiceFloor returns shard k's declared service floor.
+func (w *Sharded) ServiceFloor(k int) time.Duration { return w.floors[k] }
+
+// SetOptimistic toggles optimistic execution (see shard_opt.go): windows
+// several lookaheads wide run speculatively from per-shard checkpoints,
+// rolling back and replaying conservatively when a straggler record
+// arrives inside a window already run. Only sound on worlds whose every
+// stateful component is checkpoint-covered (simnet structures, metrics,
+// traces, and anything registered via Network.OnCheckpoint).
+func (w *Sharded) SetOptimistic(on bool) { w.optimistic = on }
+
+// Optimistic reports whether optimistic execution is enabled.
+func (w *Sharded) Optimistic() bool { return w.optimistic }
+
+// Stop halts execution promptly: no new shard windows are claimed, tasks
+// already running complete, and RunUntil returns ErrStopped after
+// sealing. For a deterministic cut, stop a specific shard's scheduler
+// (its shard freezes at the stop event; siblings run on exactly until
+// their next synchronization with it) or use a virtual-time deadline.
 func (w *Sharded) Stop() { w.stopped.Store(true) }
 
 // RunFor executes d of virtual time from the current instant on up to
@@ -185,38 +307,52 @@ func (w *Sharded) RunFor(d time.Duration, workers int) error {
 	return w.RunUntil(w.now+d, workers)
 }
 
-// RunUntil executes all shards to the deadline in conservative windows,
-// on up to workers goroutines (values < 2, or a single shard, run
-// inline). It returns ErrStopped if halted by Stop (the world's or any
-// shard scheduler's).
+// hasPairs reports whether any cross-shard exchange ring exists.
+func (w *Sharded) hasPairs() bool {
+	for s := range w.rings {
+		for d, r := range w.rings[s] {
+			if r != nil && d != s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunUntil executes all shards to the deadline on up to workers
+// goroutines (values < 2, or a single shard, run inline). Conservative
+// execution uses the relaxed per-pair scoreboard; with SetOptimistic the
+// speculative executor runs instead. It returns ErrStopped if halted by
+// Stop (the world's or any shard scheduler's), or a service-floor
+// violation error if a declared floor proves dishonest.
 func (w *Sharded) RunUntil(deadline time.Duration, workers int) error {
 	w.stopped.Store(false)
 	for k := range w.errs {
 		w.errs[k] = nil
 	}
-	la := w.Lookahead()
-	for w.now < deadline {
-		end := deadline
-		if la > 0 && w.now+la < deadline {
-			end = w.now + la
+	if deadline > w.now {
+		if w.optimistic && w.hasPairs() {
+			w.runOptimistic(deadline, workers)
+		} else {
+			w.runConservative(deadline, workers)
 		}
-		w.phase(workers, func(k int) { w.injectInto(k) })
-		w.phase(workers, func(k int) {
-			if err := w.shards[k].Sched.RunUntil(end); err != nil {
-				w.errs[k] = err
-				w.stopped.Store(true)
+		// The world clock advances to the earliest horizon any shard
+		// reached: the deadline after a clean run, the freeze point after
+		// a stop. Shards beyond it (already past a stopped sibling) idle
+		// on resume until the window loop catches up to their clocks.
+		min := time.Duration(1<<63 - 1)
+		for _, net := range w.shards {
+			if t := net.Sched.Now(); t < min {
+				min = t
 			}
-		})
-		w.now = end
-		if w.stopped.Load() {
-			break
 		}
+		w.now = min
 	}
 	// Seal the state: records produced in the last window become pending
 	// events on their destination schedulers, so Pending is accurate and
 	// a later RunUntil resumes mid-stream.
 	for k := range w.shards {
-		w.injectInto(k)
+		w.drainRings(k, nil)
 	}
 	for _, err := range w.errs {
 		if err != nil {
@@ -229,47 +365,282 @@ func (w *Sharded) RunUntil(deadline time.Duration, workers int) error {
 	return nil
 }
 
-// phase runs fn(k) for every shard on up to `workers` goroutines and
-// waits for all of them: one barrier. Shards are claimed by an atomic
-// counter; since fn(k) touches only shard k's state, the claim order
-// cannot affect results.
-func (w *Sharded) phase(workers int, fn func(k int)) {
-	p := len(w.shards)
-	if workers > p {
-		workers = p
+// pairRef is one directed exchange relationship seen from one end: the
+// peer shard and the pair's exchange period in base windows.
+type pairRef struct {
+	peer   int
+	period int
+}
+
+// shardProg is one shard's scoreboard entry: its current window (win
+// counts completed windows), whether that window's boundary drains are
+// done, and the claim/terminal flags. All access is under shardExec.mu.
+type shardProg struct {
+	win     int
+	drained bool
+	claimed bool
+	frozen  bool
+	done    bool
+}
+
+// shardExec runs one conservative RunUntil: a scoreboard of per-shard
+// epoch counters guarded by one mutex, with worker lanes claiming drain
+// and run tasks whose per-pair dependencies are met. The mutex is touched
+// a few times per shard window (claim and publish); all simulation work
+// happens outside it, and the condition variable parks lanes only when
+// nothing in the whole world is claimable.
+type shardExec struct {
+	w        *Sharded
+	mu       sync.Mutex
+	cond     *sync.Cond
+	prog     []shardProg
+	inPairs  [][]pairRef
+	outPairs [][]pairRef
+	due      [][]bool // per-shard drain mask, owned by the drain task
+	start    time.Duration
+	deadline time.Duration
+	width    time.Duration
+	numWin   int
+	lanes    int
+	active   int
+}
+
+// runConservative executes [w.now, deadline) under the relaxed per-pair
+// protocol on up to workers lanes.
+func (w *Sharded) runConservative(deadline time.Duration, workers int) {
+	n := len(w.shards)
+	start := w.now
+	width := w.Lookahead()
+	span := deadline - start
+	numWin := 1
+	if width > 0 && width < span {
+		numWin = int((span + width - 1) / width)
+	} else {
+		width = span
 	}
-	if workers <= 1 || p == 1 {
-		for k := 0; k < p; k++ {
-			fn(k)
+	e := &shardExec{
+		w: w, start: start, deadline: deadline, width: width, numWin: numWin,
+		prog:    make([]shardProg, n),
+		inPairs: make([][]pairRef, n), outPairs: make([][]pairRef, n),
+		due: make([][]bool, n),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	for s := 0; s < n; s++ {
+		e.due[s] = make([]bool, n)
+		for d := 0; d < n; d++ {
+			if s == d || w.rings[s][d] == nil {
+				continue
+			}
+			p := 1
+			if width > 0 {
+				if la := w.minPair[s][d] + w.floors[s]; la > width {
+					p = int(la / width)
+				}
+			}
+			e.inPairs[d] = append(e.inPairs[d], pairRef{peer: s, period: p})
+			e.outPairs[s] = append(e.outPairs[s], pairRef{peer: d, period: p})
 		}
+	}
+	lanes := workers
+	if lanes > n {
+		lanes = n
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	e.lanes = lanes
+	if lanes == 1 {
+		e.loop(0)
 		return
 	}
-	var next atomic.Int32
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for g := 0; g < workers; g++ {
-		go func() {
+	wg.Add(lanes)
+	for g := 0; g < lanes; g++ {
+		go func(g int) {
 			defer wg.Done()
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= p {
-					return
-				}
-				fn(k)
-			}
-		}()
+			e.loop(g)
+		}(g)
 	}
 	wg.Wait()
 }
 
-// injectInto drains every ring addressed to shard k, merges the records
-// in (arrival time, source shard, sequence) order, and schedules their
-// deliveries on k's scheduler. Arrival times are never in k's past:
-// records were produced at least one lookahead before their arrival, in
-// the previous window.
-func (w *Sharded) injectInto(k int) {
+// loop is one lane: claim a ready task, execute it outside the lock,
+// publish, repeat; park when nothing is claimable and exit at quiescence
+// (all shards done/frozen, or a Stop drained the claimable set).
+func (e *shardExec) loop(lane int) {
+	e.mu.Lock()
+	for {
+		if k, run := e.claim(lane); k >= 0 {
+			e.active++
+			if k%e.lanes != lane {
+				e.w.cSteals++
+			}
+			e.mu.Unlock()
+			if run {
+				e.runWindow(k)
+			} else {
+				e.drainWindow(k)
+			}
+			e.mu.Lock()
+			e.publish(k, run)
+			e.active--
+			e.cond.Broadcast()
+			continue
+		}
+		if e.active == 0 {
+			// Quiescent: nothing claimable and nothing in flight. Either
+			// every shard is done/frozen or the remainder is blocked on a
+			// frozen shard — both terminal.
+			e.cond.Broadcast()
+			e.mu.Unlock()
+			return
+		}
+		e.cond.Wait()
+	}
+}
+
+// claim scans for a ready task, home shards (k ≡ lane mod lanes) first,
+// then steals. Returns the shard and whether the task is a run (true)
+// or a boundary drain (false); -1 when nothing is ready.
+func (e *shardExec) claim(lane int) (int, bool) {
+	if e.w.stopped.Load() {
+		return -1, false
+	}
+	n := len(e.prog)
+	for pass := 0; pass < 2; pass++ {
+		for k := 0; k < n; k++ {
+			if (pass == 0) != (k%e.lanes == lane) {
+				continue
+			}
+			if e.ready(k) {
+				e.prog[k].claimed = true
+				return k, e.prog[k].drained
+			}
+		}
+	}
+	return -1, false
+}
+
+// ready evaluates the per-pair scoreboard conditions for shard k's next
+// task. For the boundary drain of window w: every source due at w must
+// have completed all windows < w (its records through window w-1 are in
+// the ring). For the run of window w: every destination must have
+// drained past the pair's last due boundary ≤ w, so this run's ring
+// appends cannot race that drain. Both conditions are monotone in the
+// epoch counters, so the set of executable tasks — and therefore the
+// final state — is independent of claim timing and lane count.
+func (e *shardExec) ready(k int) bool {
+	p := &e.prog[k]
+	if p.done || p.frozen || p.claimed {
+		return false
+	}
+	if !p.drained {
+		for _, pr := range e.inPairs[k] {
+			if p.win%pr.period == 0 && e.prog[pr.peer].win < p.win {
+				return false
+			}
+		}
+		return true
+	}
+	for _, pr := range e.outPairs[k] {
+		j := (p.win / pr.period) * pr.period
+		q := &e.prog[pr.peer]
+		if q.win > j || (q.win == j && q.drained) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// drainWindow injects every due ring into shard k at its current window
+// boundary (the due mask row is owned by this task).
+func (e *shardExec) drainWindow(k int) {
+	win := e.prog[k].win
+	mask := e.due[k]
+	for _, pr := range e.inPairs[k] {
+		if win%pr.period == 0 {
+			mask[pr.peer] = true
+		}
+	}
+	e.w.drainRings(k, mask)
+	for i := range mask {
+		mask[i] = false
+	}
+}
+
+// runWindow executes shard k's current window.
+func (e *shardExec) runWindow(k int) {
+	win := e.prog[k].win
+	end := e.deadline
+	if e.width > 0 {
+		if t := e.start + time.Duration(win+1)*e.width; t < end {
+			end = t
+		}
+	}
+	if err := e.w.shards[k].Sched.RunUntil(end); err != nil {
+		e.w.errs[k] = err
+	}
+}
+
+// publish records a completed task on the scoreboard (under mu).
+func (e *shardExec) publish(k int, run bool) {
+	p := &e.prog[k]
+	p.claimed = false
+	if !run {
+		for _, pr := range e.inPairs[k] {
+			if p.win%pr.period == 0 {
+				e.w.cBarrier++
+			}
+		}
+		p.drained = true
+		if e.w.errs[k] != nil { // service-floor violation at inject
+			p.frozen, p.done = true, true
+		}
+		return
+	}
+	e.w.cWindows++
+	if e.w.errs[k] != nil {
+		// The shard's scheduler stopped (or errored) mid-window: freeze
+		// it at that virtual instant. Siblings keep running exactly until
+		// their next synchronization with it — a cut determined by
+		// virtual time and the pair periods, not by lane timing.
+		p.frozen, p.done = true, true
+		return
+	}
+	p.win++
+	p.drained = false
+	if p.win >= e.numWin {
+		p.done = true
+		return
+	}
+	// Idle-pair fast path: boundaries where no inbound pair is due need
+	// no drain task at all.
+	due := false
+	for _, pr := range e.inPairs[k] {
+		if p.win%pr.period == 0 {
+			due = true
+			break
+		}
+	}
+	if !due {
+		p.drained = true
+	}
+}
+
+// drainRings drains rings addressed to shard k — all of them when mask
+// is nil, else exactly the marked sources — merges the records in
+// (arrival time, source shard, sequence) order, and schedules their
+// deliveries on k's scheduler. Arrival times must be at or after k's
+// clock: conservative pair periods guarantee it for honest service
+// floors, and a record landing in k's past is reported as a
+// deterministic violation error on k.
+func (w *Sharded) drainRings(k int, mask []bool) {
 	buf := w.scratch[k][:0]
 	for s := range w.shards {
+		if mask != nil && !mask[s] {
+			continue
+		}
 		r := w.rings[s][k]
 		if r == nil || len(r.recs) == 0 {
 			continue
@@ -300,8 +671,14 @@ func (w *Sharded) injectInto(k int) {
 		return 0
 	})
 	net := w.shards[k]
+	now := net.Sched.Now()
 	for i := range buf {
 		rec := &buf[i]
+		if rec.at < now && w.errs[k] == nil {
+			w.errs[k] = fmt.Errorf(
+				"simnet: cross-shard record from shard %d arrives at %v, before shard %d's clock %v (declared service floor %v is dishonest?)",
+				rec.src, rec.at, k, now, w.floors[rec.src])
+		}
 		d := w.allocXDelivery(k)
 		d.link, d.dst, d.dir = rec.link, rec.dst, rec.dir
 		cp := net.AllocPacket()
@@ -315,6 +692,9 @@ func (w *Sharded) injectInto(k int) {
 }
 
 func (w *Sharded) allocXDelivery(k int) *xDelivery {
+	if w.shards[k].speculative {
+		return &xDelivery{}
+	}
 	free := w.xdFree[k]
 	if n := len(free); n > 0 {
 		d := free[n-1]
@@ -327,7 +707,9 @@ func (w *Sharded) allocXDelivery(k int) *xDelivery {
 // Snapshot captures every shard's registry as one merged snapshot. A
 // one-shard world snapshots its registry unprefixed — identical to the
 // serial path — while multi-shard entries are prefixed "s<k>." and
-// re-sorted, so dumps stay deterministic and diffable.
+// re-sorted, so dumps stay deterministic and diffable. Engine internals
+// (windows, steals, rollbacks) are deliberately absent; see
+// EngineSnapshot.
 func (w *Sharded) Snapshot() metrics.Snapshot {
 	if len(w.shards) == 1 {
 		return w.shards[0].Metrics.Snapshot()

@@ -1,0 +1,329 @@
+package simnet
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Optimistic execution (SetOptimistic) trades conservatism for fewer
+// synchronization episodes: windows optWindowFactor lookaheads wide run
+// speculatively from a copy-on-write world checkpoint, and the engine
+// only pays for mis-speculation when it actually happens. Each window:
+//
+//  1. lane 0 injects every exchange ring, checkpoints the world
+//     (schedulers, in-flight delivery records, link and interface state,
+//     metrics registries, tracers, OnCheckpoint hooks, cross-link state
+//     and ring sequence counters) and marks every shard speculative;
+//  2. all lanes claim shards off an atomic counter and run them to the
+//     window end — speculatively, since records produced by one shard
+//     inside the window cannot reach their destination until the next
+//     boundary, so anything arriving earlier was computed on stale state;
+//  3. lane 0 scans the rings for stragglers — records whose arrival time
+//     lands inside the window just run. None: the window commits and the
+//     checkpoint is dropped. Any: the world rolls back to the checkpoint
+//     and the span replays conservatively in base-lookahead windows with
+//     a full exchange at every boundary, which cannot misspeculate.
+//
+// Lanes meet at a sense-reversing barrier between phases; shared
+// decisions are written by lane 0 in the serial sections and published
+// to the other lanes by the barrier itself.
+//
+// While a shard is speculative its packet and delivery pools are
+// bypassed (allocations come from the heap and frees are dropped), so a
+// rollback never has to reconcile pool membership: the pools are exactly
+// as checkpointed and speculative garbage is left to the GC. Optimistic
+// mode therefore allocates more per event than conservative mode — it
+// pays memory pressure to buy fewer sync episodes, which is only a win
+// when windows usually commit.
+//
+// Results are byte-identical to conservative execution (rollback restores
+// every covered bit, and replay is itself conservative) on worlds whose
+// every stateful component is checkpoint-covered: simnet's own
+// structures, metrics, traces, and workload state registered via
+// Network.OnCheckpoint. Components holding unregistered mutable state
+// would silently survive rollbacks — keep such worlds conservative.
+const optWindowFactor = 4
+
+// senseBarrier is a reusable sense-reversing barrier: waiters flip a
+// shared sense bit each round, so the barrier resets itself without a
+// second rendezvous.
+type senseBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	sense bool
+}
+
+func newSenseBarrier(n int) *senseBarrier {
+	b := &senseBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *senseBarrier) wait() {
+	if b.n == 1 {
+		return
+	}
+	b.mu.Lock()
+	mySense := !b.sense
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.sense = mySense
+		b.cond.Broadcast()
+	} else {
+		for b.sense != mySense {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// worldCkpt is a full restore point for a Sharded world at a window
+// boundary (taken after the boundary exchange, so the rings are empty).
+type worldCkpt struct {
+	nets []*netCheckpoint
+	xl   []xlinkSave
+	xseq []uint64
+}
+
+func (w *Sharded) checkpointWorld() worldCkpt {
+	c := worldCkpt{
+		nets: make([]*netCheckpoint, len(w.shards)),
+		xl:   make([]xlinkSave, len(w.xlinks)),
+		xseq: slices.Clone(w.xseq),
+	}
+	for k, net := range w.shards {
+		c.nets[k] = net.checkpoint()
+	}
+	for i, l := range w.xlinks {
+		c.xl[i] = l.save()
+	}
+	return c
+}
+
+func (w *Sharded) restoreWorld(c worldCkpt) {
+	for k, net := range w.shards {
+		net.restoreCheckpoint(c.nets[k])
+	}
+	for i, l := range w.xlinks {
+		l.restore(c.xl[i])
+	}
+	copy(w.xseq, c.xseq)
+	for s := range w.rings {
+		for d := range w.rings[s] {
+			if r := w.rings[s][d]; r != nil {
+				r.recs = r.recs[:0]
+			}
+		}
+	}
+}
+
+// optState is one optimistic RunUntil. Fields below the barrier are
+// written only by lane 0 in the serial sections between barrier waits.
+type optState struct {
+	w        *Sharded
+	deadline time.Duration
+	base     time.Duration
+	optW     time.Duration
+	lanes    int
+	bar      *senseBarrier
+	claim    atomic.Int32
+
+	T          time.Duration
+	end        time.Duration
+	done       bool
+	rollback   bool
+	replayWins int
+	ck         worldCkpt
+}
+
+// runOptimistic executes [w.now, deadline) speculatively on up to
+// workers lanes. Only called when the world has cross-shard pairs, so
+// the base lookahead is positive.
+func (w *Sharded) runOptimistic(deadline time.Duration, workers int) {
+	n := len(w.shards)
+	lanes := workers
+	if lanes > n {
+		lanes = n
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	st := &optState{
+		w: w, deadline: deadline, base: w.Lookahead(),
+		lanes: lanes, bar: newSenseBarrier(lanes), T: w.now,
+	}
+	st.optW = st.base * optWindowFactor
+	if lanes == 1 {
+		st.lane(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(lanes)
+	for g := 0; g < lanes; g++ {
+		go func(g int) {
+			defer wg.Done()
+			st.lane(g)
+		}(g)
+	}
+	wg.Wait()
+}
+
+// lane is one optimistic worker. Every lane executes the same barrier
+// sequence; lane 0 additionally runs the serial decision points.
+func (st *optState) lane(g int) {
+	for {
+		if g == 0 {
+			st.decide()
+		}
+		st.bar.wait()
+		if st.done {
+			return
+		}
+		st.runShards(g, st.end)
+		st.bar.wait()
+		if g == 0 {
+			st.verdict()
+		}
+		st.bar.wait()
+		if st.rollback {
+			for j := 0; j < st.replayWins; j++ {
+				if g == 0 {
+					st.injectAll()
+					st.claim.Store(0)
+				}
+				st.bar.wait()
+				st.runShards(g, st.replayEnd(j))
+				st.bar.wait()
+			}
+		}
+	}
+}
+
+// decide opens the next window: commit any finished replay, check for
+// termination, then exchange, checkpoint and arm speculation.
+func (st *optState) decide() {
+	w := st.w
+	if st.rollback {
+		// The previous window's replay just finished; commit it.
+		w.cWindows += uint64(len(w.shards) * st.replayWins)
+		st.T = st.end
+		st.rollback = false
+	}
+	if w.stopped.Load() || st.anyErr() || st.T >= st.deadline {
+		st.done = true
+		return
+	}
+	end := st.T + st.optW
+	if end > st.deadline {
+		end = st.deadline
+	}
+	st.end = end
+	st.injectAll()
+	st.ck = w.checkpointWorld()
+	for _, net := range w.shards {
+		net.speculative = true
+	}
+	st.claim.Store(0)
+}
+
+// runShards claims whole shards off the atomic counter and runs each to
+// end. Shards whose scheduler already stopped stay frozen at their stop
+// point. Claims off a lane's home range count as steals.
+func (st *optState) runShards(g int, end time.Duration) {
+	w := st.w
+	for {
+		k := int(st.claim.Add(1)) - 1
+		if k >= len(w.shards) {
+			return
+		}
+		if k%st.lanes != g {
+			atomic.AddUint64(&w.cSteals, 1)
+		}
+		if w.errs[k] != nil {
+			continue
+		}
+		if err := w.shards[k].Sched.RunUntil(end); err != nil {
+			w.errs[k] = err
+		}
+	}
+}
+
+// verdict closes speculation: scan the rings for records that arrive
+// inside the window just run. A straggler means some shard computed on
+// state that should have included it — roll the whole world back and
+// schedule a conservative replay of the span.
+func (st *optState) verdict() {
+	w := st.w
+	for _, net := range w.shards {
+		net.speculative = false
+	}
+	stragglers := 0
+	for s := range w.rings {
+		for d := range w.rings[s] {
+			r := w.rings[s][d]
+			if r == nil {
+				continue
+			}
+			for i := range r.recs {
+				if r.recs[i].at < st.end {
+					stragglers++
+				}
+			}
+		}
+	}
+	if stragglers == 0 {
+		st.ck = worldCkpt{}
+		st.rollback = false
+		w.cWindows += uint64(len(w.shards))
+		st.T = st.end
+		return
+	}
+	w.cStragglers += uint64(stragglers)
+	w.cRollbacks++
+	w.restoreWorld(st.ck)
+	st.ck = worldCkpt{}
+	// Scheduler stops observed speculatively re-fire during replay.
+	for k := range w.errs {
+		w.errs[k] = nil
+	}
+	st.rollback = true
+	st.replayWins = int((st.end - st.T + st.base - 1) / st.base)
+}
+
+// replayEnd bounds replay window j of the conservative replay span.
+func (st *optState) replayEnd(j int) time.Duration {
+	end := st.T + time.Duration(j+1)*st.base
+	if end > st.end {
+		end = st.end
+	}
+	return end
+}
+
+// injectAll performs a full boundary exchange: every ring drains into
+// its destination scheduler. Each live pair counts as one
+// synchronization episode.
+func (st *optState) injectAll() {
+	w := st.w
+	for k := range w.shards {
+		w.drainRings(k, nil)
+		for s := range w.shards {
+			if s != k && w.rings[s][k] != nil {
+				w.cBarrier++
+			}
+		}
+	}
+}
+
+func (st *optState) anyErr() bool {
+	for _, err := range st.w.errs {
+		if err != nil {
+			return true
+		}
+	}
+	return false
+}

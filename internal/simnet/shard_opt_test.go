@@ -1,0 +1,120 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// optRing builds the standard ring world with the test's own mutable
+// state (reply counters) registered for checkpointing, as any stateful
+// component must be before running optimistically.
+func optRing(tb testing.TB, shards, rounds int) *ringWorld {
+	tb.Helper()
+	rw := buildRingWorld(tb, shards, rounds, ringCfg)
+	for k := 0; k < shards; k++ {
+		k := k
+		rw.w.Shard(k).Tracer.EnableExport(1)
+		rw.w.Shard(k).OnCheckpoint(
+			func() any { return rw.got[k] },
+			func(s any) { rw.got[k] = s.(int) },
+		)
+	}
+	return rw
+}
+
+// TestShardedOptimisticGolden: the optimistic executor must produce a
+// world byte-identical to the conservative one — metrics, clocks, event
+// counts and span streams — at any worker count. The ring workload
+// makes replies arrive one link delay after requests the wide window
+// didn't know about, so this run genuinely speculates, rolls back and
+// replays rather than trivially committing.
+func TestShardedOptimisticGolden(t *testing.T) {
+	run := func(optimistic bool, workers int) (string, *Sharded) {
+		rw := optRing(t, 3, 60)
+		rw.w.SetOptimistic(optimistic)
+		if err := rw.w.RunFor(2*time.Second, workers); err != nil {
+			t.Fatal(err)
+		}
+		return rw.digest(), rw.w
+	}
+	want, _ := run(false, 1)
+	for _, workers := range []int{1, 3} {
+		got, w := run(true, workers)
+		if got != want {
+			t.Fatalf("optimistic run diverged at workers=%d:\n--- conservative ---\n%s\n--- optimistic ---\n%s",
+				workers, want, got)
+		}
+		snap := w.EngineSnapshot()
+		if snap.Counter("simnet.shard.rollbacks") == 0 {
+			t.Fatalf("optimistic run never rolled back — speculation untested:\n%s", snap)
+		}
+		if snap.Counter("simnet.shard.stragglers") == 0 {
+			t.Fatalf("rollbacks without stragglers:\n%s", snap)
+		}
+	}
+}
+
+// TestShardedOptimisticResume: chunked optimistic runs seal and resume
+// exactly like conservative ones.
+func TestShardedOptimisticResume(t *testing.T) {
+	want, _ := func() (string, *Sharded) {
+		rw := optRing(t, 3, 40)
+		if err := rw.w.RunFor(2*time.Second, 2); err != nil {
+			t.Fatal(err)
+		}
+		return rw.digest(), rw.w
+	}()
+	rw := optRing(t, 3, 40)
+	rw.w.SetOptimistic(true)
+	for i := 0; i < 8; i++ {
+		if err := rw.w.RunFor(250*time.Millisecond, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rw.digest(); got != want {
+		t.Fatalf("chunked optimistic run diverged:\n--- conservative ---\n%s\n--- optimistic x8 ---\n%s", want, got)
+	}
+}
+
+// TestShardedOptimisticSingleShard: a world with no cross-shard pairs
+// never speculates — the optimistic flag must be a no-op.
+func TestShardedOptimisticSingleShard(t *testing.T) {
+	build := func(optimistic bool) *Sharded {
+		net := NewNetwork(NewScheduler(7))
+		a := net.NewNode("a")
+		b := net.NewNode("b")
+		l := Connect(a, b, LinkConfig{Name: "ab", Rate: 10 * Mbps, Delay: time.Millisecond})
+		a.SetDefaultRoute(l.IfaceA())
+		b.SetDefaultRoute(l.IfaceB())
+		ub := UDPOf(b)
+		if err := ub.Listen(echoPort, func(from Addr, body any, bytes int) {
+			ub.Send(echoPort, from, body, bytes)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ua := UDPOf(a)
+		port := ua.ListenAny(func(from Addr, body any, bytes int) {})
+		for i := 0; i < 20; i++ {
+			net.Sched.At(time.Duration(i)*5*time.Millisecond, func() {
+				ua.Send(port, Addr{Node: b.ID, Port: echoPort}, nil, 64)
+			})
+		}
+		w := WrapNetwork(net)
+		w.SetOptimistic(optimistic)
+		return w
+	}
+	cons := build(false)
+	opt := build(true)
+	if err := cons.RunFor(time.Second, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.RunFor(time.Second, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := opt.Snapshot().String(), cons.Snapshot().String(); got != want {
+		t.Fatalf("optimistic flag changed a single-shard world:\n--- off ---\n%s\n--- on ---\n%s", want, got)
+	}
+	if opt.EngineSnapshot().Counter("simnet.shard.rollbacks") != 0 {
+		t.Fatal("single-shard world rolled back")
+	}
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"mcommerce/internal/metrics"
@@ -115,6 +116,16 @@ func NewFlows(nd *simnet.Node, name string, cfg FlowConfig) (*Flows, error) {
 		think := time.Duration(sched.Rand().ExpFloat64() * float64(cfg.ThinkMean))
 		sched.AfterCall(cfg.Start+think, flowFire, st)
 	}
+	// Station records mutate as operations progress (pending flags, sent
+	// times, timeout handles), so optimistic rollbacks must restore them.
+	// The slice itself never reallocates — timers hold interior pointers —
+	// so restore copies element-wise into the same backing array. The ops
+	// and timeout counters are alias-registered and covered by the
+	// registry checkpoint.
+	nd.Network().OnCheckpoint(
+		func() any { return slices.Clone(f.stations) },
+		func(s any) { copy(f.stations, s.([]flowStation)) },
+	)
 	return f, nil
 }
 
@@ -186,6 +197,36 @@ func ServeEcho(nd *simnet.Node, name string, respBytes int) (*Echo, error) {
 	if err := u.Listen(EchoPort, func(from simnet.Addr, body any, bytes int) {
 		e.Served++
 		u.Send(EchoPort, from, nil, respBytes)
+	}); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ServeEchoDelayed binds an echo service on EchoPort that answers a fixed
+// service time after each request, modeling the paper's gateway
+// processing delay. Pairing it with Sharded.SetServiceFloor lets a
+// server shard widen its outbound exchange periods — but whether a given
+// floor is honest depends on where the delayed replies land inside those
+// periods (a reply timer crossing a period boundary emits early in the
+// next one); the engine verifies every drained record and fails
+// deterministically on a violation, so a bad combination is caught, not
+// silently wrong. The reply closure captures only immutable values, so
+// rollback replays re-execute it identically.
+func ServeEchoDelayed(nd *simnet.Node, name string, respBytes int, delay time.Duration) (*Echo, error) {
+	if delay <= 0 {
+		return nil, fmt.Errorf("workload: delayed echo %q needs delay > 0", name)
+	}
+	e := &Echo{}
+	u := simnet.UDPOf(nd)
+	nd.Network().Metrics.Instance("workload.echo."+metrics.Sanitize(name)).AliasCounter("served", &e.Served)
+	sched := nd.Sched()
+	if err := u.Listen(EchoPort, func(from simnet.Addr, body any, bytes int) {
+		e.Served++
+		reply := from
+		sched.AfterCall(delay, func(any) {
+			u.Send(EchoPort, reply, nil, respBytes)
+		}, nil)
 	}); err != nil {
 		return nil, err
 	}

@@ -9,6 +9,13 @@
 #
 # The raw text stream is echoed to stderr as it arrives, so a long run
 # shows progress. BENCH_COUNT overrides -count, BENCH_TIME -benchtime.
+#
+# BenchmarkShardedSweep contributes the multi-core scaling grid
+# (GOMAXPROCS x worker lanes x conservative/optimistic); benchjson
+# derives speedups_vs_1_lane from its events_per_sec entries and sets a
+# top-level warning when the host reports a single core, so a recorded
+# trajectory point is never mistaken for a parallel-speedup measurement
+# it cannot be.
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -29,6 +29,11 @@ type Entry struct {
 	N       int64              `json:"n"`
 	NsPerOp float64            `json:"ns_per_op"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Maxprocs and Cores carry the GOMAXPROCS-sweep context of entries
+	// that report them (BenchmarkShardedSweep), so a scaling table can be
+	// cut from the document without re-deriving it from metric maps.
+	Maxprocs int `json:"maxprocs,omitempty"`
+	Cores    int `json:"cores,omitempty"`
 }
 
 // Doc is the whole document.
@@ -37,6 +42,13 @@ type Doc struct {
 	Goarch  string  `json:"goarch,omitempty"`
 	CPU     string  `json:"cpu,omitempty"`
 	Entries []Entry `json:"benchmarks"`
+	// Warning is set when the benchmarks reported a single-core host:
+	// lane-count ratios then measure engine overhead, not parallel
+	// speedup, and must not be read as multi-core scaling.
+	Warning string `json:"warning,omitempty"`
+	// Speedups maps "pkg name" of each lanes>1 sweep entry to its mean
+	// events_per_sec divided by the matching lanes1 baseline's.
+	Speedups map[string]float64 `json:"speedups_vs_1_lane,omitempty"`
 }
 
 func main() {
@@ -77,7 +89,56 @@ func parse(sc *bufio.Scanner) (*Doc, error) {
 			doc.Entries = append(doc.Entries, e)
 		}
 	}
+	derive(doc)
 	return doc, sc.Err()
+}
+
+// derive fills the sweep context fields, the single-core warning and the
+// per-lane speedup ratios from the parsed entries.
+func derive(doc *Doc) {
+	rates := map[string][]float64{} // "pkg name" -> events_per_sec samples
+	for i := range doc.Entries {
+		e := &doc.Entries[i]
+		if v, ok := e.Metrics["maxprocs"]; ok {
+			e.Maxprocs = int(v)
+		}
+		if v, ok := e.Metrics["cores"]; ok {
+			e.Cores = int(v)
+			if e.Cores == 1 && doc.Warning == "" {
+				doc.Warning = "host has a single CPU core: lane-count ratios measure engine overhead, not parallel speedup"
+			}
+		}
+		if v, ok := e.Metrics["events_per_sec"]; ok {
+			key := e.Pkg + " " + e.Name
+			rates[key] = append(rates[key], v)
+		}
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	for key, xs := range rates {
+		i := strings.Index(key, "lanes")
+		if i < 0 {
+			continue
+		}
+		j := i + len("lanes")
+		for j < len(key) && key[j] >= '0' && key[j] <= '9' {
+			j++
+		}
+		baseKey := key[:i] + "lanes1" + key[j:]
+		base, ok := rates[baseKey]
+		if baseKey == key || !ok || mean(base) == 0 {
+			continue
+		}
+		if doc.Speedups == nil {
+			doc.Speedups = map[string]float64{}
+		}
+		doc.Speedups[key] = mean(xs) / mean(base)
+	}
 }
 
 // parseLine parses one "BenchmarkFoo/sub-8  N  v unit  v unit ..." line.

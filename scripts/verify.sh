@@ -5,9 +5,10 @@
 # and a chaos smoke run (small faulted scenario at a fixed seed), plus
 # determinism smokes: two same-seed -metrics dumps and two same-seed
 # -trace Perfetto exports must each be byte-identical, the trace
-# export must be structurally valid trace-event JSON, and a sharded
-# mcload -scale run (-shards 4) must be byte-identical to the serial
-# (-shards 1) run at the same seed.
+# export must be structurally valid trace-event JSON, and sharded
+# mcload -scale runs (-shards 4, conservative and -optimistic) must be
+# byte-identical to the serial (-shards 1) run at the same seed, as must
+# a sharded -optimistic mcsim run against its serial baseline.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -37,9 +38,21 @@ rm -f /tmp/mc-trace-a.json /tmp/mc-trace-b.json
 # seed on the mcload -scale surface (wall-clock goes to stderr, so
 # stdout is directly comparable).
 go test -race -run 'TestShardedRaceOwnership' ./internal/simnet
+# The relaxed scoreboard, work-stealing and optimistic rollback paths
+# under the race detector (8-shard steal test, Stop mid-window, and the
+# optimistic golden equivalences).
+go test -race -run 'TestShardedEightShardSteals|TestShardedStopDuringRun|TestShardedOptimistic' \
+	./internal/simnet
 go run ./cmd/mcload -scale -seed 7 -gateways 3 -cells 2 -stations 20 \
 	-duration 5s -think 300ms -metrics -shards 1 >/tmp/mc-scale-a.txt 2>/dev/null
 go run ./cmd/mcload -scale -seed 7 -gateways 3 -cells 2 -stations 20 \
 	-duration 5s -think 300ms -metrics -shards 4 >/tmp/mc-scale-b.txt 2>/dev/null
 cmp /tmp/mc-scale-a.txt /tmp/mc-scale-b.txt
-rm -f /tmp/mc-scale-a.txt /tmp/mc-scale-b.txt
+go run ./cmd/mcload -scale -seed 7 -gateways 3 -cells 2 -stations 20 \
+	-duration 5s -think 300ms -metrics -shards 4 -optimistic >/tmp/mc-scale-c.txt 2>/dev/null
+cmp /tmp/mc-scale-a.txt /tmp/mc-scale-c.txt
+rm -f /tmp/mc-scale-a.txt /tmp/mc-scale-b.txt /tmp/mc-scale-c.txt
+go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics >/tmp/mc-sim-a.txt 2>/dev/null
+go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics -optimistic >/tmp/mc-sim-b.txt 2>/dev/null
+cmp /tmp/mc-sim-a.txt /tmp/mc-sim-b.txt
+rm -f /tmp/mc-sim-a.txt /tmp/mc-sim-b.txt
