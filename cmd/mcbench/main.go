@@ -69,6 +69,7 @@ func run(args []string) error {
 		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
 	}
 	experiments.ScaleWorkers = *shards
+	experiments.SyncStormWorkers = *shards
 	experiments.ScaleOptimistic = *optimistic
 	if err := prof.Start(); err != nil {
 		return err

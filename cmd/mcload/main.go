@@ -29,11 +29,22 @@
 // executor to speculative windows with checkpoint/rollback; results stay
 // byte-identical to the conservative run. Engine internals (window,
 // synchronization, steal and rollback counters) go to stderr.
+//
+// With -sync, mcload runs the replicated data tier storm instead:
+// -gateways clusters each carry a primary plus -replicas replica members
+// (log-shipping replication with quorum acks and lease failover) and
+// -cells cells of -devices virtual disconnected devices
+// (workload.SyncFlows) writing tentatively and syncing under the chaos
+// plan. -policy picks the server conflict rule; -fragile makes devices
+// roll back tentative writes on timeout — the lost-update baseline.
+// Stdout (totals, lost-update count, convergence, state digest) is
+// byte-identical at any -shards value, which verify.sh checks.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"strings"
@@ -43,6 +54,7 @@ import (
 	"mcommerce/internal/core"
 	"mcommerce/internal/device"
 	"mcommerce/internal/experiments"
+	"mcommerce/internal/mobiledb"
 	"mcommerce/internal/trace"
 	"mcommerce/internal/wireless"
 	"mcommerce/internal/workload"
@@ -67,6 +79,14 @@ func run(args []string, w io.Writer) error {
 	traceFile := fs.String("trace", "", "write sampled operations as a Chrome trace-event (Perfetto) JSON file and print a critical-path table")
 	traceSample := fs.Int("trace-sample", 1, "with -trace, keep every Nth operation (deterministic 1-in-N sampling by trace ID)")
 	scale := fs.Bool("scale", false, "run the sharded scale tier (virtual stations on cell aggregators) instead of the full-fidelity deployment")
+	sync := fs.Bool("sync", false, "run the replicated data tier storm: virtual disconnected devices syncing to per-cluster replica groups under the chaos plan")
+	devices := fs.Int("devices", 100, "with -sync, virtual devices per cell")
+	replicas := fs.Int("replicas", 2, "with -sync, replica nodes beside each cluster's primary")
+	policy := fs.String("policy", "lww", "with -sync, server conflict policy: lww, server-wins, merge, fragile")
+	fragile := fs.Bool("fragile", false, "with -sync, devices roll back tentative writes on timeout (the lost-update baseline)")
+	noChaos := fs.Bool("no-chaos", false, "with -sync, skip the per-cluster fault plan")
+	writeMean := fs.Duration("write-mean", 2*time.Second, "with -sync, mean gap between a device's disconnected writes")
+	syncMean := fs.Duration("sync-mean", 4*time.Second, "with -sync, mean gap between a device's sync attempts")
 	gateways := fs.Int("gateways", 4, "with -scale, number of gateway clusters")
 	cells := fs.Int("cells", 2, "with -scale, cell aggregator nodes per cluster")
 	stations := fs.Int("stations", 50, "with -scale, virtual stations per cell")
@@ -88,6 +108,19 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	defer prof.Stop()
+	if *sync {
+		pol, err := mobiledb.ParsePolicy(*policy)
+		if err != nil {
+			return err
+		}
+		return runSync(syncOpts{
+			seed: *seed, gateways: *gateways, cells: *cells, devices: *devices,
+			replicas: *replicas, remote: *remote, shards: *shards,
+			policy: pol, fragile: *fragile, noChaos: *noChaos,
+			writeMean: *writeMean, syncMean: *syncMean,
+			duration: *duration, metrics: *withMetrics,
+		}, w)
+	}
 	if *scale {
 		return runScale(scaleOpts{
 			seed: *seed, gateways: *gateways, cells: *cells, stations: *stations,
@@ -215,6 +248,71 @@ func runScale(o scaleOpts, w io.Writer) error {
 			return err
 		}
 	}
+	if o.metrics {
+		snap := sw.World.Snapshot()
+		fmt.Fprintf(w, "\ntelemetry registry (%d metrics):\n", len(snap.Entries))
+		return snap.WriteText(w)
+	}
+	return nil
+}
+
+// syncOpts is the resolved -sync flag set.
+type syncOpts struct {
+	seed                      int64
+	gateways, cells, devices  int
+	replicas, remote, shards  int
+	policy                    mobiledb.Policy
+	fragile, noChaos, metrics bool
+	writeMean, syncMean       time.Duration
+	duration                  time.Duration
+}
+
+// runSync builds and runs the replicated data tier storm. Stdout is
+// deterministic per seed and invariant to o.shards (the verify script
+// compares serial and sharded runs byte for byte); wall-clock and engine
+// internals go to stderr.
+func runSync(o syncOpts, w io.Writer) error {
+	sw, err := experiments.BuildSyncStorm(experiments.SyncStormConfig{
+		Seed:            o.seed,
+		Gateways:        o.gateways,
+		CellsPerGateway: o.cells,
+		DevicesPerCell:  o.devices,
+		Replicas:        o.replicas,
+		RemotePerMille:  o.remote,
+		Policy:          o.policy,
+		Fragile:         o.fragile,
+		NoChaos:         o.noChaos,
+		WriteMean:       o.writeMean,
+		SyncMean:        o.syncMean,
+		Duration:        o.duration,
+		Workers:         o.shards,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rep, err := sw.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wall: %v (%d worker lanes)\n", time.Since(start).Round(time.Millisecond), o.shards)
+
+	fmt.Fprintf(w, "syncstorm: %d clusters x %d cells x %d devices = %d devices, %d-way replication, policy %s\n",
+		o.gateways, o.cells, o.devices, rep.Devices, o.replicas+1, o.policy)
+	fmt.Fprintf(w, "writes=%d syncs=%d confirmed=%d overridden=%d\n",
+		rep.Writes, rep.Syncs, rep.Confirmed, rep.Overridden)
+	fmt.Fprintf(w, "conflicts=%d merges=%d duplicates=%d timeouts=%d redirects=%d faults=%d\n",
+		rep.Conflicts, rep.Merges, rep.Duplicates, rep.Timeouts, rep.Redirects, rep.Faults)
+	fmt.Fprintf(w, "lost=%d (device rollbacks %d + blind overwrites %d)\n",
+		rep.Lost(), rep.LostDevice, rep.BlindOverwrites)
+	if rep.Converged {
+		fmt.Fprintf(w, "converged: yes, %v after the horizon\n", rep.ConvergeAfter)
+	} else {
+		fmt.Fprintln(w, "converged: NO within the grace window")
+	}
+	h := fnv.New64a()
+	io.WriteString(h, sw.Digest())
+	fmt.Fprintf(w, "digest: %016x\n", h.Sum64())
 	if o.metrics {
 		snap := sw.World.Snapshot()
 		fmt.Fprintf(w, "\ntelemetry registry (%d metrics):\n", len(snap.Entries))

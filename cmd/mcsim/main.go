@@ -8,6 +8,7 @@
 //	      [-cell gprs|edge|gsm|cdma|cdma2000|wcdma] [-middleware wap|imode]
 //	      [-clients N] [-rounds N] [-seed N] [-replicas R] [-parallel N] [-faults]
 //	      [-metrics] [-metrics-format text|csv] [-shards N] [-optimistic]
+//	      [-db-replicas N]
 //	      [-trace out.json] [-trace-sample N]
 //	      [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //
@@ -34,6 +35,15 @@
 // wap.wtp.gateway.retransmits, ...). The dump is deterministic per seed —
 // two runs at the same seed produce byte-identical trees. -metrics-format
 // csv emits the same entries as CSV for scripting.
+//
+// With -db-replicas N > 0, the host computer's database gets a replicated
+// data tier (internal/repl behind core.BuildDataTier): N replica nodes
+// hang off the wired router beside the primary on the host node, the
+// primary ships its WAL to them with quorum commit and lease failover,
+// and the report gains a data-tier line (members, leader, commit index,
+// convergence). Replication traffic rides the same simulated links as
+// everything else, so it is delayed, dropped and traced like any other
+// flow.
 //
 // With -faults, the default chaos plan (see internal/faults) runs against
 // the deployment during the workload: WAN flap, brownout, gateway and host
@@ -87,6 +97,7 @@ type scenario struct {
 	packetTrace bool
 	clients     int
 	rounds      int
+	dbReplicas  int
 	shards      int
 	optimistic  bool
 	faults      bool
@@ -111,6 +122,7 @@ func run(args []string) error {
 	withFaults := fs.Bool("faults", false, "inject the default fault plan (link flaps, brownout, gateway and host crashes, partition) during the run")
 	withMetrics := fs.Bool("metrics", false, "dump the full telemetry registry (every layer's counters, gauges and latency histograms) after the run")
 	metricsFormat := fs.String("metrics-format", "text", "telemetry dump format: text or csv")
+	dbReplicas := fs.Int("db-replicas", 0, "attach a replicated data tier with this many replicas beside the primary (0 = no data tier)")
 	shards := fs.Int("shards", 1, "worker lanes for the sharded executor (output is byte-identical at any value)")
 	optimistic := fs.Bool("optimistic", false, "use the optimistic executor (a one-shard world never speculates, so output is identical; the flag mirrors mcload)")
 	profiles := experiments.AddProfileFlags(fs)
@@ -141,8 +153,9 @@ func run(args []string) error {
 
 	sc := scenario{
 		middleware: *middleware, clients: *clients, rounds: *rounds, shards: *shards,
+		dbReplicas: *dbReplicas,
 		optimistic: *optimistic,
-		traceFile: *traceFile, traceSample: *traceSample, packetTrace: *packetTrace,
+		traceFile:  *traceFile, traceSample: *traceSample, packetTrace: *packetTrace,
 		faults:  *withFaults,
 		metrics: *withMetrics, metricsCSV: strings.EqualFold(*metricsFormat, "csv"),
 	}
@@ -196,7 +209,7 @@ func run(args []string) error {
 // runOne builds the scenario's system at the given seed, drives the
 // workload and writes the report to w.
 func runOne(sc scenario, seed int64, w io.Writer) error {
-	cfg := core.MCConfig{Seed: seed, Bearer: sc.bearer, WLANStandard: sc.wlan, CellStandard: sc.cell}
+	cfg := core.MCConfig{Seed: seed, Bearer: sc.bearer, WLANStandard: sc.wlan, CellStandard: sc.cell, DBReplicas: sc.dbReplicas}
 	profiles := device.Profiles()
 	for i := 0; i < sc.clients; i++ {
 		cfg.Devices = append(cfg.Devices, profiles[i%len(profiles)])
@@ -341,6 +354,15 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 	commits, aborts, conflicts := mc.Host.DB.Stats()
 	fmt.Fprintf(w, "  database server: commits=%d aborts=%d lockConflicts=%d tables=%d\n",
 		commits, aborts, conflicts, len(mc.Host.DB.Tables()))
+	if dt := mc.DataTier; dt != nil {
+		leader := -1
+		commit, term := 0, 0
+		if p := dt.Primary(); p != nil {
+			leader, commit, term = p.Leader(), p.Commit(), p.Term()
+		}
+		fmt.Fprintf(w, "  data tier: members=%d leader=%d commit=%d term=%d converged=%v\n",
+			len(dt.Members), leader, commit, term, dt.Converged())
+	}
 	for _, cl := range mc.Clients {
 		fmt.Fprintf(w, "  station %-24s battery %.4f%% used, free RAM %d MB\n",
 			cl.Station.Name()+":", (1-cl.Station.Battery())*100, cl.Station.FreeRAM()>>20)

@@ -9,6 +9,7 @@ import (
 	"mcommerce/internal/device"
 	"mcommerce/internal/imode"
 	"mcommerce/internal/metrics"
+	"mcommerce/internal/mobiledb"
 	"mcommerce/internal/mtcp"
 	"mcommerce/internal/simnet"
 	"mcommerce/internal/trace"
@@ -57,6 +58,13 @@ type MCConfig struct {
 	WiredLAN, WiredWAN *simnet.LinkConfig
 	// TokenKey seeds the host's token authority.
 	TokenKey []byte
+	// DBReplicas attaches a replicated data tier: that many replica nodes
+	// beside the primary member on the host node (the cluster has
+	// DBReplicas+1 members). Zero means no data tier.
+	DBReplicas int
+	// DBPolicy is the data tier's conflict-resolution rule (zero value is
+	// last-writer-wins). Only meaningful with DBReplicas > 0.
+	DBPolicy mobiledb.Policy
 }
 
 // MobileClient is one mobile station inside a built MC system, with its
@@ -104,6 +112,7 @@ type MC struct {
 	Sys *System
 
 	Host        *Host
+	DataTier    *DataTier // nil unless MCConfig.DBReplicas > 0
 	GatewayNode *simnet.Node
 	RouterNode  *simnet.Node
 	WAP         *wap.Gateway
@@ -201,6 +210,23 @@ func buildMCOn(net *simnet.Network, cfg MCConfig) (*MC, error) {
 	mc.RouterNode = router
 	mc.LANLink = lan
 	mc.WANLink = wan
+
+	// Replicated data tier: primary member on the host node, replicas
+	// behind the router. Stations reach any member's sync endpoint through
+	// the gateway.
+	if cfg.DBReplicas > 0 {
+		dt, err := BuildDataTier(net, host.Node, router, DataTierConfig{
+			Replicas: cfg.DBReplicas,
+			Policy:   cfg.DBPolicy,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: data tier: %w", err)
+		}
+		for _, nd := range dt.Nodes {
+			gw.SetRoute(nd.ID, wan.IfaceB())
+		}
+		mc.DataTier = dt
+	}
 
 	// Mobile middleware on the gateway node.
 	gwStack, err := mtcp.NewStack(gw)

@@ -25,11 +25,12 @@ type rowLock struct {
 
 // DB is the embedded database engine.
 type DB struct {
-	mu      sync.Mutex
-	tables  map[string]*table
-	nextTx  uint64
-	wal     []LogRecord
-	walSink *WALWriter
+	mu       sync.Mutex
+	tables   map[string]*table
+	nextTx   uint64
+	wal      []LogRecord
+	walSink  *WALWriter
+	onCommit func(rec LogRecord, walLen int)
 
 	// Stats
 	commits, aborts, conflicts uint64
@@ -48,10 +49,25 @@ func (db *DB) Stats() (commits, aborts, conflicts uint64) {
 }
 
 // CreateTable declares a table. key names the primary-key column, which
-// must exist in the schema and be a string or int column.
+// must exist in the schema and be a string or int column. The declaration
+// is logged as an auto-committed OpCreate record, so a WAL replay (or a
+// replica applying shipped records) reconstructs the schema without an
+// out-of-band declare step.
 func (db *DB) CreateTable(name string, schema Schema, key string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.createTable(name, schema, key); err != nil {
+		return err
+	}
+	rec := LogRecord{Ops: []Op{{
+		Kind: OpCreate, Table: name,
+		Schema: db.tables[name].schema, PK: key,
+	}}}
+	return db.appendRecord(rec)
+}
+
+// createTable declares a table in memory. Caller holds db.mu.
+func (db *DB) createTable(name string, schema Schema, key string) error {
 	if _, ok := db.tables[name]; ok {
 		return fmt.Errorf("%w: table %q", ErrExists, name)
 	}
@@ -77,6 +93,20 @@ func (db *DB) CreateTable(name string, schema Schema, key string) error {
 		locks:  make(map[any]*rowLock),
 	}
 	return nil
+}
+
+// appendRecord adds a record to the in-memory WAL, the durable sink and
+// the commit hook, in that order. Caller holds db.mu.
+func (db *DB) appendRecord(rec LogRecord) error {
+	db.wal = append(db.wal, rec)
+	var err error
+	if db.walSink != nil {
+		err = db.walSink.write(rec)
+	}
+	if db.onCommit != nil {
+		db.onCommit(rec, len(db.wal))
+	}
+	return err
 }
 
 // Tables lists table names in sorted order.
@@ -108,6 +138,9 @@ const (
 	OpInsert OpKind = iota + 1
 	OpUpdate
 	OpDelete
+	// OpCreate is a DDL record: CreateTable logged so that replaying the
+	// WAL alone reconstructs schema as well as rows.
+	OpCreate
 )
 
 // Op is one logged mutation.
@@ -115,7 +148,10 @@ type Op struct {
 	Kind  OpKind
 	Table string
 	Key   any
-	Row   Row // nil for deletes
+	Row   Row // nil for deletes and DDL
+	// DDL payload, set only for OpCreate.
+	Schema Schema
+	PK     string
 }
 
 // LogRecord is one committed transaction in the write-ahead log.
@@ -125,29 +161,166 @@ type LogRecord struct {
 }
 
 // Recover rebuilds a database from table declarations plus a committed log.
-// The declare function must create the same tables as the original; the log
-// is then replayed in order.
+// The declare function must create the same tables as the original (it may
+// be nil when the log itself carries the OpCreate DDL records, as every log
+// written since schema logging does); the log is then replayed in order.
 func Recover(declare func(*DB) error, wal []LogRecord) (*DB, error) {
 	db := New()
-	if err := declare(db); err != nil {
-		return nil, fmt.Errorf("database: recovery declare: %w", err)
+	if declare != nil {
+		if err := declare(db); err != nil {
+			return nil, fmt.Errorf("database: recovery declare: %w", err)
+		}
 	}
+	// Tables made by declare logged their own OpCreate records; drop them
+	// so the replayed log below is the only history the database carries.
+	db.wal = nil
 	for _, rec := range wal {
-		for _, op := range rec.Ops {
-			t, ok := db.tables[op.Table]
-			if !ok {
-				return nil, fmt.Errorf("database: recovery: %w: table %q", ErrNotFound, op.Table)
-			}
-			switch op.Kind {
-			case OpInsert, OpUpdate:
-				t.rows[op.Key] = op.Row.Clone()
-			case OpDelete:
-				delete(t.rows, op.Key)
-			}
+		if err := db.applyOps(rec.Ops); err != nil {
+			return nil, fmt.Errorf("database: recovery: %w", err)
 		}
 		db.wal = append(db.wal, rec)
+		if rec.TxID > db.nextTx {
+			db.nextTx = rec.TxID
+		}
 	}
 	return db, nil
+}
+
+// applyOps replays one record's operations into the tables. OpCreate on an
+// already-declared table is idempotent (the declare function and the log
+// may both carry the schema). Caller holds db.mu or owns the DB solely.
+func (db *DB) applyOps(ops []Op) error {
+	for _, op := range ops {
+		if op.Kind == OpCreate {
+			if err := db.createTable(op.Table, op.Schema, op.PK); err != nil && !errors.Is(err, ErrExists) {
+				return err
+			}
+			continue
+		}
+		t, ok := db.tables[op.Table]
+		if !ok {
+			return fmt.Errorf("%w: table %q", ErrNotFound, op.Table)
+		}
+		switch op.Kind {
+		case OpInsert, OpUpdate:
+			t.rows[op.Key] = op.Row.Clone()
+		case OpDelete:
+			delete(t.rows, op.Key)
+		}
+	}
+	return nil
+}
+
+// ApplyRecord installs one replicated log record: its operations execute
+// directly (no locks — the caller is a replica with no local writers),
+// the record is appended to the WAL and streamed to the durable sink.
+// TxIDs advance so a replica promoted to primary continues the sequence.
+func (db *DB) ApplyRecord(rec LogRecord) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.applyOps(rec.Ops); err != nil {
+		return err
+	}
+	if rec.TxID > db.nextTx {
+		db.nextTx = rec.TxID
+	}
+	return db.appendRecord(rec)
+}
+
+// ResetTo rebuilds the database in place from a log prefix: all tables and
+// rows are discarded and the given records replay from scratch (their
+// OpCreate DDL records recreate the schema). This is the truncate-to-commit
+// step a replica takes when a new primary's history supersedes its own
+// un-acknowledged tail. A durable sink, if attached, is detached — the old
+// stream no longer matches — and must be re-attached by the caller.
+func (db *DB) ResetTo(wal []LogRecord) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables = make(map[string]*table)
+	db.walSink = nil
+	db.wal = nil
+	db.nextTx = 0
+	for _, rec := range wal {
+		if err := db.applyOps(rec.Ops); err != nil {
+			return fmt.Errorf("database: reset: %w", err)
+		}
+		db.wal = append(db.wal, rec)
+		if rec.TxID > db.nextTx {
+			db.nextTx = rec.TxID
+		}
+	}
+	return nil
+}
+
+// WALLen reports the number of committed records without copying the log.
+func (db *DB) WALLen() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.wal)
+}
+
+// WALRange copies records [from, to) of the committed log; the bounds are
+// clamped. Records are shared structure — callers must treat them as
+// immutable (the replication layer ships them over simnet links, where
+// bodies must never be mutated after send).
+func (db *DB) WALRange(from, to int) []LogRecord {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if to > len(db.wal) {
+		to = len(db.wal)
+	}
+	if from >= to {
+		return nil
+	}
+	out := make([]LogRecord, to-from)
+	copy(out, db.wal[from:to])
+	return out
+}
+
+// OnCommit registers fn, called after every WAL append (transaction
+// commits and DDL) with the record and the new log length. It runs with
+// the database lock held: fn must not call back into the database — hand
+// the record off (e.g. schedule a replication ship) and return.
+func (db *DB) OnCommit(fn func(rec LogRecord, walLen int)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.onCommit = fn
+}
+
+// Dump renders the full database state canonically: tables in sorted
+// order, rows in primary-key order, columns in schema order. Two databases
+// with identical logical state produce byte-identical dumps, which is how
+// the replication experiments pin convergence.
+func (db *DB) Dump() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b []byte
+	for _, n := range names {
+		t := db.tables[n]
+		b = fmt.Appendf(b, "table %s key=%s rows=%d\n", n, t.key, len(t.rows))
+		keys := make([]any, 0, len(t.rows))
+		for k := range t.rows {
+			keys = append(keys, k)
+		}
+		sortKeys(keys)
+		for _, k := range keys {
+			row := t.rows[k]
+			b = fmt.Appendf(b, "  %v:", k)
+			for _, col := range t.schema {
+				b = fmt.Appendf(b, " %s=%v", col.Name, row[col.Name])
+			}
+			b = append(b, '\n')
+		}
+	}
+	return string(b)
 }
 
 // Begin starts a transaction.
@@ -460,15 +633,12 @@ func (tx *Tx) Commit() error {
 		}
 	}
 	if len(rec.Ops) > 0 {
-		tx.db.wal = append(tx.db.wal, rec)
-		if tx.db.walSink != nil {
-			if err := tx.db.walSink.write(rec); err != nil {
-				// The in-memory state is already updated; surface the
-				// durability failure to the committer.
-				tx.release()
-				tx.db.commits++
-				return err
-			}
+		if err := tx.db.appendRecord(rec); err != nil {
+			// The in-memory state is already updated; surface the
+			// durability failure to the committer.
+			tx.release()
+			tx.db.commits++
+			return err
 		}
 	}
 	tx.release()

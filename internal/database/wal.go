@@ -1,6 +1,7 @@
 package database
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -19,12 +20,15 @@ type walRecord struct {
 }
 
 // walOp flattens Op for gob (the Row's any-typed values are concrete
-// string/int64/float64/bool/[]byte, all gob-encodable).
+// string/int64/float64/bool/[]byte, all gob-encodable). Schema and PK
+// carry OpCreate DDL records so a bare stream reconstructs tables.
 type walOp struct {
-	Kind  OpKind
-	Table string
-	Key   any
-	Row   Row
+	Kind   OpKind
+	Table  string
+	Key    any
+	Row    Row
+	Schema Schema
+	PK     string
 }
 
 // WALWriter streams committed transactions to w as they commit. Attach at
@@ -66,13 +70,22 @@ func (ww *WALWriter) write(rec LogRecord) error {
 	}
 	out := walRecord{TxID: rec.TxID, Ops: make([]walOp, len(rec.Ops))}
 	for i, op := range rec.Ops {
-		out.Ops[i] = walOp{Kind: op.Kind, Table: op.Table, Key: op.Key, Row: op.Row}
+		out.Ops[i] = walOp{Kind: op.Kind, Table: op.Table, Key: op.Key, Row: op.Row, Schema: op.Schema, PK: op.PK}
 	}
 	if err := ww.enc.Encode(&out); err != nil {
 		ww.err = fmt.Errorf("database: wal write: %w", err)
 		return ww.err
 	}
 	return nil
+}
+
+// decodeRecord converts the on-disk framing back to a LogRecord.
+func decodeRecord(rec walRecord) LogRecord {
+	lr := LogRecord{TxID: rec.TxID, Ops: make([]Op, len(rec.Ops))}
+	for i, op := range rec.Ops {
+		lr.Ops[i] = Op{Kind: op.Kind, Table: op.Table, Key: op.Key, Row: op.Row, Schema: op.Schema, PK: op.PK}
+	}
+	return lr
 }
 
 // ReadWAL decodes a WAL stream back into log records. A truncated tail
@@ -90,11 +103,36 @@ func ReadWAL(r io.Reader) ([]LogRecord, error) {
 		if err != nil {
 			return out, fmt.Errorf("%w: %v", ErrTruncatedWAL, err)
 		}
-		lr := LogRecord{TxID: rec.TxID, Ops: make([]Op, len(rec.Ops))}
-		for i, op := range rec.Ops {
-			lr.Ops[i] = Op{Kind: op.Kind, Table: op.Table, Key: op.Key, Row: op.Row}
+		out = append(out, decodeRecord(rec))
+	}
+}
+
+// ReadWALPrefix decodes a WAL byte image and reports the exact byte length
+// of the valid prefix: the offset just past the last complete record.
+// Truncating the file to that offset yields a stream a fresh WALWriter can
+// NOT be appended to (gob streams are writer-scoped) but that ReadWAL
+// accepts cleanly — the contract crash recovery needs to discard a torn
+// tail once instead of re-tolerating it on every later open.
+//
+// ReadWAL alone cannot report this offset: gob wraps readers that lack
+// ReadByte in an internal bufio.Reader and over-reads, so consumption
+// tracking through a plain io.Reader is inflated by the buffer. A
+// bytes.Reader implements io.ByteReader, so gob consumes exactly the bytes
+// each record occupies and the remaining length gives the precise cut.
+func ReadWALPrefix(data []byte) (recs []LogRecord, validLen int, err error) {
+	r := bytes.NewReader(data)
+	dec := gob.NewDecoder(r)
+	for {
+		var rec walRecord
+		derr := dec.Decode(&rec)
+		if derr == io.EOF {
+			return recs, validLen, nil
 		}
-		out = append(out, lr)
+		if derr != nil {
+			return recs, validLen, fmt.Errorf("%w: %v", ErrTruncatedWAL, derr)
+		}
+		recs = append(recs, decodeRecord(rec))
+		validLen = len(data) - r.Len()
 	}
 }
 

@@ -124,6 +124,77 @@ func TestWALTornTailTolerated(t *testing.T) {
 	}
 }
 
+// TestWALTruncationSweep tears the log at every byte offset and requires
+// clean prefix recovery from each: no panic, no spurious rows, and the
+// record count monotonically non-decreasing in the cut position. It also
+// pins ReadWALPrefix's offset contract — re-reading exactly validLen bytes
+// yields the same records with no truncation error, which is what lets a
+// restart discard a torn tail once and for all.
+func TestWALTruncationSweep(t *testing.T) {
+	db := accountsDB(t)
+	var buf bytes.Buffer
+	if _, err := db.PersistTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 8
+	for i := 0; i < rows; i++ {
+		mustInsert(t, db, "accounts", Row{"id": fmt.Sprintf("k%d", i), "owner": "x", "balance": int64(i)})
+	}
+	full := buf.Bytes()
+	prevRecs := -1
+	for cut := 0; cut <= len(full); cut++ {
+		torn := full[:cut]
+		recs, validLen, err := ReadWALPrefix(torn)
+		if err == nil && validLen != cut {
+			// A clean decode means the cut landed exactly on a record
+			// boundary, so the whole image is the valid prefix.
+			t.Fatalf("cut %d: clean decode but validLen %d != cut", cut, validLen)
+		}
+		if err != nil && !errors.Is(err, ErrTruncatedWAL) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncatedWAL or nil", cut, err)
+		}
+		if len(recs) < prevRecs {
+			t.Fatalf("cut %d: decoded %d records, previous cut decoded %d", cut, len(recs), prevRecs)
+		}
+		prevRecs = len(recs)
+		if validLen > cut {
+			t.Fatalf("cut %d: validLen %d exceeds image", cut, validLen)
+		}
+		// The valid prefix must re-read cleanly and identically.
+		again, againLen, err := ReadWALPrefix(torn[:validLen])
+		if err != nil {
+			t.Fatalf("cut %d: re-read of valid prefix [:%d] failed: %v", cut, validLen, err)
+		}
+		if againLen != validLen || len(again) != len(recs) {
+			t.Fatalf("cut %d: re-read got %d records / %d bytes, want %d / %d",
+				cut, len(again), againLen, len(recs), validLen)
+		}
+		// And it must recover to a database holding exactly those records.
+		rec, err := Recover(nil, again)
+		if err != nil {
+			t.Fatalf("cut %d: Recover: %v", cut, err)
+		}
+		if got := rec.WALLen(); got != len(recs) {
+			t.Fatalf("cut %d: recovered WALLen %d, want %d", cut, got, len(recs))
+		}
+	}
+	// The full image decodes every record: schema DDL + one per row.
+	recs, validLen, err := ReadWALPrefix(full)
+	if err != nil || validLen != len(full) {
+		t.Fatalf("full image: err=%v validLen=%d (len %d)", err, validLen, len(full))
+	}
+	if len(recs) != rows+1 {
+		t.Fatalf("full image: %d records, want %d (DDL + %d rows)", len(recs), rows+1, rows)
+	}
+	final, err := Recover(nil, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Dump() != db.Dump() {
+		t.Errorf("recovered dump differs from original:\n%s\nvs\n%s", final.Dump(), db.Dump())
+	}
+}
+
 // failWriter fails after n bytes.
 type failWriter struct{ n int }
 
@@ -142,7 +213,9 @@ func (w *failWriter) Write(p []byte) (int, error) {
 
 func TestWALWriteFailureSurfacesOnCommit(t *testing.T) {
 	db := accountsDB(t)
-	ww, err := db.PersistTo(&failWriter{n: 64})
+	// The budget covers the DDL checkpoint written at attach but runs dry
+	// during the commit stream.
+	ww, err := db.PersistTo(&failWriter{n: 512})
 	if err != nil {
 		t.Fatalf("PersistTo: %v", err)
 	}

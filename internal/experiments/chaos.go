@@ -21,8 +21,12 @@ const chaosHorizon = 60 * time.Second
 // ChaosTargets registers the canonical fault-injection targets of a built
 // MC system on the injector: the wired "lan" and "wan" links, the
 // "gateway" and "host" nodes (the gateway's crash hook drops its sessions
-// and cache), and a "backhaul" cut of both wired segments. Shared by the
-// chaos experiment and mcsim -faults.
+// and cache), and a "backhaul" cut of both wired segments. When the system
+// carries a replicated data tier, the host's crash hook also crashes the
+// primary member, each replica registers as "dbN" with its own crash and
+// catch-up hooks plus "dbN-link", and every member gets a "dbN-sync"
+// crash-during-sync trigger. Shared by the chaos experiment and mcsim
+// -faults.
 func ChaosTargets(mc *core.MC, in *faults.Injector) {
 	in.RegisterLink("lan", mc.LANLink)
 	in.RegisterLink("wan", mc.WANLink)
@@ -31,7 +35,28 @@ func ChaosTargets(mc *core.MC, in *faults.Injector) {
 		onCrash = mc.WAP.Crash
 	}
 	in.RegisterNode("gateway", mc.GatewayNode, onCrash, nil)
-	in.RegisterNode("host", mc.Host.Node, nil, nil)
+	dt := mc.DataTier
+	if dt == nil {
+		in.RegisterNode("host", mc.Host.Node, nil, nil)
+		in.RegisterCut("backhaul", mc.LANLink, mc.WANLink)
+		return
+	}
+	memberCrash := func(i int) (crash, restart func()) {
+		m, s := dt.Members[i], dt.Services[i]
+		return func() { s.Crash(); m.Crash() }, m.Restart
+	}
+	c0, r0 := memberCrash(0)
+	in.RegisterNode("host", mc.Host.Node, c0, r0)
+	for i := 1; i < len(dt.Members); i++ {
+		c, r := memberCrash(i)
+		in.RegisterNode(fmt.Sprintf("db%d", i), dt.Nodes[i-1], c, r)
+		in.RegisterLink(fmt.Sprintf("db%d-link", i), dt.Links[i-1])
+	}
+	for i := range dt.Members {
+		c, r := memberCrash(i)
+		in.RegisterSyncTrigger(fmt.Sprintf("db%d-sync", i), dt.Members[i].Node(), c, r,
+			dt.Services[i].OnSessionStart)
+	}
 	in.RegisterCut("backhaul", mc.LANLink, mc.WANLink)
 }
 

@@ -198,26 +198,27 @@ func median(ds []time.Duration) time.Duration {
 // Registry maps experiment names to their runners, for the CLI.
 func Registry() map[string]func(seed int64) []*Result {
 	return map[string]func(seed int64) []*Result{
-		"fig1":    func(seed int64) []*Result { return []*Result{Figure1(seed)} },
-		"fig2":    func(seed int64) []*Result { return []*Result{Figure2(seed)} },
-		"table1":  func(seed int64) []*Result { return []*Result{Table1(seed)} },
-		"table2":  func(seed int64) []*Result { return []*Result{Table2(seed)} },
-		"table3":  func(seed int64) []*Result { return []*Result{Table3(seed)} },
-		"table4":  func(seed int64) []*Result { return []*Result{Table4(seed)} },
-		"table5":  func(seed int64) []*Result { return []*Result{Table5(seed)} },
-		"tcp":     func(seed int64) []*Result { return TCPVariants(seed) },
-		"handoff": func(seed int64) []*Result { return []*Result{HandoffSweep(seed)} },
-		"adhoc":   func(seed int64) []*Result { return []*Result{AdHocHops(seed)} },
-		"mip":     func(seed int64) []*Result { return []*Result{MobileIPRoaming(seed)} },
-		"stream":  func(seed int64) []*Result { return []*Result{Streaming(seed)} },
-		"cap":     func(seed int64) []*Result { return []*Result{Capacity(seed)} },
-		"ablate":  Ablations,
-		"chaos":   Chaos,
-		"scale":   func(seed int64) []*Result { return []*Result{Scale(seed)} },
+		"fig1":      func(seed int64) []*Result { return []*Result{Figure1(seed)} },
+		"fig2":      func(seed int64) []*Result { return []*Result{Figure2(seed)} },
+		"table1":    func(seed int64) []*Result { return []*Result{Table1(seed)} },
+		"table2":    func(seed int64) []*Result { return []*Result{Table2(seed)} },
+		"table3":    func(seed int64) []*Result { return []*Result{Table3(seed)} },
+		"table4":    func(seed int64) []*Result { return []*Result{Table4(seed)} },
+		"table5":    func(seed int64) []*Result { return []*Result{Table5(seed)} },
+		"tcp":       func(seed int64) []*Result { return TCPVariants(seed) },
+		"handoff":   func(seed int64) []*Result { return []*Result{HandoffSweep(seed)} },
+		"adhoc":     func(seed int64) []*Result { return []*Result{AdHocHops(seed)} },
+		"mip":       func(seed int64) []*Result { return []*Result{MobileIPRoaming(seed)} },
+		"stream":    func(seed int64) []*Result { return []*Result{Streaming(seed)} },
+		"cap":       func(seed int64) []*Result { return []*Result{Capacity(seed)} },
+		"ablate":    Ablations,
+		"chaos":     Chaos,
+		"scale":     func(seed int64) []*Result { return []*Result{Scale(seed)} },
+		"syncstorm": func(seed int64) []*Result { return []*Result{SyncStorm(seed)} },
 	}
 }
 
 // Names returns registry keys in run order.
 func Names() []string {
-	return []string{"fig1", "fig2", "table1", "table2", "table3", "table4", "table5", "tcp", "handoff", "adhoc", "mip", "stream", "cap", "ablate", "chaos", "scale"}
+	return []string{"fig1", "fig2", "table1", "table2", "table3", "table4", "table5", "tcp", "handoff", "adhoc", "mip", "stream", "cap", "ablate", "chaos", "scale", "syncstorm"}
 }

@@ -310,3 +310,61 @@ func TestDeterministicFaultLog(t *testing.T) {
 		t.Error("no faults applied")
 	}
 }
+
+// TestSyncCrashFiresOnSessionStart pins the crash-during-sync event: the
+// node stays healthy until its sync machinery reports a session start,
+// then crashes at exactly that moment and restarts Duration later.
+func TestSyncCrashFiresOnSessionStart(t *testing.T) {
+	net, a, _, b, _, _, got := twoLinkTopo(5)
+	in := NewInjector(net)
+	crashed, restarted := 0, 0
+	var fire func()
+	in.RegisterSyncTrigger("dev", a,
+		func() { crashed++ },
+		func() { restarted++ },
+		func(f func()) { fire = f },
+	)
+	plan := NewPlan("sync-crash").Add(Event{
+		At: time.Second, Duration: 2 * time.Second, Kind: SyncCrash, Target: "dev",
+	})
+	if err := in.Schedule(plan); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	// Sessions before the arm time are unaffected; the arm installs fire
+	// at t=1s, the session at t=3s trips it.
+	sendAt(net, a, b.ID, 500*time.Millisecond)
+	net.Sched.At(3*time.Second, func() {
+		if fire == nil {
+			t.Fatal("trigger not armed by 3s")
+		}
+		fire()
+		fire() // idempotent: a second session start must not double-crash
+	})
+	sendAt(net, a, b.ID, 4*time.Second) // down window: dropped
+	sendAt(net, a, b.ID, 6*time.Second) // after restart: delivered
+	if err := net.Sched.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if crashed != 1 || restarted != 1 {
+		t.Errorf("crashed=%d restarted=%d, want 1/1", crashed, restarted)
+	}
+	st := in.Stats()
+	if st.SyncCrashArms != 1 || st.SyncCrashes != 1 {
+		t.Errorf("stats arms=%d crashes=%d, want 1/1", st.SyncCrashArms, st.SyncCrashes)
+	}
+	if *got != 2 {
+		t.Errorf("delivered %d packets, want 2 (one pre-crash, one post-restart)", *got)
+	}
+	// An armed trigger with no session never crashes.
+	in2 := NewInjector(net)
+	in2.RegisterSyncTrigger("idle", b, nil, nil, func(func()) {})
+	if err := in2.Schedule(NewPlan("idle").Add(Event{Kind: SyncCrash, Target: "idle"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Sched.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if in2.Stats().SyncCrashes != 0 {
+		t.Error("idle trigger crashed without a session")
+	}
+}

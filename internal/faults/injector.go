@@ -12,16 +12,18 @@ import (
 
 // Stats counts applied and healed faults.
 type Stats struct {
-	LinkDowns, LinkUps   uint64
-	IfaceDowns, IfaceUps uint64
-	Brownouts, Restores  uint64
-	Crashes, Restarts    uint64
-	Partitions, Heals    uint64
+	LinkDowns, LinkUps         uint64
+	IfaceDowns, IfaceUps       uint64
+	Brownouts, Restores        uint64
+	Crashes, Restarts          uint64
+	Partitions, Heals          uint64
+	SyncCrashArms, SyncCrashes uint64
 }
 
-// Total returns the number of fault applications (not heals).
+// Total returns the number of fault applications (not heals). An armed
+// sync-crash that never fired is not an application.
 func (s Stats) Total() uint64 {
-	return s.LinkDowns + s.IfaceDowns + s.Brownouts + s.Crashes + s.Partitions
+	return s.LinkDowns + s.IfaceDowns + s.Brownouts + s.Crashes + s.Partitions + s.SyncCrashes
 }
 
 // crashTarget is a registered node plus its state-loss hooks.
@@ -29,6 +31,15 @@ type crashTarget struct {
 	node      *simnet.Node
 	onCrash   func()
 	onRestart func()
+}
+
+// syncTarget is a crash target plus the arming hook its sync machinery
+// exposes.
+type syncTarget struct {
+	crashTarget
+	// arm installs fire as the begin-session tripwire; the owner calls
+	// fire() when the node's next sync session starts.
+	arm func(fire func())
 }
 
 // Injector binds a Plan's symbolic targets to live simnet objects and
@@ -41,6 +52,7 @@ type Injector struct {
 	ifaces map[string]*simnet.Iface
 	nodes  map[string]*crashTarget
 	cuts   map[string][]*simnet.Link
+	syncs  map[string]*syncTarget
 
 	stats Stats
 	log   []string
@@ -55,6 +67,7 @@ func NewInjector(net *simnet.Network) *Injector {
 		ifaces: make(map[string]*simnet.Iface),
 		nodes:  make(map[string]*crashTarget),
 		cuts:   make(map[string][]*simnet.Link),
+		syncs:  make(map[string]*syncTarget),
 	}
 	sc := net.Metrics.Instance("faults")
 	sc.AliasCounter("link_downs", &in.stats.LinkDowns)
@@ -67,6 +80,8 @@ func NewInjector(net *simnet.Network) *Injector {
 	sc.AliasCounter("restarts", &in.stats.Restarts)
 	sc.AliasCounter("partitions", &in.stats.Partitions)
 	sc.AliasCounter("heals", &in.stats.Heals)
+	sc.AliasCounter("sync_crash_arms", &in.stats.SyncCrashArms)
+	sc.AliasCounter("sync_crashes", &in.stats.SyncCrashes)
 	return in
 }
 
@@ -87,6 +102,19 @@ func (in *Injector) RegisterNode(name string, n *simnet.Node, onCrash, onRestart
 // RegisterCut names a set of links whose simultaneous failure partitions
 // the network, for Partition events.
 func (in *Injector) RegisterCut(name string, links ...*simnet.Link) { in.cuts[name] = links }
+
+// RegisterSyncTrigger names a node for SyncCrash events. arm is how the
+// node's sync machinery exposes its begin-session moment: the injector
+// calls arm(fire) when a SyncCrash event applies, and the owner must call
+// fire() when the node's next sync session starts (fire is idempotent and
+// cheap, so calling it on every session start is fine — only the armed one
+// crashes). onCrash and onRestart work as in RegisterNode.
+func (in *Injector) RegisterSyncTrigger(name string, n *simnet.Node, onCrash, onRestart func(), arm func(fire func())) {
+	in.syncs[name] = &syncTarget{
+		crashTarget: crashTarget{node: n, onCrash: onCrash, onRestart: onRestart},
+		arm:         arm,
+	}
+}
 
 // Stats returns a snapshot of the fault counters.
 func (in *Injector) Stats() Stats { return in.stats }
@@ -158,6 +186,10 @@ func (in *Injector) check(e Event) error {
 		if in.cuts[e.Target] == nil {
 			return fmt.Errorf("unknown cut %q", e.Target)
 		}
+	case SyncCrash:
+		if in.syncs[e.Target] == nil {
+			return fmt.Errorf("unknown sync trigger %q", e.Target)
+		}
 	default:
 		return fmt.Errorf("unknown kind %v", e.Kind)
 	}
@@ -224,6 +256,37 @@ func (in *Injector) apply(e Event) {
 			}
 			in.stats.Restarts++
 			in.logf("node %s restart", e.Target)
+		})
+	case SyncCrash:
+		t := in.syncs[e.Target]
+		fired := false
+		in.stats.SyncCrashArms++
+		in.logf("sync-crash %s armed", e.Target)
+		t.arm(func() {
+			if fired {
+				return
+			}
+			fired = true
+			ifaces := t.node.Ifaces()
+			for _, i := range ifaces {
+				i.SetDown(true)
+			}
+			if t.onCrash != nil {
+				t.onCrash()
+			}
+			in.stats.SyncCrashes++
+			in.logf("node %s sync-crash (%d ifaces down, state lost)", e.Target, len(ifaces))
+			in.dumpFlightRecorder()
+			heal(func() {
+				for _, i := range ifaces {
+					i.SetDown(false)
+				}
+				if t.onRestart != nil {
+					t.onRestart()
+				}
+				in.stats.Restarts++
+				in.logf("node %s restart", e.Target)
+			})
 		})
 	case Partition:
 		links := in.cuts[e.Target]

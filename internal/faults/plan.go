@@ -29,6 +29,13 @@ const (
 	// Partition downs every link in a registered cut, splitting the
 	// network, then heals them all.
 	Partition
+	// SyncCrash arms a registered sync trigger: the target node crashes
+	// the next time one of its sync sessions begins — the nastiest window
+	// for a data tier, after the upload left the device but before the
+	// verdict landed. Duration times the restart from the *crash*, not
+	// from the arming. If no session starts, the trigger stays armed and
+	// the node never crashes.
+	SyncCrash
 )
 
 func (k Kind) String() string {
@@ -43,6 +50,8 @@ func (k Kind) String() string {
 		return "node-crash"
 	case Partition:
 		return "partition"
+	case SyncCrash:
+		return "sync-crash"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -1,0 +1,437 @@
+package mobiledb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// device builds a store with a controllable simulated clock.
+func device(name string, maxBytes int, now *int64) *Store {
+	s := New(name, maxBytes)
+	s.SetNow(func() int64 { return *now })
+	return s
+}
+
+// roundTrip runs one full sync session between dev and sv.
+func roundTrip(t *testing.T, dev *Store, sv *Server) (confirmed, overridden int) {
+	t.Helper()
+	req, err := dev.BeginUpSync("srv", 0)
+	if err != nil {
+		t.Fatalf("BeginUpSync: %v", err)
+	}
+	resp, err := sv.Apply(req)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	return dev.FinishUpSync("srv", req, resp)
+}
+
+func TestDisconnectedWriteSyncsAndConfirms(t *testing.T) {
+	now := int64(100)
+	dev := device("dev", 0, &now)
+	sv, err := NewServer(PolicyLWW, NewMemBackend(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.PutTentative("cart", []byte("3 items")); err != nil {
+		t.Fatalf("PutTentative: %v", err)
+	}
+	if dev.TentativeCount() != 1 {
+		t.Fatalf("TentativeCount = %d, want 1", dev.TentativeCount())
+	}
+	confirmed, overridden := roundTrip(t, dev, sv)
+	if confirmed != 1 || overridden != 0 {
+		t.Fatalf("confirmed=%d overridden=%d, want 1/0", confirmed, overridden)
+	}
+	if dev.TentativeCount() != 0 {
+		t.Errorf("tentative write survived confirmation")
+	}
+	v, ok := dev.Get("cart")
+	if !ok || string(v) != "3 items" {
+		t.Errorf("cart = %q %v after sync", v, ok)
+	}
+	e, ok, _ := sv.be.Lookup("cart")
+	if !ok || e.Ver != 1 || string(e.Value) != "3 items" {
+		t.Errorf("server row = %+v %v", e, ok)
+	}
+}
+
+func TestSyncRetryIsIdempotent(t *testing.T) {
+	now := int64(5)
+	dev := device("dev", 0, &now)
+	sv, _ := NewServer(PolicyLWW, NewMemBackend(), nil)
+	if err := dev.PutTentative("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := dev.BeginUpSync("srv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First response is lost; the device aborts and retries the session.
+	if _, err := sv.Apply(req); err != nil {
+		t.Fatal(err)
+	}
+	dev.AbortUpSync(req)
+	req2, err := dev.BeginUpSync("srv", 0)
+	if err != nil {
+		t.Fatalf("retry BeginUpSync: %v", err)
+	}
+	resp2, err := sv.Apply(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	confirmed, overridden := dev.FinishUpSync("srv", req2, resp2)
+	if confirmed != 1 || overridden != 0 {
+		t.Fatalf("retry confirmed=%d overridden=%d, want 1/0", confirmed, overridden)
+	}
+	if sv.Duplicates != 1 {
+		t.Errorf("Duplicates = %d, want 1", sv.Duplicates)
+	}
+	e, _, _ := sv.be.Lookup("k")
+	if e.Ver != 1 {
+		t.Errorf("retry bumped version to %d; duplicate write re-applied", e.Ver)
+	}
+}
+
+// Two devices write the same key while disconnected; policies decide.
+func conflictPair(t *testing.T, policy Policy, merge MergeFunc) (a, b *Store, sv *Server) {
+	t.Helper()
+	nowA, nowB := int64(10), int64(20)
+	a = device("devA", 0, &nowA)
+	b = device("devB", 0, &nowB)
+	sv, err := NewServer(policy, NewMemBackend(), merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PutTentative("k", []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutTentative("k", []byte("from-b")); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, sv
+}
+
+func TestConflictLWWLaterWriterWins(t *testing.T) {
+	a, b, sv := conflictPair(t, PolicyLWW, nil)
+	roundTrip(t, a, sv) // WTS 10 lands first
+	confirmed, overridden := roundTrip(t, b, sv)
+	if confirmed != 1 || overridden != 0 {
+		t.Fatalf("later writer confirmed=%d overridden=%d, want 1/0", confirmed, overridden)
+	}
+	e, _, _ := sv.be.Lookup("k")
+	if string(e.Value) != "from-b" || e.Ver != 2 {
+		t.Errorf("server row %q ver %d, want from-b ver 2", e.Value, e.Ver)
+	}
+	if sv.ConflictsSeen != 1 {
+		t.Errorf("ConflictsSeen = %d, want 1", sv.ConflictsSeen)
+	}
+	// The earlier writer syncing *after* the later one must lose.
+	nowC := int64(15)
+	c := device("devC", 0, &nowC)
+	c.SetNow(func() int64 { return nowC })
+	if err := c.PutTentative("k", []byte("from-c")); err != nil {
+		t.Fatal(err)
+	}
+	confirmed, overridden = roundTrip(t, c, sv)
+	if confirmed != 0 || overridden != 1 {
+		t.Fatalf("stale writer confirmed=%d overridden=%d, want 0/1", confirmed, overridden)
+	}
+	// devC's cache now holds the authoritative value, not its lost write.
+	v, ok := c.Get("k")
+	if !ok || string(v) != "from-b" {
+		t.Errorf("losing device caches %q, want authoritative from-b", v)
+	}
+	if c.SyncConflicts != 1 {
+		t.Errorf("device SyncConflicts = %d, want 1", c.SyncConflicts)
+	}
+}
+
+func TestConflictServerWinsRejectsSecondWriter(t *testing.T) {
+	a, b, sv := conflictPair(t, PolicyServerWins, nil)
+	roundTrip(t, a, sv)
+	confirmed, overridden := roundTrip(t, b, sv)
+	if confirmed != 0 || overridden != 1 {
+		t.Fatalf("confirmed=%d overridden=%d, want 0/1", confirmed, overridden)
+	}
+	e, _, _ := sv.be.Lookup("k")
+	if string(e.Value) != "from-a" || e.Ver != 1 {
+		t.Errorf("server row %q ver %d, want from-a ver 1", e.Value, e.Ver)
+	}
+	if v, _ := b.Get("k"); string(v) != "from-a" {
+		t.Errorf("rejected device caches %q, want from-a", v)
+	}
+}
+
+func TestConflictMergeCombinesValues(t *testing.T) {
+	merge := func(key string, devv, srvv []byte) []byte {
+		return bytes.Join([][]byte{srvv, devv}, []byte("+"))
+	}
+	a, b, sv := conflictPair(t, PolicyMerge, merge)
+	roundTrip(t, a, sv)
+	confirmed, _ := roundTrip(t, b, sv)
+	if confirmed != 1 {
+		t.Fatal("merged write not confirmed")
+	}
+	e, _, _ := sv.be.Lookup("k")
+	if string(e.Value) != "from-a+from-b" {
+		t.Errorf("merged value %q, want from-a+from-b", e.Value)
+	}
+	if v, _ := b.Get("k"); string(v) != "from-a+from-b" {
+		t.Errorf("device caches %q after merge", v)
+	}
+	if sv.Merges != 1 {
+		t.Errorf("Merges = %d, want 1", sv.Merges)
+	}
+}
+
+func TestFragilePolicyLosesUpdates(t *testing.T) {
+	// The baseline: blind apply, no conflict detection. The second writer
+	// silently clobbers the first even though it never saw its value —
+	// this is the lost update syncstorm measures.
+	a, b, sv := conflictPair(t, PolicyFragile, nil)
+	roundTrip(t, a, sv)
+	confirmed, _ := roundTrip(t, b, sv)
+	if confirmed != 1 {
+		t.Fatal("fragile apply rejected a write")
+	}
+	if sv.ConflictsSeen != 0 {
+		t.Errorf("fragile policy detected %d conflicts; should be blind", sv.ConflictsSeen)
+	}
+	e, _, _ := sv.be.Lookup("k")
+	if string(e.Value) != "from-b" {
+		t.Errorf("server row %q", e.Value)
+	}
+}
+
+func TestInvalidationStreamDropsStaleCache(t *testing.T) {
+	nowA, nowB := int64(3), int64(2)
+	a := device("devA", 0, &nowA)
+	b := device("devB", 0, &nowB)
+	sv, _ := NewServer(PolicyLWW, NewMemBackend(), nil)
+	// devB caches k via its own confirmed write.
+	if err := b.PutTentative("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, b, sv)
+	// devA then updates k on the server.
+	if err := a.PutTentative("k", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, a, sv)
+	if v, _ := b.Get("k"); string(v) != "old" {
+		t.Fatalf("devB cache = %q before invalidation", v)
+	}
+	// The broadcast tick reaches devB: its stale copy must go.
+	dropped := b.ApplyInvalidations(sv.InvSince(0))
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if _, ok := b.Get("k"); ok {
+		t.Error("stale cache entry survived invalidation")
+	}
+	if b.Invalidations != 1 {
+		t.Errorf("Invalidations counter = %d", b.Invalidations)
+	}
+	// A tentative write must NOT be dropped by a broadcast: its conflict
+	// is resolved by the next sync session.
+	if err := b.PutTentative("k", []byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.ApplyInvalidations([]Invalidation{{Key: "k", SrvVer: 99}}); n != 0 {
+		t.Error("invalidation dropped a tentative write")
+	}
+}
+
+func TestWriteDuringSessionStaysTentative(t *testing.T) {
+	now := int64(1)
+	dev := device("dev", 0, &now)
+	sv, _ := NewServer(PolicyLWW, NewMemBackend(), nil)
+	if err := dev.PutTentative("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := dev.BeginUpSync("srv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While the request is in flight the user writes again.
+	now = 2
+	if err := dev.PutTentative("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sv.Apply(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.FinishUpSync("srv", req, resp)
+	// v2 must still be pending, rebased on the version v1 produced.
+	if dev.TentativeCount() != 1 {
+		t.Fatalf("TentativeCount = %d, want 1 (v2 pending)", dev.TentativeCount())
+	}
+	e := dev.data["k"]
+	if string(e.Value) != "v2" || e.Base != 1 {
+		t.Errorf("pending entry %q base %d, want v2 base 1", e.Value, e.Base)
+	}
+	// Next session confirms it without conflict (base is current).
+	confirmed, overridden := roundTrip(t, dev, sv)
+	if confirmed != 1 || overridden != 0 {
+		t.Errorf("second session confirmed=%d overridden=%d", confirmed, overridden)
+	}
+	srvRow, _, _ := sv.be.Lookup("k")
+	if string(srvRow.Value) != "v2" || srvRow.Ver != 2 {
+		t.Errorf("server row %q ver %d, want v2 ver 2", srvRow.Value, srvRow.Ver)
+	}
+	if sv.ConflictsSeen != 0 {
+		t.Errorf("rebased write flagged as conflict")
+	}
+}
+
+func TestBeginUpSyncBatchesOldestFirst(t *testing.T) {
+	now := int64(1)
+	dev := device("dev", 0, &now)
+	for i := 0; i < 5; i++ {
+		if err := dev.PutTentative(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := dev.BeginUpSync("srv", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Writes) != 3 {
+		t.Fatalf("batch = %d writes, want 3", len(req.Writes))
+	}
+	for i, w := range req.Writes {
+		if w.Key != fmt.Sprintf("k%d", i) {
+			t.Errorf("batch[%d] = %s, want k%d (oldest first)", i, w.Key, i)
+		}
+	}
+	if _, err := dev.BeginUpSync("srv", 0); err != ErrSyncOpen {
+		t.Errorf("concurrent BeginUpSync err = %v, want ErrSyncOpen", err)
+	}
+	dev.AbortUpSync(req)
+	if _, err := dev.BeginUpSync("srv", 0); err != nil {
+		t.Errorf("BeginUpSync after abort: %v", err)
+	}
+}
+
+func TestDeleteTentativePropagates(t *testing.T) {
+	now := int64(1)
+	dev := device("dev", 0, &now)
+	sv, _ := NewServer(PolicyLWW, NewMemBackend(), nil)
+	if err := dev.PutTentative("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, dev, sv)
+	now = 2
+	if err := dev.DeleteTentative("k"); err != nil {
+		t.Fatal(err)
+	}
+	confirmed, _ := roundTrip(t, dev, sv)
+	if confirmed != 1 {
+		t.Fatal("delete not confirmed")
+	}
+	e, ok, _ := sv.be.Lookup("k")
+	if !ok || !e.Deleted {
+		t.Errorf("server row after delete: %+v %v", e, ok)
+	}
+	if _, ok := dev.Get("k"); ok {
+		t.Error("deleted key still cached on device")
+	}
+}
+
+// TestEvictNeverDropsTentativeWrites pins the satellite invariant: neither
+// direct eviction nor PutEvict pressure may discard a pending disconnected
+// write or a key pinned by an in-flight sync session.
+func TestEvictNeverDropsTentativeWrites(t *testing.T) {
+	now := int64(1)
+	// Budget for ~3 entries of key "kN" (2 bytes) + 20-byte value + 32.
+	dev := device("dev", 3*(2+20+32), &now)
+	dev.SetNow(func() int64 { return now })
+	if err := dev.PutTentative("k0", make([]byte, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Put("k1", make([]byte, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Put("k2", make([]byte, 20)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct eviction of a tentative entry is refused.
+	if dev.Evict("k0") {
+		t.Fatal("Evict discarded a tentative write")
+	}
+	if dev.EvictRefused != 1 {
+		t.Errorf("EvictRefused = %d, want 1", dev.EvictRefused)
+	}
+
+	// Eviction pressure: k0 is the oldest entry, the usual first victim.
+	// PutEvict must step over it and evict k1 instead.
+	if err := dev.PutEvict("k3", make([]byte, 20)); err != nil {
+		t.Fatalf("PutEvict: %v", err)
+	}
+	if _, ok := dev.Get("k0"); !ok {
+		t.Fatal("eviction pressure discarded the tentative write")
+	}
+	if _, ok := dev.Get("k1"); ok {
+		t.Error("k1 survived; pressure did not fall on the evictable entry")
+	}
+
+	// An open sync session pins even non-tentative entries: k2 was synced
+	// (simulate by clearing tentative state via a server round-trip), then
+	// a session over k0 pins k0 only — but evicting k2 mid-session is fine.
+	req, err := dev.BeginUpSync("srv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Writes) != 1 || req.Writes[0].Key != "k0" {
+		t.Fatalf("session writes = %+v, want just k0", req.Writes)
+	}
+	if dev.Evict("k0") {
+		t.Fatal("Evict discarded a session-pinned key")
+	}
+	// Even if the entry were somehow non-tentative, the pin alone blocks:
+	dev.data["k0"].Tentative = false
+	if dev.Evict("k0") {
+		t.Fatal("Evict discarded a pinned non-tentative key")
+	}
+	dev.data["k0"].Tentative = true
+	dev.AbortUpSync(req)
+
+	// After the session closes and the server confirms, the entry is
+	// ordinary cache again and may be evicted.
+	sv, _ := NewServer(PolicyLWW, NewMemBackend(), nil)
+	roundTrip(t, dev, sv)
+	if !dev.Evict("k0") {
+		t.Error("confirmed entry refused eviction")
+	}
+}
+
+// TestFragileDropLosesWrites pins the baseline's failure mode so syncstorm's
+// lost-update count has a unit-level witness.
+func TestFragileDropLosesWrites(t *testing.T) {
+	now := int64(1)
+	dev := device("dev", 0, &now)
+	if err := dev.PutTentative("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.PutTentative("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := dev.BeginUpSync("srv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := dev.DropTentative(req)
+	if lost != 2 {
+		t.Fatalf("DropTentative lost %d, want 2", lost)
+	}
+	if dev.TentativeCount() != 0 {
+		t.Error("tentative entries survived DropTentative")
+	}
+	if _, err := dev.BeginUpSync("srv", 0); err != nil {
+		t.Errorf("session not released after drop: %v", err)
+	}
+}

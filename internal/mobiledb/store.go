@@ -33,6 +33,23 @@ type Entry struct {
 	// watermarks ("send me what I haven't seen") work even for entries
 	// relayed between replicas. It plays no part in conflict resolution.
 	Seq uint64
+
+	// Disconnected-transaction state (device/server sync; zero for plain
+	// peer-to-peer replicas).
+
+	// Tentative marks a disconnected write that no server has accepted
+	// yet. Tentative entries are user data, not cache: eviction refuses
+	// them and sync sessions pin them until the server's verdict arrives.
+	Tentative bool
+	// Base is the server version this write was derived from; the server
+	// detects a conflict when its current version has moved past Base.
+	Base uint64
+	// SrvVer is the server version of a confirmed entry (0 = never
+	// confirmed).
+	SrvVer uint64
+	// WTS is the write's simulated-time timestamp; the last-writer-wins
+	// policy orders conflicting writes by (WTS, Origin).
+	WTS int64
 }
 
 // newer reports whether e should win over o under last-writer-wins.
@@ -67,12 +84,26 @@ type Store struct {
 	data     map[string]*Entry
 	peers    map[string]*peerState
 
+	// now supplies the simulated-time write timestamp for tentative
+	// writes (SetNow); nil means WTS stays zero.
+	now func() int64
+	// pinned holds keys of an in-flight upload session: their entries
+	// must survive eviction until the server's verdict lands.
+	pinned map[string]bool
+
 	// Conflicts counts remote entries that lost last-writer-wins locally.
 	Conflicts uint64
 	// Hits and Misses count Get outcomes (cache effectiveness).
 	Hits, Misses uint64
 	// Evictions counts entries removed by Evict (directly or via PutEvict).
 	Evictions uint64
+	// EvictRefused counts eviction attempts denied because the entry held
+	// a tentative write or was pinned by an in-flight sync session.
+	EvictRefused uint64
+	// TentativePuts counts disconnected writes; SyncConflicts counts
+	// server verdicts that overrode a tentative write; Invalidations
+	// counts cache entries dropped by the server's invalidation stream.
+	TentativePuts, SyncConflicts, Invalidations uint64
 }
 
 // New creates a store. name must be unique among replicas (it breaks
@@ -83,7 +114,20 @@ func New(name string, maxBytes int) *Store {
 		maxBytes: maxBytes,
 		data:     make(map[string]*Entry),
 		peers:    make(map[string]*peerState),
+		pinned:   make(map[string]bool),
 	}
+}
+
+// SetNow installs the simulated-time source used to timestamp tentative
+// writes (simnet callers pass the scheduler's clock). Without it, WTS
+// stays zero and last-writer-wins degrades to the Origin tie-break.
+func (s *Store) SetNow(now func() int64) { s.now = now }
+
+func (s *Store) nowTS() int64 {
+	if s.now == nil {
+		return 0
+	}
+	return s.now()
 }
 
 // Name returns the replica name.
@@ -167,18 +211,30 @@ func (s *Store) install(e *Entry, checkBudget bool) error {
 
 // Evict removes a key outright, reclaiming its full footprint without
 // leaving a tombstone. It is a cache-management operation, not a data
-// operation: evicted entries silently vanish from sync too, so use it only
-// for locally reconstructible state (cached replies, not user writes).
-// Reports whether the key existed.
+// operation: evicted entries silently vanish from sync too, so it only
+// applies to reconstructible state (cached replies, not user writes).
+// Tentative entries — disconnected writes no server has accepted — and
+// keys pinned by an in-flight sync session are therefore refused: evicting
+// them would silently drop a pending update. Reports whether the key
+// existed and was evicted.
 func (s *Store) Evict(key string) bool {
 	e, ok := s.data[key]
 	if !ok {
+		return false
+	}
+	if !s.evictable(e) {
+		s.EvictRefused++
 		return false
 	}
 	delete(s.data, key)
 	s.used -= e.size()
 	s.Evictions++
 	return true
+}
+
+// evictable reports whether an entry may be discarded without data loss.
+func (s *Store) evictable(e *Entry) bool {
+	return !e.Tentative && !s.pinned[e.Key]
 }
 
 // RegisterMetrics aliases the store's counters and exposes its footprint
@@ -189,6 +245,10 @@ func (s *Store) RegisterMetrics(sc metrics.Scope) {
 	sc.AliasCounter("cache_hits", &s.Hits)
 	sc.AliasCounter("cache_misses", &s.Misses)
 	sc.AliasCounter("evictions", &s.Evictions)
+	sc.AliasCounter("evict_refused", &s.EvictRefused)
+	sc.AliasCounter("tentative_puts", &s.TentativePuts)
+	sc.AliasCounter("sync_conflicts", &s.SyncConflicts)
+	sc.AliasCounter("invalidations", &s.Invalidations)
 	sc.GaugeFunc("used_bytes", func() int64 { return int64(s.used) })
 	sc.GaugeFunc("clock", func() int64 { return int64(s.clock) })
 	sc.GaugeFunc("seq", func() int64 { return int64(s.seq) })
@@ -198,8 +258,9 @@ func (s *Store) RegisterMetrics(sc metrics.Scope) {
 // PutEvict stores a value like Put, but answers ErrFull by evicting
 // entries (tombstones included) — lowest local log position first, i.e.
 // least-recently-written — until the write fits. The key being written is never evicted to make
-// room for itself. It fails only when the value cannot fit in an otherwise
-// empty store.
+// room for itself, and tentative or session-pinned entries are never
+// victims (pending disconnected writes outrank cache space). It fails when
+// the value cannot fit alongside the unevictable entries.
 func (s *Store) PutEvict(key string, value []byte) error {
 	err := s.Put(key, value)
 	if err == nil || !errors.Is(err, ErrFull) {
@@ -209,7 +270,7 @@ func (s *Store) PutEvict(key string, value []byte) error {
 	// unique per install).
 	victims := make([]*Entry, 0, len(s.data))
 	for k, e := range s.data {
-		if k != key {
+		if k != key && s.evictable(e) {
 			victims = append(victims, e)
 		}
 	}

@@ -1,0 +1,236 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"mcommerce/internal/mobiledb"
+	"mcommerce/internal/simnet"
+	"mcommerce/internal/workload"
+)
+
+// syncWorld is a minimal two-node world: a cell aggregator hosting the
+// virtual devices and a server node running a plain mobiledb sync server
+// (no replication — the full tier is exercised in core and experiments).
+type syncWorld struct {
+	sched  *simnet.Scheduler
+	net    *simnet.Network
+	cell   *simnet.Node
+	server *simnet.Node
+	sv     *mobiledb.Server
+}
+
+const tierPort simnet.Port = 750
+
+func newSyncWorld(t *testing.T, seed int64, policy mobiledb.Policy) *syncWorld {
+	t.Helper()
+	s := simnet.NewScheduler(seed)
+	n := simnet.NewNetwork(s)
+	w := &syncWorld{sched: s, net: n}
+	w.cell = n.NewNode("cell")
+	w.server = n.NewNode("server")
+	l := simnet.Connect(w.cell, w.server, simnet.LAN)
+	w.cell.SetDefaultRoute(l.IfaceA())
+	w.server.SetDefaultRoute(l.IfaceB())
+	sv, err := mobiledb.NewServer(policy, mobiledb.NewMemBackend(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.sv = sv
+	u := simnet.UDPOf(w.server)
+	if err := u.Listen(tierPort, func(from simnet.Addr, body any, bytes int) {
+		req, ok := body.(*mobiledb.UpSyncRequest)
+		if !ok {
+			return
+		}
+		resp, err := sv.Apply(req)
+		if err != nil {
+			t.Errorf("apply: %v", err)
+			return
+		}
+		resp.From = "server"
+		u.Send(tierPort, from, resp, 64)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func (w *syncWorld) tierAddr() simnet.Addr {
+	return simnet.Addr{Node: w.server.ID, Port: tierPort}
+}
+
+func TestSyncFlowsConfirmsWrites(t *testing.T) {
+	w := newSyncWorld(t, 41, mobiledb.PolicyLWW)
+	f, err := workload.NewSyncFlows(w.cell, "cell0", workload.SyncFlowConfig{
+		Devices: 8, FirstPort: 10000, Tier: []simnet.Addr{w.tierAddr()},
+		WriteMean: time.Second, SyncMean: 2 * time.Second,
+		SharedKeys: 4, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.sched.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if f.Writes == 0 || f.Syncs == 0 {
+		t.Fatalf("idle population: writes=%d syncs=%d", f.Writes, f.Syncs)
+	}
+	if f.Confirmed == 0 {
+		t.Fatalf("no write ever confirmed (syncs=%d timeouts=%d)", f.Syncs, f.Timeouts)
+	}
+	if f.Timeouts != 0 || f.Lost != 0 {
+		t.Errorf("healthy link saw timeouts=%d lost=%d", f.Timeouts, f.Lost)
+	}
+	if w.sv.Sessions == 0 || w.sv.Accepted == 0 {
+		t.Errorf("server counters: sessions=%d accepted=%d", w.sv.Sessions, w.sv.Accepted)
+	}
+}
+
+// TestSyncFlowsFollowsRedirects points rank 0 at a redirector that always
+// bounces to rank 1; the population must still confirm writes.
+func TestSyncFlowsFollowsRedirects(t *testing.T) {
+	w := newSyncWorld(t, 42, mobiledb.PolicyLWW)
+	const bouncePort simnet.Port = 751
+	u := simnet.UDPOf(w.server)
+	if err := u.Listen(bouncePort, func(from simnet.Addr, body any, bytes int) {
+		req, ok := body.(*mobiledb.UpSyncRequest)
+		if !ok {
+			return
+		}
+		u.Send(bouncePort, from, &mobiledb.UpSyncResponse{
+			From: "bounce", Session: req.Session, Retry: true, RedirectRank: 1,
+		}, 32)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := workload.NewSyncFlows(w.cell, "cell0", workload.SyncFlowConfig{
+		Devices: 4, FirstPort: 10000,
+		Tier:      []simnet.Addr{{Node: w.server.ID, Port: bouncePort}, w.tierAddr()},
+		WriteMean: time.Second, SyncMean: 2 * time.Second, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.sched.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if f.Redirects == 0 {
+		t.Error("redirector never hit")
+	}
+	if f.Confirmed == 0 {
+		t.Errorf("no write confirmed despite redirect path (redirects=%d)", f.Redirects)
+	}
+}
+
+// TestSyncFlowsTimeoutPolicies aims the population at a dead endpoint: the
+// resilient tier keeps every tentative write across timeouts; the fragile
+// baseline rolls them back and each rollback is a counted lost update.
+func TestSyncFlowsTimeoutPolicies(t *testing.T) {
+	run := func(fragile bool) *workload.SyncFlows {
+		w := newSyncWorld(t, 43, mobiledb.PolicyLWW)
+		dead := simnet.Addr{Node: w.server.ID, Port: 9999} // nobody listens
+		f, err := workload.NewSyncFlows(w.cell, "cell0", workload.SyncFlowConfig{
+			Devices: 4, FirstPort: 10000, Tier: []simnet.Addr{dead},
+			WriteMean: time.Second, SyncMean: 2 * time.Second,
+			Timeout: 3 * time.Second, Fragile: fragile,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.sched.RunFor(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	res := run(false)
+	if res.Timeouts == 0 {
+		t.Fatal("dead endpoint produced no timeouts")
+	}
+	if res.Lost != 0 {
+		t.Errorf("resilient population lost %d writes", res.Lost)
+	}
+	if res.PendingWrites() == 0 {
+		t.Error("resilient population should still hold its backlog")
+	}
+	fra := run(true)
+	if fra.Lost == 0 {
+		t.Error("fragile population never lost a write across timeouts")
+	}
+}
+
+// TestSyncFlowsInvalidationRing pushes broadcast-disk ticks at the cell
+// and checks devices shed stale confirmed entries at their next sync pass.
+func TestSyncFlowsInvalidationRing(t *testing.T) {
+	w := newSyncWorld(t, 44, mobiledb.PolicyLWW)
+	f, err := workload.NewSyncFlows(w.cell, "cell0", workload.SyncFlowConfig{
+		Devices: 4, FirstPort: 10000, Tier: []simnet.Addr{w.tierAddr()},
+		WriteMean: 500 * time.Millisecond, SyncMean: time.Second,
+		SharedKeys: 2, SharedPct: 100, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.sched.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if f.Confirmed == 0 {
+		t.Fatal("population never confirmed a shared write")
+	}
+	// Fabricate a tick claiming both shared keys moved far ahead.
+	u := simnet.UDPOf(w.server)
+	w.sched.After(0, func() {
+		u.Send(tierPort, f.InvalidationAddr(), &mobiledb.InvalidationMsg{
+			Invalid: []mobiledb.Invalidation{
+				{Key: "s0", SrvVer: 1 << 30}, {Key: "s1", SrvVer: 1 << 30},
+			},
+			Through: f.ThroughWatermark() + 2,
+		}, 64)
+	})
+	if err := w.sched.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if f.InvTicks == 0 {
+		t.Error("cell never consumed the broadcast tick")
+	}
+}
+
+func TestSyncFlowsDeterministic(t *testing.T) {
+	run := func() [6]uint64 {
+		w := newSyncWorld(t, 45, mobiledb.PolicyLWW)
+		f, err := workload.NewSyncFlows(w.cell, "cell0", workload.SyncFlowConfig{
+			Devices: 16, FirstPort: 10000, Tier: []simnet.Addr{w.tierAddr()},
+			WriteMean: 800 * time.Millisecond, SyncMean: 2 * time.Second,
+			SharedKeys: 4, Timeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.sched.RunFor(2 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return [6]uint64{f.Writes, f.Syncs, f.Confirmed, f.Overridden, f.Redirects, w.sv.Accepted}
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same-seed runs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestSyncFlowsValidation(t *testing.T) {
+	w := newSyncWorld(t, 46, mobiledb.PolicyLWW)
+	if _, err := workload.NewSyncFlows(w.cell, "x", workload.SyncFlowConfig{
+		Devices: 0, Tier: []simnet.Addr{w.tierAddr()},
+	}); err == nil {
+		t.Error("zero devices accepted")
+	}
+	if _, err := workload.NewSyncFlows(w.cell, "x", workload.SyncFlowConfig{
+		Devices: 4, FirstPort: 10000,
+	}); err == nil {
+		t.Error("empty tier accepted")
+	}
+	if _, err := workload.NewSyncFlows(w.cell, "x", workload.SyncFlowConfig{
+		Devices: 10, FirstPort: 65530, Tier: []simnet.Addr{w.tierAddr()},
+	}); err == nil {
+		t.Error("port-space overflow accepted")
+	}
+}

@@ -8,7 +8,9 @@
 # export must be structurally valid trace-event JSON, and sharded
 # mcload -scale runs (-shards 4, conservative and -optimistic) must be
 # byte-identical to the serial (-shards 1) run at the same seed, as must
-# a sharded -optimistic mcsim run against its serial baseline.
+# a sharded -optimistic mcsim run against its serial baseline, and the
+# replicated data tier storm (mcload -sync) must dump the same totals and
+# state digest serial vs sharded.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -17,7 +19,9 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/experiments ./internal/simnet ./internal/faults/... \
-	./internal/metrics/... ./internal/core/... ./internal/trace/...
+	./internal/metrics/... ./internal/core/... ./internal/trace/... \
+	./internal/database/... ./internal/mobiledb/... ./internal/repl/... \
+	./internal/workload/...
 go run ./cmd/mcsim -faults -clients 3 -rounds 3 -seed 1 >/dev/null
 go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics >/tmp/mc-metrics-a.txt
 go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics >/tmp/mc-metrics-b.txt
@@ -56,3 +60,14 @@ go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics >/tmp/mc-sim-a.txt 2>/d
 go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics -optimistic >/tmp/mc-sim-b.txt 2>/dev/null
 cmp /tmp/mc-sim-a.txt /tmp/mc-sim-b.txt
 rm -f /tmp/mc-sim-a.txt /tmp/mc-sim-b.txt
+# The replicated data tier under the chaos plan: the resilient run must
+# report zero lost updates and a converged tier, and stdout (totals +
+# state digest) must be byte-identical serial vs sharded.
+go run ./cmd/mcload -sync -seed 7 -gateways 2 -cells 2 -devices 100 \
+	-duration 30s -shards 1 >/tmp/mc-sync-a.txt 2>/dev/null
+go run ./cmd/mcload -sync -seed 7 -gateways 2 -cells 2 -devices 100 \
+	-duration 30s -shards 4 >/tmp/mc-sync-b.txt 2>/dev/null
+cmp /tmp/mc-sync-a.txt /tmp/mc-sync-b.txt
+grep -q '^lost=0 ' /tmp/mc-sync-a.txt
+grep -q '^converged: yes' /tmp/mc-sync-a.txt
+rm -f /tmp/mc-sync-a.txt /tmp/mc-sync-b.txt
