@@ -269,6 +269,7 @@ func NewSyncService(m *repl.Member, policy mobiledb.Policy, merge mobiledb.Merge
 		return nil, err
 	}
 	m.OnCommitAdvance(s.drain)
+	m.OnLeaderChange(s.onLeader)
 	sc := m.Node().Network().Metrics.Instance("mobiledb.sync." + metrics.Sanitize(m.Name()))
 	sc.AliasCounter("sessions", &sv.Sessions)
 	sc.AliasCounter("writes", &sv.Writes)
@@ -311,6 +312,27 @@ func (s *SyncService) Crash() {
 	s.pending = nil
 	s.sv.Reset()
 	s.bcast = 0
+}
+
+// onLeader runs on every change of the member's leadership view. The
+// moment this member stops being the primary its held device acks are
+// void: the records they gate on are beyond the commit index, so an
+// interregnum may truncate and rebuild the log past each pending walLen
+// with different records — if this member later re-won an election, its
+// commit passing that walLen would release an ack for writes the failover
+// lost. Dropping the responses keeps the invariant that an ack can never
+// name a record a failover may lose; devices time out, retry the session,
+// and the (origin, clock) idempotency check keeps the retry safe.
+func (s *SyncService) onLeader(int) {
+	if s.m.IsLeader() || len(s.pending) == 0 {
+		return
+	}
+	tr := s.m.Node().Network().Tracer
+	for _, p := range s.pending {
+		tr.Annotate(p.ctx, "sync.leadership_lost")
+		tr.Finish(p.ctx)
+	}
+	s.pending = nil
 }
 
 func (s *SyncService) recv(from simnet.Addr, body any, bytes int) {

@@ -147,6 +147,7 @@ type Member struct {
 	role        int
 	leader      int // last known primary rank, -1 unknown
 	commit      int
+	matchIdx    int // prefix verified to match the current leader's log
 	votes       uint64
 	next, acked []int // leader bookkeeping per member
 	applyTerm   int   // term for records being applied from a ship
@@ -323,9 +324,18 @@ func (m *Member) syncDone() {
 		return
 	}
 	if m.leader >= 0 {
-		m.sendAck(m.leader, ackMsg{Term: m.term, From: m.cfg.Rank, Applied: m.syncedRecs, Matched: true})
+		m.sendAck(m.leader, ackMsg{Term: m.term, From: m.cfg.Rank, Applied: m.ackIdx(), Matched: true})
 	}
 }
+
+// ackIdx is the length a follower may safely acknowledge: its durable
+// prefix, bounded by the prefix verified (via ship log-matching checks) to
+// agree with the current leader's log. A follower can hold synced records
+// a new leader never saw — an old primary that kept writing through a
+// partition, or a replica whose acks were lost before a failover — and
+// acking that tail unbounded would count divergent entries toward quorum
+// and walk the leader's next[]/acked[] past its own WAL.
+func (m *Member) ackIdx() int { return min(m.syncedRecs, m.matchIdx) }
 
 // resetLease (re)arms the follower lease timer.
 func (m *Member) resetLease() {
@@ -506,6 +516,10 @@ func (m *Member) setLeader(l int) {
 	if l == m.leader {
 		return
 	}
+	// A different leader means a different log to match against: drop the
+	// verified prefix back to the commit index (committed entries are
+	// quorum-durable, so every electable leader's log contains them).
+	m.matchIdx = m.commit
 	m.leader = l
 	for _, fn := range m.leaderCbs {
 		fn(l)
@@ -518,7 +532,13 @@ func (m *Member) stepDown(term int) {
 		m.term = term
 		m.votedFor = -1
 	}
-	if m.role == roleLeader {
+	// A term change can reseat the same rank as leader over a rebuilt log,
+	// so the verified prefix resets even when the leader rank is unchanged.
+	m.matchIdx = m.commit
+	wasLeader := m.role == roleLeader
+	m.role = roleFollower
+	m.votes = 0
+	if wasLeader {
 		m.hbT.Cancel()
 		tracer := m.node.Network().Tracer
 		for r, c := range m.shipCtx {
@@ -527,9 +547,11 @@ func (m *Member) stepDown(term int) {
 				m.shipCtx[r] = trace.Context{}
 			}
 		}
+		// A deposed primary no longer knows who leads — and observers
+		// (the sync service) must see the demotion: its held device acks
+		// gate on WAL positions an interregnum may truncate and rebuild.
+		m.setLeader(-1)
 	}
-	m.role = roleFollower
-	m.votes = 0
 	m.resetLease()
 }
 
@@ -609,11 +631,18 @@ func (m *Member) onShip(msg *shipMsg) {
 		m.AppliedRecs++
 		appended = true
 	}
-	if c := min(msg.Commit, m.db.WALLen()); c > m.commit {
+	// The log-matching check held and the batch's records are in place, so
+	// the prefix through the batch end is verified against this leader.
+	// Anything beyond it stays unverified until a later ship covers it.
+	m.matchIdx = max(m.matchIdx, msg.PrevIdx+len(msg.Recs))
+	// Advance commit only over the verified prefix (Raft's "index of last
+	// new entry" bound): an unverified tail must never be marked committed,
+	// or a later truncation would hit the conflict-below-commit panic.
+	if c := min(msg.Commit, m.matchIdx); c > m.commit {
 		m.setCommit(c)
 	}
 	if !appended {
-		m.sendAck(msg.From, ackMsg{Term: m.term, From: m.cfg.Rank, Applied: m.syncedRecs, Matched: true})
+		m.sendAck(msg.From, ackMsg{Term: m.term, From: m.cfg.Rank, Applied: m.ackIdx(), Matched: true})
 	}
 }
 
@@ -627,6 +656,12 @@ func (m *Member) onAck(msg *ackMsg) {
 		return
 	}
 	f := msg.From
+	// Never let a follower's report walk our bookkeeping past our own log:
+	// acked[]/next[] index termlog, and recomputeCommit treats them as
+	// lengths of replicas of *this* log.
+	if wl := m.db.WALLen(); msg.Applied > wl {
+		msg.Applied = wl
+	}
 	if m.shipCtx[f].Sampled() {
 		m.node.Network().Tracer.Finish(m.shipCtx[f])
 		m.shipCtx[f] = trace.Context{}
@@ -693,6 +728,7 @@ func (m *Member) truncateTo(n int) {
 		panic("repl: truncate: " + err.Error())
 	}
 	m.termlog = m.termlog[:n]
+	m.matchIdx = min(m.matchIdx, n)
 	m.rewriteDisk(n)
 	m.Truncations++
 }
@@ -742,6 +778,7 @@ func (m *Member) Crash() {
 	m.role = roleFollower
 	m.votes = 0
 	m.setLeader(-1)
+	m.matchIdx = 0
 }
 
 // Restart recovers the member from its torn durable image: the valid WAL

@@ -15,13 +15,23 @@ type cluster struct {
 	net     *simnet.Network
 	nodes   []*simnet.Node
 	members []*Member
+	links   map[[2]int]*simnet.Link
+}
+
+// partition downs (or restores) every link touching rank r.
+func (c *cluster) partition(r int, down bool) {
+	for k, l := range c.links {
+		if k[0] == r || k[1] == r {
+			l.SetDown(down)
+		}
+	}
 }
 
 func newCluster(t *testing.T, seed int64, n int, link simnet.LinkConfig) *cluster {
 	t.Helper()
 	s := simnet.NewScheduler(seed)
 	net := simnet.NewNetwork(s)
-	c := &cluster{sched: s, net: net}
+	c := &cluster{sched: s, net: net, links: map[[2]int]*simnet.Link{}}
 	addrs := make([]simnet.Addr, n)
 	for i := 0; i < n; i++ {
 		nd := net.NewNode(fmt.Sprintf("db%d", i))
@@ -33,6 +43,7 @@ func newCluster(t *testing.T, seed int64, n int, link simnet.LinkConfig) *cluste
 			l := simnet.Connect(c.nodes[i], c.nodes[j], link)
 			c.nodes[i].SetRoute(c.nodes[j].ID, l.IfaceA())
 			c.nodes[j].SetRoute(c.nodes[i].ID, l.IfaceB())
+			c.links[[2]int{i, j}] = l
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -224,6 +235,66 @@ func TestLossyLinksStillConverge(t *testing.T) {
 	c.requireConverged(t)
 	if leader.Commit() != leader.DB().WALLen() {
 		t.Errorf("commit %d lags WAL %d on a quiet lossy cluster", leader.Commit(), leader.DB().WALLen())
+	}
+}
+
+// TestDivergentFollowerRejoinsShorterLeader is the regression for the
+// unbounded follower ack: an old primary keeps writing through a
+// partition, growing a synced log longer than the new leader's, with the
+// divergence point beyond one ship batch. On rejoin, the first batch from
+// the new leader matches entirely below the divergence point — and the
+// follower must ack only that verified prefix, not its full durable
+// length. Acking the full length stored an index past the leader's WAL in
+// next[]/acked[], counted divergent records toward quorum, and made the
+// next heartbeat's termlog lookup panic the leader.
+func TestDivergentFollowerRejoinsShorterLeader(t *testing.T) {
+	c := newCluster(t, 5, 3, testLink)
+	p := c.members[0]
+	if err := declareKV(p.DB()); err != nil {
+		t.Fatal(err)
+	}
+	// 70 records (> BatchMax 64) so the first rejoin batch cannot reach
+	// the divergence point.
+	for i := 0; i < 70; i++ {
+		put(t, p.DB(), fmt.Sprintf("k%02d", i), int64(i))
+	}
+	c.sched.After(time.Second, func() {
+		if p.Commit() != p.DB().WALLen() {
+			t.Errorf("pre-partition commit %d lags WAL %d", p.Commit(), p.DB().WALLen())
+		}
+		c.partition(0, true)
+		// The isolated primary keeps accepting writes: locally synced,
+		// never replicated, never committed — and lost by the failover.
+		for i := 0; i < 10; i++ {
+			put(t, p.DB(), fmt.Sprintf("k%02d", i), int64(1000+i))
+		}
+	})
+	// Ranks 1 and 2 elect rank 1; heal once the new reign is established.
+	c.sched.After(2*time.Second, func() { c.partition(0, false) })
+	if err := c.sched.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	np := c.leader(t)
+	if np.cfg.Rank != 1 {
+		t.Errorf("leader rank = %d, want 1", np.cfg.Rank)
+	}
+	if p.IsLeader() {
+		t.Error("deposed primary still believes it leads")
+	}
+	c.requireConverged(t)
+	if np.Commit() != np.DB().WALLen() {
+		t.Errorf("commit %d lags WAL %d at quiescence", np.Commit(), np.DB().WALLen())
+	}
+	// The divergent writes were truncated away, restoring pre-partition
+	// values everywhere.
+	tx := p.DB().Begin()
+	defer tx.Abort()
+	row, err := tx.Get("kv", "k00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := row["v"].(int64); v != 0 {
+		t.Errorf("k00 = %d: divergent uncommitted write survived failover, want 0", v)
 	}
 }
 
