@@ -40,6 +40,7 @@ import (
 	"strings"
 
 	"mcommerce/internal/experiments"
+	"mcommerce/internal/mtcp"
 )
 
 func main() {
@@ -58,6 +59,7 @@ func run(args []string) error {
 	withMetrics := fs.Bool("metrics", false, "also print attached telemetry snapshots as per-metric tables")
 	shards := fs.Int("shards", 1, "worker lanes for the sharded scale experiment (output is byte-identical at any value)")
 	optimistic := fs.Bool("optimistic", false, "run the sharded scale experiment on the optimistic executor (output is byte-identical to conservative)")
+	cc := fs.String("cc", "reno", "TCP congestion control for transport-bearing experiments: reno or cubic (named-variant rows in the tcp experiment keep their own algorithms)")
 	prof := experiments.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +73,11 @@ func run(args []string) error {
 	experiments.ScaleWorkers = *shards
 	experiments.SyncStormWorkers = *shards
 	experiments.ScaleOptimistic = *optimistic
+	ccName, err := mtcp.ParseCC(*cc)
+	if err != nil {
+		return err
+	}
+	experiments.CC = ccName
 	if err := prof.Start(); err != nil {
 		return err
 	}

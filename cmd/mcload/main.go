@@ -55,6 +55,7 @@ import (
 	"mcommerce/internal/device"
 	"mcommerce/internal/experiments"
 	"mcommerce/internal/mobiledb"
+	"mcommerce/internal/mtcp"
 	"mcommerce/internal/trace"
 	"mcommerce/internal/wireless"
 	"mcommerce/internal/workload"
@@ -91,6 +92,7 @@ func run(args []string, w io.Writer) error {
 	cells := fs.Int("cells", 2, "with -scale, cell aggregator nodes per cluster")
 	stations := fs.Int("stations", 50, "with -scale, virtual stations per cell")
 	remote := fs.Int("remote", 200, "with -scale, per mille of each cell's stations that target the next cluster's host")
+	cc := fs.String("cc", "reno", "TCP congestion control on every full-fidelity endpoint: reno or cubic (output is byte-identical per seed for either; -scale and -sync tiers carry no TCP)")
 	shards := fs.Int("shards", 1, "worker lanes for the sharded executor (output is byte-identical at any value)")
 	optimistic := fs.Bool("optimistic", false, "with -scale, use the optimistic executor (speculative windows with checkpoint/rollback; output is byte-identical to conservative)")
 	withMetrics := fs.Bool("metrics", false, "with -scale, dump the merged telemetry registry after the run")
@@ -130,7 +132,11 @@ func run(args []string, w io.Writer) error {
 		}, w)
 	}
 
-	cfg := core.MCConfig{Seed: *seed}
+	ccName, err := mtcp.ParseCC(*cc)
+	if err != nil {
+		return err
+	}
+	cfg := core.MCConfig{Seed: *seed, CC: ccName}
 	switch strings.ToLower(*bearer) {
 	case "wlan":
 		cfg.Bearer = core.BearerWLAN

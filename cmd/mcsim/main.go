@@ -72,6 +72,7 @@ import (
 	"mcommerce/internal/device"
 	"mcommerce/internal/experiments"
 	"mcommerce/internal/faults"
+	"mcommerce/internal/mtcp"
 	"mcommerce/internal/simnet"
 	"mcommerce/internal/trace"
 	"mcommerce/internal/webserver"
@@ -100,6 +101,7 @@ type scenario struct {
 	dbReplicas  int
 	shards      int
 	optimistic  bool
+	cc          string
 	faults      bool
 	metrics     bool
 	metricsCSV  bool
@@ -125,6 +127,7 @@ func run(args []string) error {
 	dbReplicas := fs.Int("db-replicas", 0, "attach a replicated data tier with this many replicas beside the primary (0 = no data tier)")
 	shards := fs.Int("shards", 1, "worker lanes for the sharded executor (output is byte-identical at any value)")
 	optimistic := fs.Bool("optimistic", false, "use the optimistic executor (a one-shard world never speculates, so output is identical; the flag mirrors mcload)")
+	cc := fs.String("cc", "reno", "TCP congestion control on every endpoint: reno or cubic (output is byte-identical per seed for either)")
 	profiles := experiments.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,10 +154,15 @@ func run(args []string) error {
 		return fmt.Errorf("-trace-sample must be >= 1, got %d", *traceSample)
 	}
 
+	ccName, err := mtcp.ParseCC(*cc)
+	if err != nil {
+		return err
+	}
 	sc := scenario{
 		middleware: *middleware, clients: *clients, rounds: *rounds, shards: *shards,
 		dbReplicas: *dbReplicas,
 		optimistic: *optimistic,
+		cc:         ccName,
 		traceFile:  *traceFile, traceSample: *traceSample, packetTrace: *packetTrace,
 		faults:  *withFaults,
 		metrics: *withMetrics, metricsCSV: strings.EqualFold(*metricsFormat, "csv"),
@@ -209,7 +217,7 @@ func run(args []string) error {
 // runOne builds the scenario's system at the given seed, drives the
 // workload and writes the report to w.
 func runOne(sc scenario, seed int64, w io.Writer) error {
-	cfg := core.MCConfig{Seed: seed, Bearer: sc.bearer, WLANStandard: sc.wlan, CellStandard: sc.cell, DBReplicas: sc.dbReplicas}
+	cfg := core.MCConfig{Seed: seed, Bearer: sc.bearer, WLANStandard: sc.wlan, CellStandard: sc.cell, DBReplicas: sc.dbReplicas, CC: sc.cc}
 	profiles := device.Profiles()
 	for i := 0; i < sc.clients; i++ {
 		cfg.Devices = append(cfg.Devices, profiles[i%len(profiles)])

@@ -24,14 +24,16 @@ type Host struct {
 	Tokens *security.TokenAuthority
 }
 
-// NewHost boots a host computer on a fresh node in the network.
-func NewHost(net *simnet.Network, name string, tokenKey []byte) (*Host, error) {
+// NewHost boots a host computer on a fresh node in the network. tcp
+// tunes the web server's accepted connections (congestion control
+// choice, window sizes); the zero value means stack defaults.
+func NewHost(net *simnet.Network, name string, tokenKey []byte, tcp mtcp.Options) (*Host, error) {
 	node := net.NewNode(name)
 	stack, err := mtcp.NewStack(node)
 	if err != nil {
 		return nil, err
 	}
-	srv, err := webserver.New(stack, WebPort, mtcp.Options{})
+	srv, err := webserver.New(stack, WebPort, tcp)
 	if err != nil {
 		return nil, err
 	}

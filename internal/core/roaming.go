@@ -25,6 +25,10 @@ type RoamingMCConfig struct {
 	AuthKey []byte
 	// WAPConfig overrides the home gateway's middleware settings.
 	WAPConfig *wap.GatewayConfig
+	// CC selects the TCP congestion control algorithm for every endpoint
+	// (empty means Reno); an explicit WAPConfig TCP.CC wins for the
+	// gateway.
+	CC string
 }
 
 // RoamingMC is a mobile commerce deployment spanning two wireless subnets
@@ -77,7 +81,8 @@ func BuildRoamingMC(cfg RoamingMCConfig) (*RoamingMC, error) {
 	net := simnet.NewNetwork(simnet.NewScheduler(cfg.Seed))
 	r := &RoamingMC{Net: net, Sys: NewSystem(ModelMC)}
 
-	host, err := NewHost(net, "host", []byte("roaming-token-key"))
+	tcp := mtcp.Options{CC: cfg.CC}
+	host, err := NewHost(net, "host", []byte("roaming-token-key"), tcp)
 	if err != nil {
 		return nil, err
 	}
@@ -109,11 +114,14 @@ func BuildRoamingMC(cfg RoamingMCConfig) (*RoamingMC, error) {
 	if cfg.WAPConfig != nil {
 		wcfg = *cfg.WAPConfig
 	}
+	if wcfg.TCP.CC == "" {
+		wcfg.TCP.CC = cfg.CC
+	}
 	r.wapCfg = wcfg.WTP
 	if r.WAP, err = wap.NewGatewayWithStack(r.HomeGW, gwStack, wcfg); err != nil {
 		return nil, err
 	}
-	if r.IMode, err = imode.NewGatewayWithStack(r.HomeGW, gwStack, imode.GatewayConfig{}); err != nil {
+	if r.IMode, err = imode.NewGatewayWithStack(r.HomeGW, gwStack, imode.GatewayConfig{TCP: tcp}); err != nil {
 		return nil, err
 	}
 	r.HA = mobileip.NewHomeAgent(r.HomeGW, cfg.AuthKey)
@@ -145,7 +153,7 @@ func BuildRoamingMC(cfg RoamingMCConfig) (*RoamingMC, error) {
 	if r.Stack, err = mtcp.NewStack(r.Station.Node()); err != nil {
 		return nil, err
 	}
-	r.IModeClient = imode.NewClient(r.Stack, r.IMode.Addr(), mtcp.Options{})
+	r.IModeClient = imode.NewClient(r.Stack, r.IMode.Addr(), tcp)
 
 	r.buildGraph()
 	return r, nil

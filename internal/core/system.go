@@ -58,6 +58,11 @@ type MCConfig struct {
 	WiredLAN, WiredWAN *simnet.LinkConfig
 	// TokenKey seeds the host's token authority.
 	TokenKey []byte
+	// CC selects the TCP congestion control algorithm for every endpoint
+	// the build creates — host web server, gateways and station stacks
+	// (mtcp.CCReno or mtcp.CCCubic; empty means Reno). An explicit
+	// WAPConfig/IModeConfig TCP.CC wins over this for that gateway.
+	CC string
 	// DBReplicas attaches a replicated data tier: that many replica nodes
 	// beside the primary member on the host node (the cluster has
 	// DBReplicas+1 members). Zero means no data tier.
@@ -173,8 +178,12 @@ func buildMCOn(net *simnet.Network, cfg MCConfig) (*MC, error) {
 	mc.txnWAP = txn.Histogram("wap.latency")
 	mc.txnIMode = txn.Histogram("imode.latency")
 
+	// tcp carries the deployment-wide transport tuning to every endpoint
+	// built below.
+	tcp := mtcp.Options{CC: cfg.CC}
+
 	// Host computers on the wired LAN.
-	host, err := NewHost(net, "host", cfg.TokenKey)
+	host, err := NewHost(net, "host", cfg.TokenKey, tcp)
 	if err != nil {
 		return nil, fmt.Errorf("core: host: %w", err)
 	}
@@ -238,6 +247,9 @@ func buildMCOn(net *simnet.Network, cfg MCConfig) (*MC, error) {
 		if cfg.WAPConfig != nil {
 			wcfg = *cfg.WAPConfig
 		}
+		if wcfg.TCP.CC == "" {
+			wcfg.TCP.CC = cfg.CC
+		}
 		mc.wapCfg = wcfg
 		mc.WAP, err = wap.NewGatewayWithStack(gw, gwStack, wcfg)
 		if err != nil {
@@ -248,6 +260,9 @@ func buildMCOn(net *simnet.Network, cfg MCConfig) (*MC, error) {
 		icfg := imode.GatewayConfig{}
 		if cfg.IModeConfig != nil {
 			icfg = *cfg.IModeConfig
+		}
+		if icfg.TCP.CC == "" {
+			icfg.TCP.CC = cfg.CC
 		}
 		mc.IMode, err = imode.NewGatewayWithStack(gw, gwStack, icfg)
 		if err != nil {
@@ -297,7 +312,7 @@ func buildMCOn(net *simnet.Network, cfg MCConfig) (*MC, error) {
 			return nil, fmt.Errorf("core: station stack: %w", err)
 		}
 		if mc.IMode != nil {
-			client.IMode = imode.NewClient(client.Stack, mc.IMode.Addr(), mtcp.Options{})
+			client.IMode = imode.NewClient(client.Stack, mc.IMode.Addr(), tcp)
 		}
 		mc.Clients = append(mc.Clients, client)
 	}
@@ -426,6 +441,9 @@ type ECConfig struct {
 	Clients int
 	// TokenKey seeds the host's token authority.
 	TokenKey []byte
+	// CC selects the TCP congestion control algorithm for the host and
+	// clients (empty means Reno).
+	CC string
 }
 
 // ECClient is one desktop client computer in the EC baseline.
@@ -462,7 +480,7 @@ func BuildEC(cfg ECConfig) (*EC, error) {
 	ec := &EC{Net: net, Sys: NewSystem(ModelEC)}
 	ec.txn = net.Metrics.Scope("core.txn").Histogram("ec.latency")
 
-	host, err := NewHost(net, "host", cfg.TokenKey)
+	host, err := NewHost(net, "host", cfg.TokenKey, mtcp.Options{CC: cfg.CC})
 	if err != nil {
 		return nil, err
 	}
@@ -488,7 +506,7 @@ func BuildEC(cfg ECConfig) (*EC, error) {
 		}
 		ec.Clients = append(ec.Clients, &ECClient{
 			Node: node,
-			HTTP: webserver.NewClient(stack, mtcp.Options{}),
+			HTTP: webserver.NewClient(stack, mtcp.Options{CC: cfg.CC}),
 		})
 	}
 

@@ -97,7 +97,7 @@ func ablateWMLC(seed int64) *Result {
 		cfg := wap.DefaultGatewayConfig()
 		cfg.BinaryEncoding = binary
 		mc, err := core.BuildMC(core.MCConfig{
-			Seed: seed, WAPConfig: &cfg, DisableIMode: true,
+			Seed: seed, WAPConfig: &cfg, DisableIMode: true, CC: CC,
 			Devices: []device.Profile{device.PalmI705},
 			// A slow bearer makes byte savings visible: Bluetooth-class.
 			WLANStandard: wireless.Bluetooth,

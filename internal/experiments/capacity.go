@@ -25,8 +25,8 @@ func Capacity(seed int64) *Result {
 		cfg    core.MCConfig
 	}
 	bearers := []point{
-		{"802.11b WLAN", core.MCConfig{Seed: seed, Bearer: core.BearerWLAN}},
-		{"GPRS cell", core.MCConfig{Seed: seed, Bearer: core.BearerCellular, CellStandard: cellular.GPRS}},
+		{"802.11b WLAN", core.MCConfig{Seed: seed, Bearer: core.BearerWLAN, CC: CC}},
+		{"GPRS cell", core.MCConfig{Seed: seed, Bearer: core.BearerCellular, CellStandard: cellular.GPRS, CC: CC}},
 	}
 	for _, b := range bearers {
 		for _, users := range []int{2, 10, 25} {

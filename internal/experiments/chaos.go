@@ -145,7 +145,7 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 		wcfg.WTP.MaxRetries = -1 // single shot: a lost PDU is a lost transaction
 	}
 
-	mc, err := core.BuildMC(core.MCConfig{Seed: seed, WAPConfig: &wcfg, DisableIMode: true})
+	mc, err := core.BuildMC(core.MCConfig{Seed: seed, WAPConfig: &wcfg, DisableIMode: true, CC: CC})
 	if err != nil {
 		return nil, err
 	}

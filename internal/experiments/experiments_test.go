@@ -174,6 +174,38 @@ func TestTCPVariantClaims(t *testing.T) {
 	}
 }
 
+func TestTCPFaultPlanClaims(t *testing.T) {
+	results := TCPFaultPlan(1)
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	r := results[0]
+
+	// Every variant finishes the 2 MB transfer inside the horizon.
+	variants := []string{"TCP (end-to-end Reno)", "Snoop (packet caching)", "I-TCP (split connection)", "TCP + fast reconnect [2]"}
+	for _, v := range variants {
+		if r.Get(v+"/completed") != 1 {
+			t.Errorf("%s did not complete under the fault plan", v)
+		}
+	}
+	// The gateway schemes shield the wired sender: its retransmission
+	// overhead stays below the end-to-end baseline.
+	renoRtx := r.Get("TCP (end-to-end Reno)/rtx_overhead")
+	if snoop := r.Get("Snoop (packet caching)/rtx_overhead"); snoop >= renoRtx {
+		t.Errorf("snoop sender rtx overhead %v not below reno's %v", snoop, renoRtx)
+	}
+	if itcp := r.Get("I-TCP (split connection)/rtx_overhead"); itcp >= renoRtx {
+		t.Errorf("i-tcp sender rtx overhead %v not below reno's %v", itcp, renoRtx)
+	}
+	// Fast reconnect recovers from the first blackout faster than the
+	// baseline's backed-off RTO wait.
+	renoRec := r.Get("TCP (end-to-end Reno)/recovery0_ms")
+	fastRec := r.Get("TCP + fast reconnect [2]/recovery0_ms")
+	if !(renoRec > 0 && fastRec > 0 && fastRec < renoRec) {
+		t.Errorf("recovery after first blackout: fastrx=%vms reno=%vms", fastRec, renoRec)
+	}
+}
+
 func TestHandoffSweepShape(t *testing.T) {
 	res := HandoffSweep(1)
 	// Disconnections slow the transfer down monotonically for plain TCP.

@@ -74,7 +74,7 @@ func Figure2(seed int64) *Result {
 	res := newResult("Figure 2", "A mobile commerce system structure (6 components)",
 		"component kind", "instance")
 
-	mc, err := core.BuildMC(core.MCConfig{Seed: seed})
+	mc, err := core.BuildMC(core.MCConfig{Seed: seed, CC: CC})
 	if err != nil {
 		res.Note("build failed: %v", err)
 		return res

@@ -206,6 +206,7 @@ func Registry() map[string]func(seed int64) []*Result {
 		"table4":    func(seed int64) []*Result { return []*Result{Table4(seed)} },
 		"table5":    func(seed int64) []*Result { return []*Result{Table5(seed)} },
 		"tcp":       func(seed int64) []*Result { return TCPVariants(seed) },
+		"tcpfault":  TCPFaultPlan,
 		"handoff":   func(seed int64) []*Result { return []*Result{HandoffSweep(seed)} },
 		"adhoc":     func(seed int64) []*Result { return []*Result{AdHocHops(seed)} },
 		"mip":       func(seed int64) []*Result { return []*Result{MobileIPRoaming(seed)} },
@@ -220,5 +221,5 @@ func Registry() map[string]func(seed int64) []*Result {
 
 // Names returns registry keys in run order.
 func Names() []string {
-	return []string{"fig1", "fig2", "table1", "table2", "table3", "table4", "table5", "tcp", "handoff", "adhoc", "mip", "stream", "cap", "ablate", "chaos", "scale", "syncstorm"}
+	return []string{"fig1", "fig2", "table1", "table2", "table3", "table4", "table5", "tcp", "tcpfault", "handoff", "adhoc", "mip", "stream", "cap", "ablate", "chaos", "scale", "syncstorm"}
 }

@@ -46,7 +46,7 @@ func Streaming(seed int64) *Result {
 // streamRun plays the trailer over one standard.
 func streamRun(seed int64, std cellular.Standard) (apps.StreamStats, bool) {
 	mc, err := core.BuildMC(core.MCConfig{
-		Seed: seed, Bearer: core.BearerCellular, CellStandard: std,
+		Seed: seed, Bearer: core.BearerCellular, CellStandard: std, CC: CC,
 		Devices: []device.Profile{device.CompaqIPAQH3870},
 	})
 	if err != nil {

@@ -25,6 +25,7 @@ func Table1(seed int64) *Result {
 
 	mc, err := core.BuildMC(core.MCConfig{
 		Seed:    seed,
+		CC:      CC,
 		Devices: []device.Profile{device.CompaqIPAQH3870, device.ToshibaE740},
 	})
 	if err != nil {

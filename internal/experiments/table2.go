@@ -17,7 +17,7 @@ func Table2(seed int64) *Result {
 		"vendor & device", "operating system", "processor", "RAM/ROM",
 		"render", "battery used", "screenfuls")
 
-	mc, err := core.BuildMC(core.MCConfig{Seed: seed}) // all five Table 2 devices
+	mc, err := core.BuildMC(core.MCConfig{Seed: seed, CC: CC}) // all five Table 2 devices
 	if err != nil {
 		res.Note("build failed: %v", err)
 		return res

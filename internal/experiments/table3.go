@@ -27,6 +27,7 @@ func Table3(seed int64) *Result {
 
 	mc, err := core.BuildMC(core.MCConfig{
 		Seed:    seed,
+		CC:      CC,
 		Devices: []device.Profile{device.CompaqIPAQH3870, device.CompaqIPAQH3870},
 	})
 	if err != nil {

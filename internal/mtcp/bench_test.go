@@ -79,3 +79,50 @@ func BenchmarkConnectionSetupTeardown(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSegmentPath measures the established-connection hot path —
+// one Send draining through segmentation, delivery and the returning
+// ACK — and pins it allocation-free (the pooled-segment contract;
+// TestSegmentPathZeroAlloc enforces the same bound as a test).
+func BenchmarkSegmentPath(b *testing.B) {
+	d := newDuplex(b, 1, simnet.LinkConfig{Rate: 100 * simnet.Mbps, Delay: time.Millisecond})
+	rcvd := 0
+	if err := d.ss.Listen(80, mtcp.Options{}, func(c *mtcp.Conn) {
+		c.OnData(func(bs []byte) { rcvd += len(bs) })
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var conn *mtcp.Conn
+	d.cs.Dial(simnet.Addr{Node: d.server.ID, Port: 80}, mtcp.Options{}, func(c *mtcp.Conn, err error) {
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		conn = c
+	})
+	if err := d.net.Sched.RunUntil(time.Second); err != nil {
+		b.Fatal(err)
+	}
+	if conn == nil {
+		b.Fatal("no connection")
+	}
+	payload := make([]byte, 512)
+	// Warm the segment and packet pools before measuring.
+	for i := 0; i < 64; i++ {
+		conn.Send(payload)
+		if err := d.net.Sched.RunFor(50 * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn.Send(payload)
+		if err := d.net.Sched.RunFor(50 * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rcvd == 0 {
+		b.Fatal("no data delivered")
+	}
+}

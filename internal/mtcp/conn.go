@@ -7,24 +7,21 @@ import (
 	"mcommerce/internal/trace"
 )
 
-type connState int
-
-const (
-	stateSynSent connState = iota + 1
-	stateSynRcvd
-	stateEstablished
-	stateClosed
-)
-
-// Conn is one end of a simulated TCP connection. All methods must be called
-// from the simulation goroutine (i.e. from event callbacks or before the
-// scheduler runs).
+// Conn is one end of a simulated TCP connection. All methods must be
+// called from the simulation goroutine (i.e. from event callbacks or
+// before the scheduler runs).
+//
+// Inbound segments are dispatched through statefn, the handler for the
+// connection's current state: setState swaps the handler as the
+// connection walks the RFC 793 diagram (SYN_SENT → ESTABLISHED →
+// FIN_WAIT_1 → … → TIME_WAIT).
 type Conn struct {
 	stack     *Stack
 	localPort simnet.Port
 	remote    simnet.Addr
 	opts      Options
 	state     connState
+	statefn   statefn
 
 	// ctx is the causal span context every segment of this connection is
 	// stamped with — essential for timer-driven sends (RTO retransmits),
@@ -43,50 +40,52 @@ type Conn struct {
 	closed    bool // onClose delivered
 	eofFired  bool // onEOF delivered
 
-	// Send state. sndBuf holds the unacknowledged + unsent stream suffix;
-	// bufBase is the stream offset of sndBuf[0].
-	iss     uint64
+	// Send state. sndBuf holds the stream suffix from bufBase onward
+	// (acked prefix included until a quiescent trim); all sequence
+	// variables are 32-bit and wrap.
+	iss     uint32
 	sndBuf  []byte
-	bufBase uint64
-	sndUna  uint64
-	sndNxt  uint64
+	bufBase uint32 // stream sequence of sndBuf[0]
+	sndUna  uint32
+	sndNxt  uint32
 	peerWnd int
 
-	// Congestion control (Reno / NewReno).
-	cwnd       float64
-	ssthresh   float64
+	// Congestion control: the algorithm owns the window, the connection
+	// owns recovery orchestration.
+	cc         CongestionControl
 	dupAcks    int
 	inRecovery bool
 	// recover is the NewReno recovery point: the highest sequence
 	// outstanding when fast retransmit fired; recovery ends only once
 	// cumulative ACKs pass it.
-	recover uint64
+	recover  uint32
+	lastCwnd int // last window reported to the stack's cwnd gauge
 
-	// RTT estimation (Jacobson/Karels, Karn's rule).
+	// RTT estimation (RFC 6298 SRTT/RTTVAR, Karn's rule).
 	srtt     time.Duration
 	rttvar   time.Duration
 	rto      time.Duration
 	rttValid bool
-	rttSeq   uint64
+	rttSeq   uint32
 	rttStart time.Duration
 
-	// Retransmission timer.
+	// Retransmission / 2MSL timer.
 	rtoTimer simnet.Timer
 	retries  int
 
-	// maxSent is the highest stream offset ever transmitted, used to
-	// classify go-back-N sends as retransmissions.
-	maxSent uint64
+	// maxSent is the highest sequence ever transmitted, used to classify
+	// go-back-N sends as retransmissions.
+	maxSent uint32
 
 	// Close handshake.
 	closeReq bool
 	finSent  bool
-	finSeq   uint64
+	finSeq   uint32
 
 	// Receive state.
-	irs     uint64
-	rcvNxt  uint64
-	ooo     map[uint64]*Segment
+	irs     uint32
+	rcvNxt  uint32
+	ooo     map[uint32]*Segment
 	rcvdFin bool
 
 	stats Stats
@@ -98,13 +97,17 @@ func newConn(s *Stack, local simnet.Port, remote simnet.Addr, opts Options) *Con
 		localPort: local,
 		remote:    remote,
 		opts:      opts,
+		state:     stateClosed,
+		statefn:   stateHandlers[stateClosed],
 		ctx:       s.node.Network().Tracer.Current(),
 		peerWnd:   opts.MSS * opts.InitialCwndSegs,
-		cwnd:      float64(opts.MSS * opts.InitialCwndSegs),
-		ssthresh:  float64(opts.RcvWnd),
+		cc:        newCongestionControl(opts),
 		rto:       opts.RTOInitial,
-		ooo:       make(map[uint64]*Segment),
+		ooo:       make(map[uint32]*Segment),
 	}
+	c.cc.Init(c.sched().Now())
+	c.lastCwnd = c.cc.Cwnd()
+	s.m.cwnd.Add(int64(c.lastCwnd))
 	return c
 }
 
@@ -116,9 +119,24 @@ func (c *Conn) LocalAddr() simnet.Addr {
 // RemoteAddr returns the peer's address.
 func (c *Conn) RemoteAddr() simnet.Addr { return c.remote }
 
-// Established reports whether the three-way handshake has completed and the
-// connection has not closed.
-func (c *Conn) Established() bool { return c.state == stateEstablished }
+// State returns the connection's RFC 793 state name (for tests,
+// telemetry and debugging).
+func (c *Conn) State() string { return c.state.String() }
+
+// open reports whether the handshake has completed and the connection
+// has not finished closing (TIME_WAIT and CLOSED are "not open"; the
+// half-close states are, since data can still move).
+func (c *Conn) open() bool {
+	switch c.state {
+	case stateEstablished, stateFinWait1, stateFinWait2, stateClosing, stateCloseWait, stateLastAck:
+		return true
+	}
+	return false
+}
+
+// Established reports whether the three-way handshake has completed and
+// the connection has not closed.
+func (c *Conn) Established() bool { return c.open() }
 
 // Stats returns a snapshot of the connection's counters.
 func (c *Conn) Stats() Stats {
@@ -127,6 +145,10 @@ func (c *Conn) Stats() Stats {
 	st.RTO = c.rto
 	return st
 }
+
+// CCName returns the name of the congestion-control algorithm driving
+// the connection.
+func (c *Conn) CCName() string { return c.cc.Name() }
 
 // OnData registers the in-order data delivery callback. Payload slices are
 // owned by the connection; the callback must copy data it retains.
@@ -144,50 +166,80 @@ func (c *Conn) OnEOF(fn func()) {
 }
 
 // OnClose registers the close callback: nil error for orderly close, ErrReset
-// or ErrTimeout otherwise. It fires at most once.
+// or ErrTimeout otherwise. It fires at most once. From the application's
+// view TIME_WAIT is closed: only the protocol identity lingers.
 func (c *Conn) OnClose(fn func(error)) {
 	c.onClose = fn
-	if c.state == stateClosed && !c.closed {
+	if (c.state == stateClosed || c.state == stateTimeWait) && !c.closed {
 		c.closed = true
 		fn(nil)
 	}
 }
 
+// --- state transitions ---
+
+// setState moves the connection to s: it swaps the segment handler,
+// bumps the per-state entry counter and annotates the connection span.
+func (c *Conn) setState(s connState) {
+	if c.state == s {
+		return
+	}
+	c.state = s
+	c.statefn = stateHandlers[s]
+	c.stack.m.stateEntries[s].Inc()
+	c.stack.node.Network().Tracer.Annotate(c.ctx, stateAnnotations[s])
+}
+
 // --- connection establishment ---
 
+func (c *Conn) chooseISS() uint32 {
+	if c.opts.issOverride != nil {
+		return *c.opts.issOverride
+	}
+	return uint32(c.sched().Rand().Int63n(1 << 30))
+}
+
 func (c *Conn) startConnect() {
-	c.state = stateSynSent
-	c.iss = uint64(c.sched().Rand().Int63n(1 << 30))
+	c.setState(stateSynSent)
+	c.iss = c.chooseISS()
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1
-	c.bufBase = c.iss + 1
-	c.sendSeg(&Segment{Flags: SYN, Seq: c.iss, Wnd: c.opts.RcvWnd})
+	c.maxSent = c.sndNxt
+	c.bufBase = c.sndNxt
+	c.sendSYN()
 	c.restartRTO()
 }
 
 func (c *Conn) startAccept(syn *Segment) {
-	c.state = stateSynRcvd
+	c.setState(stateSynRcvd)
 	c.irs = syn.Seq
 	c.rcvNxt = syn.Seq + 1
 	c.peerWnd = syn.Wnd
-	c.iss = uint64(c.sched().Rand().Int63n(1 << 30))
+	c.iss = c.chooseISS()
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1
-	c.bufBase = c.iss + 1
-	c.sendSeg(&Segment{Flags: SYN | ACK, Seq: c.iss, Ack: c.rcvNxt, Wnd: c.opts.RcvWnd})
+	c.maxSent = c.sndNxt
+	c.bufBase = c.sndNxt
+	c.sendSYNACK()
 	c.restartRTO()
 }
 
 // --- application API ---
 
 // Send queues data for transmission. The slice is copied. Sending on a
-// closing or closed connection is a silent no-op.
+// closing or closed connection is a silent no-op; sending in CLOSE_WAIT
+// (after the peer half-closed) is allowed until Close.
 func (c *Conn) Send(data []byte) {
-	if c.state == stateClosed || c.closeReq || len(data) == 0 {
+	if c.closeReq || len(data) == 0 {
+		return
+	}
+	switch c.state {
+	case stateSynSent, stateSynRcvd, stateEstablished, stateCloseWait:
+	default:
 		return
 	}
 	c.sndBuf = append(c.sndBuf, data...)
-	if c.state == stateEstablished {
+	if c.state == stateEstablished || c.state == stateCloseWait {
 		c.trySend()
 	}
 }
@@ -195,11 +247,16 @@ func (c *Conn) Send(data []byte) {
 // Close requests an orderly close: queued data is delivered first, then a
 // FIN. The connection fully closes once both directions have finished.
 func (c *Conn) Close() {
-	if c.state == stateClosed || c.closeReq {
+	if c.closeReq {
 		return
 	}
-	c.closeReq = true
-	if c.state == stateEstablished {
+	switch c.state {
+	case stateSynSent, stateSynRcvd, stateEstablished, stateCloseWait:
+		c.closeReq = true
+	default:
+		return
+	}
+	if c.state == stateEstablished || c.state == stateCloseWait {
 		c.trySend()
 	}
 }
@@ -209,7 +266,7 @@ func (c *Conn) Abort() {
 	if c.state == stateClosed {
 		return
 	}
-	c.sendSeg(&Segment{Flags: RST | ACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+	c.sendRST()
 	c.teardown(ErrReset)
 }
 
@@ -220,7 +277,7 @@ func (c *Conn) Abort() {
 // instead of idling out its (possibly backed-off) RTO; acting as sender, it
 // retransmits the oldest unacknowledged segment at once with a fresh timer.
 func (c *Conn) SignalReconnect() {
-	if c.state != stateEstablished {
+	if !c.open() {
 		return
 	}
 	// Receiver role: provoke the peer's fast retransmit. One extra
@@ -232,7 +289,7 @@ func (c *Conn) SignalReconnect() {
 		c.stack.m.dupAcksSent.Inc()
 	}
 	// Sender role: resume our own outstanding data without waiting.
-	if c.sndNxt > c.sndUna {
+	if c.sndNxt != c.sndUna {
 		c.retries = 0
 		c.rto = c.currentRTOBase()
 		c.stats.FastRetransmits++
@@ -246,32 +303,94 @@ func (c *Conn) SignalReconnect() {
 
 func (c *Conn) sched() *simnet.Scheduler { return c.stack.node.Sched() }
 
-func (c *Conn) sendSeg(seg *Segment) {
+// sendSeg transmits a first-time segment (span mtcp.seg.tx when the
+// connection is traced).
+func (c *Conn) sendSeg(seg *Segment) { c.transmit(seg, "mtcp.seg.tx") }
+
+// sendSegRtx transmits a retransmission (span mtcp.seg.rtx).
+func (c *Conn) sendSegRtx(seg *Segment) { c.transmit(seg, "mtcp.seg.rtx") }
+
+func (c *Conn) transmit(seg *Segment, span string) {
 	c.stats.SegmentsSent++
 	c.stats.BytesSent += uint64(len(seg.Payload))
 	c.stack.m.segmentsSent.Inc()
 	c.stack.m.bytesSent.Add(uint64(len(seg.Payload)))
+	if c.ctx.Sampled() {
+		// Per-segment instant span: marks the tx on the connection's
+		// span timeline without needing to track the matching delivery.
+		tr := c.stack.node.Network().Tracer
+		tr.Finish(tr.StartSpan(c.ctx, span, trace.LayerTransport))
+	}
 	c.stack.sendRaw(c.localPort, c.remote, seg, c.ctx)
 }
 
 func (c *Conn) sendAck() {
-	c.sendSeg(&Segment{Flags: ACK, Seq: c.sndNxt, Ack: c.rcvNxt, Wnd: c.opts.RcvWnd})
+	seg := c.stack.allocSeg()
+	seg.Flags = ACK
+	seg.Seq = c.sndNxt
+	seg.Ack = c.rcvNxt
+	seg.Wnd = c.opts.RcvWnd
+	c.sendSeg(seg)
 }
 
-// dataEnd is the stream offset just past the last byte queued for sending.
-func (c *Conn) dataEnd() uint64 { return c.bufBase + uint64(len(c.sndBuf)) }
+func (c *Conn) sendSYN() {
+	seg := c.stack.allocSeg()
+	seg.Flags = SYN
+	seg.Seq = c.iss
+	seg.Wnd = c.opts.RcvWnd
+	c.sendSeg(seg)
+}
+
+func (c *Conn) sendSYNACK() {
+	seg := c.stack.allocSeg()
+	seg.Flags = SYN | ACK
+	seg.Seq = c.iss
+	seg.Ack = c.rcvNxt
+	seg.Wnd = c.opts.RcvWnd
+	c.sendSeg(seg)
+}
+
+func (c *Conn) sendFINACK(rtx bool) {
+	seg := c.stack.allocSeg()
+	seg.Flags = FIN | ACK
+	seg.Seq = c.finSeq
+	seg.Ack = c.rcvNxt
+	seg.Wnd = c.opts.RcvWnd
+	if rtx {
+		c.sendSegRtx(seg)
+	} else {
+		c.sendSeg(seg)
+	}
+}
+
+func (c *Conn) sendRST() {
+	seg := c.stack.allocSeg()
+	seg.Flags = RST | ACK
+	seg.Seq = c.sndNxt
+	seg.Ack = c.rcvNxt
+	c.sendSeg(seg)
+}
+
+// dataEnd is the stream sequence just past the last byte queued for
+// sending (exclusive of any FIN).
+func (c *Conn) dataEnd() uint32 { return c.bufBase + uint32(len(c.sndBuf)) }
 
 // trySend transmits as much queued data as the congestion and peer windows
-// allow, then a FIN if a close is pending and the buffer drained.
+// allow, then a FIN if a close is pending and the buffer drained. Sending
+// a first FIN advances the close state machine (ESTABLISHED → FIN_WAIT_1,
+// CLOSE_WAIT → LAST_ACK).
 func (c *Conn) trySend() {
+	if c.state == stateClosed || c.state == stateTimeWait {
+		return
+	}
 	for {
-		inFlight := int(c.sndNxt - c.sndUna)
-		wnd := int(c.cwnd)
+		inFlight := int(seqDiff(c.sndNxt, c.sndUna))
+		wnd := c.cc.Cwnd()
 		if c.peerWnd < wnd {
 			wnd = c.peerWnd
 		}
 		avail := wnd - inFlight
-		pending := int(c.dataEnd() - c.sndNxt)
+		pending := int(seqDiff(c.dataEnd(), c.sndNxt))
 		if pending <= 0 {
 			break
 		}
@@ -292,36 +411,50 @@ func (c *Conn) trySend() {
 			}
 			n = avail
 		}
-		off := c.sndNxt - c.bufBase
-		seg := &Segment{
-			Flags:   ACK,
-			Seq:     c.sndNxt,
-			Ack:     c.rcvNxt,
-			Wnd:     c.opts.RcvWnd,
-			Payload: c.sndBuf[off : off+uint64(n)],
-		}
-		if !c.rttValid && seg.Seq >= c.maxSent {
+		off := int(c.sndNxt - c.bufBase)
+		seg := c.stack.allocSeg()
+		seg.Flags = ACK
+		seg.Seq = c.sndNxt
+		seg.Ack = c.rcvNxt
+		seg.Wnd = c.opts.RcvWnd
+		seg.Payload = c.sndBuf[off : off+n]
+		rtx := seqLT(seg.Seq, c.maxSent)
+		if !c.rttValid && !rtx {
 			c.rttValid = true
 			c.rttSeq = c.sndNxt
 			c.rttStart = c.sched().Now()
 		}
-		if seg.Seq < c.maxSent {
+		if rtx {
 			c.stats.Retransmits++
 			c.stack.m.retransmits.Inc()
+			c.stack.m.rtx.Inc()
 		}
-		c.sndNxt += uint64(n)
-		if c.sndNxt > c.maxSent {
+		c.sndNxt += uint32(n)
+		if seqGT(c.sndNxt, c.maxSent) {
 			c.maxSent = c.sndNxt
 		}
-		c.sendSeg(seg)
+		if rtx {
+			c.sendSegRtx(seg)
+		} else {
+			c.sendSeg(seg)
+		}
 		c.ensureRTO()
 	}
 	if c.closeReq && !c.finSent && c.sndNxt == c.dataEnd() {
 		c.finSent = true
 		c.finSeq = c.sndNxt
-		c.sendSeg(&Segment{Flags: FIN | ACK, Seq: c.sndNxt, Ack: c.rcvNxt, Wnd: c.opts.RcvWnd})
+		c.sendFINACK(false)
 		c.sndNxt++
+		if seqGT(c.sndNxt, c.maxSent) {
+			c.maxSent = c.sndNxt
+		}
 		c.ensureRTO()
+		switch c.state {
+		case stateEstablished:
+			c.setState(stateFinWait1)
+		case stateCloseWait:
+			c.setState(stateLastAck)
+		}
 	}
 }
 
@@ -329,38 +462,60 @@ func (c *Conn) trySend() {
 func (c *Conn) retransmitOldest() {
 	c.stats.Retransmits++
 	c.stack.m.retransmits.Inc()
+	c.stack.m.rtx.Inc()
 	// Karn's rule: a retransmitted sequence must not produce an RTT
 	// sample.
-	if c.rttValid && c.rttSeq >= c.sndUna {
+	if c.rttValid && seqGE(c.rttSeq, c.sndUna) {
 		c.rttValid = false
 	}
 	switch c.state {
 	case stateSynSent:
-		c.sendSeg(&Segment{Flags: SYN, Seq: c.iss, Wnd: c.opts.RcvWnd})
+		c.sendSYN()
 		return
 	case stateSynRcvd:
-		c.sendSeg(&Segment{Flags: SYN | ACK, Seq: c.iss, Ack: c.rcvNxt, Wnd: c.opts.RcvWnd})
+		c.sendSYNACK()
 		return
 	}
 	if c.finSent && c.sndUna == c.finSeq {
-		c.sendSeg(&Segment{Flags: FIN | ACK, Seq: c.finSeq, Ack: c.rcvNxt, Wnd: c.opts.RcvWnd})
+		c.sendFINACK(true)
 		return
 	}
-	n := int(c.dataEnd() - c.sndUna)
+	n := int(seqDiff(c.dataEnd(), c.sndUna))
 	if n <= 0 {
 		return
 	}
 	if n > c.opts.MSS {
 		n = c.opts.MSS
 	}
-	off := c.sndUna - c.bufBase
-	c.sendSeg(&Segment{
-		Flags:   ACK,
-		Seq:     c.sndUna,
-		Ack:     c.rcvNxt,
-		Wnd:     c.opts.RcvWnd,
-		Payload: c.sndBuf[off : off+uint64(n)],
-	})
+	off := int(c.sndUna - c.bufBase)
+	seg := c.stack.allocSeg()
+	seg.Flags = ACK
+	seg.Seq = c.sndUna
+	seg.Ack = c.rcvNxt
+	seg.Wnd = c.opts.RcvWnd
+	seg.Payload = c.sndBuf[off : off+n]
+	c.sendSegRtx(seg)
+}
+
+// sendProbe emits a one-byte zero-window probe (RFC 793 persist): the
+// peer must answer with its current window, reopening flow when the
+// window update that would have restarted us was lost.
+func (c *Conn) sendProbe() {
+	if int(seqDiff(c.dataEnd(), c.sndNxt)) <= 0 {
+		return
+	}
+	off := int(c.sndNxt - c.bufBase)
+	seg := c.stack.allocSeg()
+	seg.Flags = ACK
+	seg.Seq = c.sndNxt
+	seg.Ack = c.rcvNxt
+	seg.Wnd = c.opts.RcvWnd
+	seg.Payload = c.sndBuf[off : off+1]
+	c.sndNxt++
+	if seqGT(c.sndNxt, c.maxSent) {
+		c.maxSent = c.sndNxt
+	}
+	c.sendSeg(seg)
 }
 
 // --- timers ---
@@ -385,9 +540,15 @@ func (c *Conn) ensureRTO() {
 	}
 }
 
+// connRTO / connTimeWait adapt timer callbacks to AfterCall, which takes
+// a plain function plus argument: method values would allocate a closure
+// per (re)arm, and the RTO timer re-arms on every ACK.
+func connRTO(a any)      { a.(*Conn).onRTO() }
+func connTimeWait(a any) { a.(*Conn).onTimeWaitExpired() }
+
 func (c *Conn) restartRTO() {
 	c.rtoTimer.Cancel()
-	c.rtoTimer = c.sched().After(c.rto, c.onRTO)
+	c.rtoTimer = c.sched().AfterCall(c.rto, connRTO, c)
 }
 
 func (c *Conn) stopRTO() {
@@ -395,14 +556,22 @@ func (c *Conn) stopRTO() {
 }
 
 func (c *Conn) onRTO() {
-	if c.state == stateClosed {
+	if c.state == stateClosed || c.state == stateTimeWait {
 		return
 	}
 	if c.sndUna == c.sndNxt && c.state == stateEstablished {
-		return // nothing outstanding
+		// Nothing outstanding. If data is stalled behind a zero peer
+		// window, probe it (a lost window update would otherwise
+		// deadlock the flow); else the timer was stale.
+		if c.peerWnd == 0 && int(seqDiff(c.dataEnd(), c.sndNxt)) > 0 {
+			c.sendProbe()
+			c.restartRTO()
+		}
+		return
 	}
 	c.stats.Timeouts++
 	c.stack.m.timeouts.Inc()
+	c.stack.m.rto.Inc()
 	c.stack.node.Network().Tracer.Annotate(c.ctx, "tcp.rto")
 	c.retries++
 	if c.retries > c.opts.MaxRetries {
@@ -417,23 +586,25 @@ func (c *Conn) onRTO() {
 		c.teardown(err)
 		return
 	}
-	// Multiplicative decrease to a single segment; exponential backoff.
-	flight := float64(c.sndNxt - c.sndUna)
-	c.ssthresh = maxf(flight/2, float64(2*c.opts.MSS))
-	c.cwnd = float64(c.opts.MSS)
+	// Multiplicative decrease; exponential backoff.
+	flight := int(seqDiff(c.sndNxt, c.sndUna))
+	c.cc.OnTimeout(flight, c.sched().Now())
+	c.syncCwnd()
 	c.dupAcks = 0
 	c.inRecovery = false
 	c.rto *= 2
 	if c.rto > c.opts.RTOMax {
 		c.rto = c.opts.RTOMax
 	}
-	if c.state == stateEstablished {
+	if c.open() {
 		// Go-back-N: rewind the send pointer so the ACK clock
 		// re-transmits everything from the loss onward as the window
 		// reopens. Without this, a burst loss degenerates into one
-		// segment per RTO.
+		// segment per RTO. An unacknowledged FIN is withdrawn and
+		// re-sent by trySend once the data drains again (the state,
+		// already past the transition, is unaffected).
 		c.rttValid = false
-		if c.finSent && c.finSeq >= c.sndUna {
+		if c.finSent && seqGE(c.finSeq, c.sndUna) {
 			c.finSent = false
 		}
 		c.sndNxt = c.sndUna
@@ -444,8 +615,32 @@ func (c *Conn) onRTO() {
 	c.restartRTO()
 }
 
-// --- reception ---
+// armTimeWait (re)starts the 2MSL TIME_WAIT clock.
+func (c *Conn) armTimeWait() {
+	c.rtoTimer.Cancel()
+	c.rtoTimer = c.sched().AfterCall(2*c.opts.MSL, connTimeWait, c)
+}
 
+func (c *Conn) onTimeWaitExpired() {
+	if c.state != stateTimeWait {
+		return
+	}
+	c.teardown(nil)
+}
+
+// syncCwnd folds the congestion window's latest value into the stack's
+// cwnd gauge (which tracks the sum over live connections) by delta.
+func (c *Conn) syncCwnd() {
+	if w := c.cc.Cwnd(); w != c.lastCwnd {
+		c.stack.m.cwnd.Add(int64(w - c.lastCwnd))
+		c.lastCwnd = w
+	}
+}
+
+// --- reception: per-state handlers ---
+
+// receive runs the common preamble (stats, RST) and dispatches the
+// segment to the current state's handler.
 func (c *Conn) receive(seg *Segment) {
 	if c.state == stateClosed {
 		return
@@ -453,110 +648,267 @@ func (c *Conn) receive(seg *Segment) {
 	c.stats.SegmentsReceived++
 	c.stack.m.segmentsRcvd.Inc()
 	if seg.Flags&RST != 0 {
-		err := ErrReset
-		if c.state == stateSynSent && c.onConnect != nil {
-			cb := c.onConnect
-			c.onConnect = nil
-			c.teardown(err)
-			cb(nil, err)
-			return
-		}
+		c.handleRST()
+		return
+	}
+	c.statefn(c, seg)
+}
+
+func (c *Conn) handleRST() {
+	if c.state == stateTimeWait {
+		// Already closed for the application; the RST just releases the
+		// 2MSL hold early.
+		c.teardown(nil)
+		return
+	}
+	err := ErrReset
+	if c.state == stateSynSent && c.onConnect != nil {
+		cb := c.onConnect
+		c.onConnect = nil
 		c.teardown(err)
+		cb(nil, err)
 		return
 	}
+	c.teardown(err)
+}
 
-	switch c.state {
-	case stateSynSent:
-		if seg.Flags&(SYN|ACK) == SYN|ACK && seg.Ack == c.sndNxt {
-			c.irs = seg.Seq
-			c.rcvNxt = seg.Seq + 1
-			c.peerWnd = seg.Wnd
-			c.sndUna = seg.Ack
-			c.state = stateEstablished
-			c.retries = 0
-			c.stopRTO()
-			c.sendAck()
-			if cb := c.onConnect; cb != nil {
-				c.onConnect = nil
-				cb(c, nil)
-			}
-			c.trySend()
+// stDrop is the handler for states that never see segments through a
+// Conn (CLOSED, LISTEN — the stack answers for those).
+func (c *Conn) stDrop(*Segment) {}
+
+func (c *Conn) stSynSent(seg *Segment) {
+	switch {
+	case seg.Flags&(SYN|ACK) == SYN|ACK && seg.Ack == c.sndNxt:
+		c.irs = seg.Seq
+		c.rcvNxt = seg.Seq + 1
+		c.peerWnd = seg.Wnd
+		c.sndUna = seg.Ack
+		c.retries = 0
+		c.stopRTO()
+		c.setState(stateEstablished)
+		c.sendAck()
+		if cb := c.onConnect; cb != nil {
+			c.onConnect = nil
+			cb(c, nil)
+		}
+		c.trySend()
+	case seg.Flags&SYN != 0 && seg.Flags&ACK == 0:
+		// Simultaneous open (RFC 793 fig. 8): both ends dialed each
+		// other. Acknowledge the peer's SYN and wait in SYN_RCVD for
+		// the ACK of our own.
+		c.irs = seg.Seq
+		c.rcvNxt = seg.Seq + 1
+		c.peerWnd = seg.Wnd
+		c.setState(stateSynRcvd)
+		c.sendSYNACK()
+		c.restartRTO()
+	}
+}
+
+func (c *Conn) stSynRcvd(seg *Segment) {
+	if seg.Flags&SYN != 0 && seg.Flags&ACK == 0 {
+		// Duplicate SYN: our SYN|ACK was lost; answer again without
+		// waiting for the RTO.
+		if seg.Seq == c.irs {
+			c.sendSYNACK()
 		}
 		return
-	case stateSynRcvd:
-		if seg.Flags&ACK != 0 && seg.Ack == c.sndNxt {
-			c.sndUna = seg.Ack
-			c.peerWnd = seg.Wnd
-			c.state = stateEstablished
-			c.retries = 0
-			c.stopRTO()
-			if cb := c.acceptFn; cb != nil {
-				c.acceptFn = nil
-				cb(c)
-			}
-			// Fall through to process any piggybacked payload.
-		} else {
-			return
-		}
 	}
+	if seg.Flags&ACK == 0 || seg.Ack != c.sndNxt {
+		return
+	}
+	// Plain ACK completes a passive open; SYN|ACK completes a
+	// simultaneous open (the peer moved to SYN_RCVD too and its SYN|ACK
+	// acknowledges our SYN).
+	c.sndUna = seg.Ack
+	c.peerWnd = seg.Wnd
+	c.retries = 0
+	c.stopRTO()
+	c.setState(stateEstablished)
+	if seg.Flags&SYN != 0 {
+		c.sendAck()
+	}
+	if cb := c.acceptFn; cb != nil {
+		c.acceptFn = nil
+		cb(c)
+	}
+	if cb := c.onConnect; cb != nil {
+		// Simultaneous open arrived through Dial.
+		c.onConnect = nil
+		cb(c, nil)
+	}
+	// Process any piggybacked payload, then push queued data.
+	c.processAck(seg)
+	if len(seg.Payload) > 0 || seg.Flags&FIN != 0 {
+		c.processData(seg)
+	}
+	c.maybeAdvanceClose()
+	c.trySend()
+}
 
+// stStream is the shared data-path body: ESTABLISHED and every
+// half-close state process cumulative ACKs and in-order data the same
+// way; maybeAdvanceClose applies the state-specific transitions.
+func (c *Conn) stStream(seg *Segment) {
 	if seg.Flags&ACK != 0 {
 		c.processAck(seg)
 	}
 	if len(seg.Payload) > 0 || seg.Flags&FIN != 0 {
 		c.processData(seg)
 	}
-	c.checkClosed()
+	c.maybeAdvanceClose()
 }
+
+func (c *Conn) stEstablished(seg *Segment) { c.stStream(seg) }
+
+// stFinWait serves FIN_WAIT_1 and FIN_WAIT_2: our FIN is out, the peer
+// may still send data, and its FIN moves us toward TIME_WAIT.
+func (c *Conn) stFinWait(seg *Segment) { c.stStream(seg) }
+
+// stClosing: simultaneous close — both FINs seen, waiting for the ACK of
+// ours. New data past the peer's FIN is a protocol violation.
+func (c *Conn) stClosing(seg *Segment) {
+	if c.dataPastFin(seg) {
+		c.abortUnexpected()
+		return
+	}
+	c.stStream(seg)
+}
+
+// stCloseWait: the peer half-closed; we may keep sending. Data beyond
+// the peer's FIN sequence can only come from a broken peer: reset.
+func (c *Conn) stCloseWait(seg *Segment) {
+	if c.dataPastFin(seg) {
+		c.abortUnexpected()
+		return
+	}
+	c.stStream(seg)
+}
+
+func (c *Conn) stLastAck(seg *Segment) {
+	if c.dataPastFin(seg) {
+		c.abortUnexpected()
+		return
+	}
+	c.stStream(seg)
+}
+
+// stTimeWait: re-ACK a retransmitted FIN (our final ACK was lost) and
+// restart the 2MSL clock; everything else is a stale duplicate.
+func (c *Conn) stTimeWait(seg *Segment) {
+	if seg.Flags&FIN != 0 {
+		c.sendAck()
+		c.armTimeWait()
+	}
+}
+
+// dataPastFin reports whether seg carries payload beyond the peer's FIN
+// — impossible from a conforming peer, so the caller resets.
+func (c *Conn) dataPastFin(seg *Segment) bool {
+	if !c.rcvdFin || len(seg.Payload) == 0 {
+		return false
+	}
+	return seqGT(seg.Seq+uint32(len(seg.Payload)), c.rcvNxt)
+}
+
+// abortUnexpected resets the connection in response to a segment that
+// violates the protocol in the current state.
+func (c *Conn) abortUnexpected() {
+	c.stack.node.Network().Tracer.Annotate(c.ctx, "tcp.rst_unexpected")
+	c.sendRST()
+	c.teardown(ErrReset)
+}
+
+// maybeAdvanceClose applies the close-handshake transitions that depend
+// on "our FIN is acknowledged" and "the peer's FIN arrived".
+func (c *Conn) maybeAdvanceClose() {
+	finAcked := c.finSent && seqGT(c.sndUna, c.finSeq)
+	switch c.state {
+	case stateEstablished:
+		if c.rcvdFin {
+			c.setState(stateCloseWait)
+		}
+	case stateFinWait1:
+		switch {
+		case finAcked && c.rcvdFin:
+			c.enterTimeWait()
+		case finAcked:
+			c.setState(stateFinWait2)
+		case c.rcvdFin:
+			c.setState(stateClosing)
+		}
+	case stateFinWait2:
+		if c.rcvdFin {
+			c.enterTimeWait()
+		}
+	case stateClosing:
+		if finAcked {
+			c.enterTimeWait()
+		}
+	case stateLastAck:
+		if finAcked {
+			c.teardown(nil)
+		}
+	}
+}
+
+// enterTimeWait completes the active close: both directions are done, so
+// the application sees the connection closed now, while the protocol
+// identity lingers for 2MSL to absorb stragglers and re-ACK a
+// retransmitted FIN.
+func (c *Conn) enterTimeWait() {
+	c.setState(stateTimeWait)
+	c.stopRTO()
+	c.releaseStream()
+	if c.ownSpan {
+		c.ownSpan = false
+		c.stack.node.Network().Tracer.Finish(c.ctx)
+	}
+	c.fireOnClose(nil)
+	c.armTimeWait()
+}
+
+// --- ACK processing ---
 
 func (c *Conn) processAck(seg *Segment) {
 	// A straggler ACK can cover data beyond a rewound send pointer
 	// (go-back-N after RTO): advance the pointer to match.
-	if seg.Ack > c.sndNxt && seg.Ack <= c.dataEnd()+1 {
+	if seqGT(seg.Ack, c.sndNxt) && seqLE(seg.Ack, c.dataEnd()+1) {
 		c.sndNxt = seg.Ack
 	}
 	switch {
-	case seg.Ack > c.sndUna && seg.Ack <= c.sndNxt:
-		ackedBytes := seg.Ack - c.sndUna
+	case seqGT(seg.Ack, c.sndUna) && seqLE(seg.Ack, c.sndNxt):
+		ackedBytes := int(seqDiff(seg.Ack, c.sndUna))
 		c.sndUna = seg.Ack
 		c.peerWnd = seg.Wnd
-		c.stats.BytesAcked += ackedBytes
+		c.stats.BytesAcked += uint64(ackedBytes)
 		c.trimBuffer()
 
-		if c.rttValid && seg.Ack > c.rttSeq {
+		if c.rttValid && seqGT(seg.Ack, c.rttSeq) {
 			c.sampleRTT(c.sched().Now() - c.rttStart)
 			c.rttValid = false
 		}
 		c.retries = 0
 		c.rto = c.currentRTOBase()
 		c.dupAcks = 0
-		if c.inRecovery && c.opts.NewReno && seg.Ack < c.recover {
+		if c.inRecovery && c.opts.NewReno && seqLT(seg.Ack, c.recover) {
 			// NewReno partial ACK: another segment from the lossy window
 			// is missing — retransmit it immediately, stay in recovery,
 			// and deflate by the amount acknowledged.
 			c.retransmitOldest()
-			c.cwnd -= float64(ackedBytes)
-			if c.cwnd < float64(c.opts.MSS) {
-				c.cwnd = float64(c.opts.MSS)
-			}
+			c.cc.OnPartialAck(ackedBytes)
+			c.syncCwnd()
 			c.restartRTO()
 			return
 		}
 		if c.inRecovery {
 			// Recovery complete: deflate to ssthresh.
 			c.inRecovery = false
-			c.cwnd = c.ssthresh
-		} else if c.cwnd < c.ssthresh {
-			// Slow start: one MSS per ACK (bounded by bytes acked).
-			inc := float64(c.opts.MSS)
-			if float64(ackedBytes) < inc {
-				inc = float64(ackedBytes)
-			}
-			c.cwnd += inc
+			c.cc.OnExitRecovery()
 		} else {
-			// Congestion avoidance: ~one MSS per RTT.
-			c.cwnd += float64(c.opts.MSS) * float64(c.opts.MSS) / c.cwnd
+			c.cc.OnAck(ackedBytes, c.sched().Now())
 		}
+		c.syncCwnd()
 		if c.sndUna == c.sndNxt {
 			c.stopRTO()
 		} else {
@@ -564,12 +916,13 @@ func (c *Conn) processAck(seg *Segment) {
 		}
 		c.trySend()
 
-	case seg.Ack == c.sndUna && c.sndNxt > c.sndUna && len(seg.Payload) == 0 && seg.Flags&(SYN|FIN) == 0:
+	case seg.Ack == c.sndUna && c.sndNxt != c.sndUna && len(seg.Payload) == 0 && seg.Flags&(SYN|FIN) == 0:
 		// Duplicate ACK.
 		c.dupAcks++
 		if c.inRecovery {
 			// Fast recovery: inflate and try to send new data.
-			c.cwnd += float64(c.opts.MSS)
+			c.cc.OnDupAck()
+			c.syncCwnd()
 			c.trySend()
 		} else if c.dupAcks == c.opts.DupAckThreshold {
 			c.fastRetransmit()
@@ -581,26 +934,44 @@ func (c *Conn) fastRetransmit() {
 	c.stats.FastRetransmits++
 	c.stack.m.fastRetransmits.Inc()
 	c.stack.node.Network().Tracer.Annotate(c.ctx, "tcp.fast_retransmit")
-	flight := float64(c.sndNxt - c.sndUna)
-	c.ssthresh = maxf(flight/2, float64(2*c.opts.MSS))
-	c.cwnd = c.ssthresh + float64(c.opts.DupAckThreshold*c.opts.MSS)
+	flight := int(seqDiff(c.sndNxt, c.sndUna))
+	c.cc.OnEnterRecovery(flight, c.sched().Now())
 	c.inRecovery = true
 	c.recover = c.sndNxt
+	c.syncCwnd()
 	c.retransmitOldest()
 	c.restartRTO()
 }
 
+// trimBuffer reclaims the acknowledged prefix of the send buffer. It
+// only acts when the flight is empty: any in-flight duplicate then
+// carries bytes the peer has fully acknowledged, which a receiver
+// discards without reading, so reusing the backing array is safe. (The
+// same invariant covers out-of-order copies the receiver buffered:
+// unacked bytes are never rewritten.)
 func (c *Conn) trimBuffer() {
-	if c.sndUna <= c.bufBase {
+	if c.finSent || c.sndUna != c.sndNxt {
 		return
 	}
-	drop := c.sndUna - c.bufBase
-	if drop > uint64(len(c.sndBuf)) {
-		drop = uint64(len(c.sndBuf))
+	acked := int(c.sndUna - c.bufBase)
+	if acked <= 0 {
+		return
 	}
-	c.sndBuf = c.sndBuf[drop:]
-	c.bufBase += drop
+	if acked == len(c.sndBuf) {
+		// Fully drained: rewind to the array start so steady-state
+		// request/response traffic reuses one allocation forever.
+		c.sndBuf = c.sndBuf[:0]
+		c.bufBase = c.sndUna
+	} else if acked >= trimThreshold {
+		n := copy(c.sndBuf, c.sndBuf[acked:])
+		c.sndBuf = c.sndBuf[:n]
+		c.bufBase = c.sndUna
+	}
 }
+
+// trimThreshold is the acked-prefix size past which a quiescent
+// connection compacts its send buffer in place.
+const trimThreshold = 1 << 20
 
 func (c *Conn) sampleRTT(sample time.Duration) {
 	if sample <= 0 {
@@ -621,17 +992,22 @@ func (c *Conn) sampleRTT(sample time.Duration) {
 	c.rto = c.currentRTOBase()
 }
 
+// --- data processing ---
+
 func (c *Conn) processData(seg *Segment) {
 	switch {
-	case seg.Seq <= c.rcvNxt && seg.Seq+seg.Len() > c.rcvNxt:
+	case seqLE(seg.Seq, c.rcvNxt) && seqGT(seg.Seq+seg.Len(), c.rcvNxt):
 		// In order (possibly with an already-received head to skip, when
 		// a retransmission repacketized across the original boundary).
 		c.acceptInOrder(seg)
 		c.drainOOO()
-	case seg.Seq > c.rcvNxt:
-		// Out of order: buffer (bounded) and duplicate-ACK.
+	case seqGT(seg.Seq, c.rcvNxt):
+		// Out of order: buffer (bounded) and duplicate-ACK. The segment
+		// itself is pool-owned, so retain an unpooled copy.
 		if len(c.ooo) < c.opts.RcvWnd/c.opts.MSS+1 {
-			c.ooo[seg.Seq] = seg
+			if _, dup := c.ooo[seg.Seq]; !dup {
+				c.ooo[seg.Seq] = seg.clone()
+			}
 		}
 		c.stats.DupAcksSent++
 		c.stack.m.dupAcksSent.Inc()
@@ -648,9 +1024,9 @@ func (c *Conn) drainOOO() {
 		var found *Segment
 		for s, sg := range c.ooo {
 			switch {
-			case s+sg.Len() <= c.rcvNxt:
+			case seqLE(s+sg.Len(), c.rcvNxt):
 				delete(c.ooo, s) // fully covered already
-			case s <= c.rcvNxt:
+			case seqLE(s, c.rcvNxt):
 				found = sg
 				delete(c.ooo, s)
 			}
@@ -667,15 +1043,15 @@ func (c *Conn) drainOOO() {
 
 func (c *Conn) acceptInOrder(seg *Segment) {
 	payload := seg.Payload
-	if skip := c.rcvNxt - seg.Seq; skip > 0 {
-		if skip >= uint64(len(payload)) {
+	if skip := int(seqDiff(c.rcvNxt, seg.Seq)); skip > 0 {
+		if skip >= len(payload) {
 			payload = nil
 		} else {
 			payload = payload[skip:]
 		}
 	}
 	if n := len(payload); n > 0 {
-		c.rcvNxt += uint64(n)
+		c.rcvNxt += uint32(n)
 		c.stats.BytesReceived += uint64(n)
 		c.stack.m.bytesRcvd.Add(uint64(n))
 		if c.onData != nil {
@@ -692,39 +1068,42 @@ func (c *Conn) acceptInOrder(seg *Segment) {
 	}
 }
 
-// checkClosed completes the orderly close when both directions finished.
-func (c *Conn) checkClosed() {
-	if c.state != stateEstablished {
-		return
-	}
-	finAcked := c.finSent && c.sndUna > c.finSeq
-	if finAcked && c.rcvdFin {
-		c.teardown(nil)
-	}
-}
+// --- teardown ---
 
-// teardown finalizes the connection and fires OnClose exactly once.
-func (c *Conn) teardown(err error) {
-	if c.state == stateClosed {
-		return
-	}
-	c.state = stateClosed
-	c.stopRTO()
-	c.stack.remove(c)
-	if c.ownSpan {
-		c.stack.node.Network().Tracer.Finish(c.ctx)
-	}
+// releaseStream frees the stream buffers once no more data can move.
+func (c *Conn) releaseStream() {
 	c.ooo = nil
 	c.sndBuf = nil
-	if c.onClose != nil && !c.closed {
+}
+
+func (c *Conn) fireOnClose(err error) {
+	if c.closed {
+		return
+	}
+	if c.onClose != nil {
 		c.closed = true
 		c.onClose(err)
 	}
 }
 
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
+// teardown finalizes the connection and fires OnClose exactly once.
+// A nil error from TIME_WAIT expiry is invisible to the application
+// (OnClose already fired when TIME_WAIT was entered).
+func (c *Conn) teardown(err error) {
+	if c.state == stateClosed {
+		return
 	}
-	return b
+	c.setState(stateClosed)
+	c.stopRTO()
+	c.stack.remove(c)
+	if c.ownSpan {
+		c.ownSpan = false
+		c.stack.node.Network().Tracer.Finish(c.ctx)
+	}
+	c.releaseStream()
+	if c.lastCwnd != 0 {
+		c.stack.m.cwnd.Add(-int64(c.lastCwnd))
+		c.lastCwnd = 0
+	}
+	c.fireOnClose(err)
 }

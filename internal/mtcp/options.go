@@ -2,6 +2,12 @@ package mtcp
 
 import "time"
 
+// Congestion-control algorithm names accepted by Options.CC.
+const (
+	CCReno  = "reno"
+	CCCubic = "cubic"
+)
+
 // Options tunes a connection. The zero value is usable: every field falls
 // back to its default. Split-connection deployments (Relay) typically use
 // distinct options on the wired and wireless legs.
@@ -31,7 +37,23 @@ type Options struct {
 	// loss is acknowledged, retransmitting one segment per partial ACK.
 	// Classic Reno (the default) exits recovery on the first new ACK and
 	// needs a timeout when several segments from one window are lost.
+	// The flag applies to either CC choice (it governs the recovery
+	// state machine, not window evolution).
 	NewReno bool
+	// CC selects the congestion-control algorithm: CCReno (default) or
+	// CCCubic. An unknown name panics at connection creation.
+	CC string
+	// MSL is the maximum segment lifetime; TIME_WAIT holds the
+	// connection identity for 2*MSL before the port becomes reusable.
+	// Default 2s (scaled down from the RFC 793 2min to simulation
+	// timescales; still several RTOs, so a retransmitted FIN from the
+	// peer is always re-ACKed rather than RST).
+	MSL time.Duration
+
+	// issOverride pins the initial send sequence number instead of
+	// drawing it from the scheduler RNG. Test hook (sequence-number
+	// wraparound coverage); nil means random.
+	issOverride *uint32
 }
 
 // DefaultOptions returns the defaults used when Options fields are zero.
@@ -45,6 +67,8 @@ func DefaultOptions() Options {
 		RTOMax:          30 * time.Second,
 		MaxRetries:      12,
 		DupAckThreshold: 3,
+		CC:              CCReno,
+		MSL:             2 * time.Second,
 	}
 }
 
@@ -74,6 +98,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DupAckThreshold <= 0 {
 		o.DupAckThreshold = d.DupAckThreshold
+	}
+	if o.CC == "" {
+		o.CC = d.CC
+	}
+	if o.MSL <= 0 {
+		o.MSL = d.MSL
 	}
 	return o
 }

@@ -36,27 +36,40 @@ func (f Flags) String() string {
 	return strings.Join(parts, "|")
 }
 
-// Segment is a simulated TCP segment. Sequence numbers are 64-bit byte
-// offsets (the simulation does not model 32-bit wraparound). A Segment
-// travels as the Body of a simnet.Packet with ProtoTCP.
+// Segment is a simulated TCP segment. Sequence numbers are real 32-bit
+// values: all comparisons wrap modulo 2^32 (see seq.go), exactly like
+// the wire protocol. A Segment travels as the Body of a simnet.Packet
+// with ProtoTCP.
+//
+// Segments on the hot path come from a per-stack free list: the sending
+// stack allocates, the receiving stack recycles after the connection has
+// processed the segment (receivers that must retain one — out-of-order
+// reassembly, snoop caches — take an unpooled copy first). Like the
+// packet pool, the free list is bypassed inside optimistic speculative
+// windows so rollbacks never see recycled state.
 type Segment struct {
 	Flags Flags
-	// Seq is the byte offset of Payload[0] in the sender's stream (for
-	// SYN/FIN, the sequence the flag occupies).
-	Seq uint64
-	// Ack is the next byte expected by the receiver; valid when ACK set.
-	Ack uint64
+	// Seq is the sequence number of Payload[0] in the sender's stream
+	// (for SYN/FIN, the sequence the flag occupies).
+	Seq uint32
+	// Ack is the next sequence expected by the receiver; valid when ACK
+	// set.
+	Ack uint32
 	// Wnd is the receiver's advertised window in bytes.
 	Wnd int
 	// Payload is the application data. Segments share payload slices with
 	// the sender's buffer; receivers must not mutate them.
 	Payload []byte
+
+	// pooled marks a segment owned by a stack free list; receivers
+	// recycle it after delivery. Copies made for retention clear it.
+	pooled bool
 }
 
 // Len returns the sequence-space length of the segment: payload bytes plus
 // one for SYN and one for FIN.
-func (s *Segment) Len() uint64 {
-	n := uint64(len(s.Payload))
+func (s *Segment) Len() uint32 {
+	n := uint32(len(s.Payload))
 	if s.Flags&SYN != 0 {
 		n++
 	}
@@ -64,6 +77,16 @@ func (s *Segment) Len() uint64 {
 		n++
 	}
 	return n
+}
+
+// clone returns an unpooled copy safe to retain past delivery. The
+// payload slice is shared: a sender never rewrites buffered bytes that a
+// receiver could still deliver (acked prefixes are only reused once the
+// peer has acknowledged — hence delivered or discarded — everything).
+func (s *Segment) clone() *Segment {
+	cp := *s
+	cp.pooled = false
+	return &cp
 }
 
 func (s *Segment) String() string {

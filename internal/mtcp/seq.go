@@ -1,0 +1,23 @@
+package mtcp
+
+// Sequence-number arithmetic over the 32-bit TCP sequence space. All
+// comparisons are modular (RFC 793 §3.3): a is "less than" b when the
+// signed distance from a to b is positive, which is correct as long as
+// the two values are within 2^31 of each other — guaranteed here because
+// a window never exceeds the 30-bit advertised receive buffer.
+
+// seqLT reports a < b in modular sequence space.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLE reports a <= b in modular sequence space.
+func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// seqGT reports a > b in modular sequence space.
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// seqGE reports a >= b in modular sequence space.
+func seqGE(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// seqDiff returns the signed modular distance a-b. Callers convert to
+// int for byte counts; the result is exact for distances under 2^31.
+func seqDiff(a, b uint32) int32 { return int32(a - b) }

@@ -13,9 +13,10 @@ type SnoopStats struct {
 }
 
 // snoopFlow tracks one fixed-host → mobile TCP flow at the access point.
+// Sequence bookkeeping is 32-bit modular, matching the transport.
 type snoopFlow struct {
-	cache    map[uint64]*simnet.Packet // seq -> cached data packet
-	lastAck  uint64
+	cache    map[uint32]*simnet.Packet // seq -> cached data packet
+	lastAck  uint32
 	haveAck  bool
 	dupCount int
 }
@@ -93,12 +94,18 @@ func (a *SnoopAgent) tap(p *simnet.Packet) bool {
 func (a *SnoopAgent) flow(key connPair) *snoopFlow {
 	f, ok := a.flows[key]
 	if !ok {
-		f = &snoopFlow{cache: make(map[uint64]*simnet.Packet)}
+		f = &snoopFlow{cache: make(map[uint32]*simnet.Packet)}
 		a.flows[key] = f
 	}
 	return f
 }
 
+// cacheData retains a copy of a data segment heading to the mobile. The
+// forwarded segment is pool-owned and its payload aliases the sender's
+// buffer, so the cache takes a fully-owned deep copy: an unpooled
+// Segment (the receiving stack must not recycle it out from under later
+// local retransmissions) with its own payload bytes (the sender reuses
+// its buffer once the stream is acknowledged).
 func (a *SnoopAgent) cacheData(key connPair, p *simnet.Packet, seg *Segment) {
 	f := a.flow(key)
 	if len(f.cache) >= a.maxCache {
@@ -107,7 +114,11 @@ func (a *SnoopAgent) cacheData(key connPair, p *simnet.Packet, seg *Segment) {
 	if _, dup := f.cache[seg.Seq]; dup {
 		return
 	}
-	f.cache[seg.Seq] = p.Clone()
+	cp := p.Clone()
+	own := seg.clone()
+	own.Payload = append([]byte(nil), seg.Payload...)
+	cp.Body = own
+	f.cache[seg.Seq] = cp
 	a.stats.Cached++
 }
 
@@ -115,20 +126,20 @@ func (a *SnoopAgent) cacheData(key connPair, p *simnet.Packet, seg *Segment) {
 // The verdict is whether to forward the ACK upstream.
 func (a *SnoopAgent) handleAck(key connPair, seg *Segment) bool {
 	f := a.flow(key)
-	if !f.haveAck || seg.Ack > f.lastAck {
+	if !f.haveAck || seqGT(seg.Ack, f.lastAck) {
 		// New ACK: evict acknowledged segments, pass upstream.
 		f.haveAck = true
 		f.lastAck = seg.Ack
 		f.dupCount = 0
 		for s, q := range f.cache {
 			qseg, ok := q.Body.(*Segment)
-			if ok && s+qseg.Len() <= seg.Ack {
+			if ok && seqLE(s+qseg.Len(), seg.Ack) {
 				delete(f.cache, s)
 			}
 		}
 		return true
 	}
-	if seg.Ack < f.lastAck {
+	if seqLT(seg.Ack, f.lastAck) {
 		return true // stale, let the end host sort it out
 	}
 	// Duplicate ACK. If we hold the missing segment the loss was on the

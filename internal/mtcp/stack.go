@@ -33,6 +33,11 @@ type listener struct {
 // registry: sums over every connection the stack ever carried, plus the
 // RTT sample distribution. Per-connection figures stay on Conn.Stats —
 // the registry holds the per-layer roll-up the telemetry spine needs.
+// rtx/rto are the transport-refactor counter names (retransmitted
+// segments, RTO expiries); retransmits/timeouts remain as the historical
+// aliases older dashboards read. cwnd tracks the summed congestion
+// window of live connections; state.* count entries into each RFC 793
+// state.
 type stackMetrics struct {
 	connsDialed     metrics.Counter
 	connsAccepted   metrics.Counter
@@ -44,6 +49,11 @@ type stackMetrics struct {
 	timeouts        metrics.Counter
 	fastRetransmits metrics.Counter
 	dupAcksSent     metrics.Counter
+	rtx             metrics.Counter
+	rto             metrics.Counter
+	rstsSent        metrics.Counter
+	cwnd            metrics.Gauge
+	stateEntries    [stateCount]metrics.Counter
 	rtt             metrics.Histogram
 }
 
@@ -53,8 +63,19 @@ type Stack struct {
 	node      *simnet.Node
 	conns     map[connKey]*Conn
 	listeners map[simnet.Port]*listener
-	nextPort  simnet.Port
-	m         stackMetrics
+	// localPorts refcounts connections per local port so ephemeral-port
+	// assignment is O(1) even with thousands of TIME_WAIT holds.
+	localPorts map[simnet.Port]int
+	nextPort   simnet.Port
+
+	// segFree is the stack's segment free list. Senders allocate here;
+	// the receiving stack recycles into its own list after delivery, so
+	// steady-state request/response traffic moves zero-allocation
+	// segments in both directions. Bypassed while the world speculates
+	// (see Segment).
+	segFree []*Segment
+
+	m stackMetrics
 }
 
 // NewStack binds a TCP stack to the node. It returns an error if the node
@@ -65,10 +86,11 @@ func NewStack(node *simnet.Node) (*Stack, error) {
 		return nil, fmt.Errorf("mtcp: %s already has a TCP stack", node)
 	}
 	s := &Stack{
-		node:      node,
-		conns:     make(map[connKey]*Conn),
-		listeners: make(map[simnet.Port]*listener),
-		nextPort:  32768,
+		node:       node,
+		conns:      make(map[connKey]*Conn),
+		listeners:  make(map[simnet.Port]*listener),
+		localPorts: make(map[simnet.Port]int),
+		nextPort:   32768,
 	}
 	sc := node.Network().Metrics.Instance("mtcp." + metrics.Sanitize(node.Name))
 	s.m = stackMetrics{
@@ -82,7 +104,14 @@ func NewStack(node *simnet.Node) (*Stack, error) {
 		timeouts:        sc.Counter("timeouts"),
 		fastRetransmits: sc.Counter("fast_retransmits"),
 		dupAcksSent:     sc.Counter("dup_acks_sent"),
+		rtx:             sc.Counter("rtx"),
+		rto:             sc.Counter("rto"),
+		rstsSent:        sc.Counter("rsts_sent"),
+		cwnd:            sc.Gauge("cwnd"),
 		rtt:             sc.Histogram("rtt"),
+	}
+	for st := connState(0); st < stateCount; st++ {
+		s.m.stateEntries[st] = sc.Counter(stateMetricNames[st])
 	}
 	node.Bind(simnet.ProtoTCP, s.deliver)
 	return s, nil
@@ -100,6 +129,37 @@ func MustNewStack(node *simnet.Node) *Stack {
 
 // Node returns the node the stack is bound to.
 func (s *Stack) Node() *simnet.Node { return s.node }
+
+// --- segment pool ---
+
+// allocSeg returns a zeroed pool-owned segment (or a garbage-collected
+// one inside speculative windows, for the same checkpoint-safety reason
+// the packet pool steps aside).
+func (s *Stack) allocSeg() *Segment {
+	if s.node.Network().Speculative() {
+		return &Segment{}
+	}
+	if k := len(s.segFree); k > 0 {
+		seg := s.segFree[k-1]
+		s.segFree = s.segFree[:k-1]
+		*seg = Segment{pooled: true}
+		return seg
+	}
+	return &Segment{pooled: true}
+}
+
+// freeSeg recycles a pool-owned segment. Unpooled segments (clones,
+// literals from tests) and speculative windows pass through untouched.
+func (s *Stack) freeSeg(seg *Segment) {
+	if !seg.pooled || s.node.Network().Speculative() {
+		return
+	}
+	seg.pooled = false
+	seg.Payload = nil
+	s.segFree = append(s.segFree, seg)
+}
+
+// --- listeners and dialing ---
 
 // Listen registers an accept callback on the port. Each established inbound
 // connection is passed to accept. Options apply to accepted connections.
@@ -131,7 +191,7 @@ func (s *Stack) Dial(raddr simnet.Addr, opts Options, connected func(*Conn, erro
 		c.ctx = tr.StartSpan(parent, "mtcp.conn", trace.LayerTransport)
 		c.ownSpan = true
 	}
-	s.conns[connKey{local: port, remote: raddr}] = c
+	s.insert(c)
 	s.m.connsDialed.Inc()
 	c.startConnect()
 	return c
@@ -153,21 +213,22 @@ func (s *Stack) portBusy(p simnet.Port) bool {
 	if _, ok := s.listeners[p]; ok {
 		return true
 	}
-	for k := range s.conns {
-		if k.local == p {
-			return true
-		}
-	}
-	return false
+	return s.localPorts[p] > 0
 }
 
-// deliver demultiplexes an inbound ProtoTCP packet.
+// deliver demultiplexes an inbound ProtoTCP packet; the segment is
+// recycled afterwards (connections copy anything they retain).
 func (s *Stack) deliver(p *simnet.Packet) {
 	seg, ok := p.Body.(*Segment)
 	if !ok {
 		s.node.Drop(p, "not-a-segment")
 		return
 	}
+	s.dispatch(p, seg)
+	s.freeSeg(seg)
+}
+
+func (s *Stack) dispatch(p *simnet.Packet, seg *Segment) {
 	key := connKey{local: p.Dst.Port, remote: p.Src}
 	if c, ok := s.conns[key]; ok {
 		c.receive(seg)
@@ -176,28 +237,39 @@ func (s *Stack) deliver(p *simnet.Packet) {
 	if l, ok := s.listeners[p.Dst.Port]; ok && seg.Flags&SYN != 0 && seg.Flags&ACK == 0 {
 		c := newConn(s, p.Dst.Port, p.Src, l.opts)
 		c.acceptFn = l.accept
-		s.conns[key] = c
+		s.insert(c)
 		s.m.connsAccepted.Inc()
 		c.startAccept(seg)
 		return
 	}
-	// A FIN for a connection we already closed: the peer lost our final
-	// ACK. Re-ACK instead of resetting so its orderly close completes.
+	// A FIN for a connection we already closed (its TIME_WAIT hold has
+	// expired): the peer lost our final ACK. Re-ACK instead of resetting
+	// so its orderly close completes.
 	if seg.Flags&FIN != 0 {
-		s.sendRaw(p.Dst.Port, p.Src, &Segment{Flags: ACK, Seq: seg.Ack, Ack: seg.Seq + seg.Len()}, trace.Context{})
+		reply := s.allocSeg()
+		reply.Flags = ACK
+		reply.Seq = seg.Ack
+		reply.Ack = seg.Seq + seg.Len()
+		s.sendRaw(p.Dst.Port, p.Src, reply, trace.Context{})
 		return
 	}
 	// Unknown connection: reset, unless this is itself a reset.
 	if seg.Flags&RST == 0 {
-		s.sendRaw(p.Dst.Port, p.Src, &Segment{Flags: RST | ACK, Seq: seg.Ack, Ack: seg.Seq + seg.Len()}, trace.Context{})
+		reply := s.allocSeg()
+		reply.Flags = RST | ACK
+		reply.Seq = seg.Ack
+		reply.Ack = seg.Seq + seg.Len()
+		s.m.rstsSent.Inc()
+		s.sendRaw(p.Dst.Port, p.Src, reply, trace.Context{})
 	}
 }
 
 // sendRaw emits a segment. All of the stack's transmissions funnel through
 // here; the packet shell comes from the network pool so the per-segment
-// cost is only the segment itself. ctx ties the packet to its connection's
-// span; the zero context falls back to the ambient one in Node.Send (the
-// right answer for raw replies emitted inside a delivery).
+// cost is only the (also pooled) segment itself. ctx ties the packet to
+// its connection's span; the zero context falls back to the ambient one
+// in Node.Send (the right answer for raw replies emitted inside a
+// delivery).
 func (s *Stack) sendRaw(local simnet.Port, remote simnet.Addr, seg *Segment, ctx trace.Context) {
 	p := s.node.Network().AllocPacket()
 	p.Src = simnet.Addr{Node: s.node.ID, Port: local}
@@ -209,6 +281,20 @@ func (s *Stack) sendRaw(local simnet.Port, remote simnet.Addr, seg *Segment, ctx
 	s.node.Send(p)
 }
 
+func (s *Stack) insert(c *Conn) {
+	s.conns[connKey{local: c.localPort, remote: c.remote}] = c
+	s.localPorts[c.localPort]++
+}
+
 func (s *Stack) remove(c *Conn) {
-	delete(s.conns, connKey{local: c.localPort, remote: c.remote})
+	key := connKey{local: c.localPort, remote: c.remote}
+	if _, ok := s.conns[key]; !ok {
+		return
+	}
+	delete(s.conns, key)
+	if n := s.localPorts[c.localPort]; n <= 1 {
+		delete(s.localPorts, c.localPort)
+	} else {
+		s.localPorts[c.localPort] = n - 1
+	}
 }

@@ -1,0 +1,104 @@
+package mtcp
+
+// connState is the TCP connection state (RFC 793 §3.2). LISTEN is held
+// by Stack listeners rather than a Conn, but is part of the enum so the
+// full diagram is nameable in metrics, traces and tests.
+type connState uint8
+
+const (
+	stateClosed connState = iota
+	stateListen
+	stateSynSent
+	stateSynRcvd
+	stateEstablished
+	stateFinWait1
+	stateFinWait2
+	stateClosing
+	stateCloseWait
+	stateLastAck
+	stateTimeWait
+	stateCount // sentinel
+)
+
+var stateNames = [stateCount]string{
+	stateClosed:      "CLOSED",
+	stateListen:      "LISTEN",
+	stateSynSent:     "SYN_SENT",
+	stateSynRcvd:     "SYN_RCVD",
+	stateEstablished: "ESTABLISHED",
+	stateFinWait1:    "FIN_WAIT_1",
+	stateFinWait2:    "FIN_WAIT_2",
+	stateClosing:     "CLOSING",
+	stateCloseWait:   "CLOSE_WAIT",
+	stateLastAck:     "LAST_ACK",
+	stateTimeWait:    "TIME_WAIT",
+}
+
+func (s connState) String() string {
+	if s >= stateCount {
+		return "INVALID"
+	}
+	return stateNames[s]
+}
+
+// stateMetricNames are the per-state entry counter names registered in
+// the stack's scope (mtcp.<node>.state.*).
+var stateMetricNames = [stateCount]string{
+	stateClosed:      "state.closed",
+	stateListen:      "state.listen",
+	stateSynSent:     "state.syn_sent",
+	stateSynRcvd:     "state.syn_rcvd",
+	stateEstablished: "state.established",
+	stateFinWait1:    "state.fin_wait_1",
+	stateFinWait2:    "state.fin_wait_2",
+	stateClosing:     "state.closing",
+	stateCloseWait:   "state.close_wait",
+	stateLastAck:     "state.last_ack",
+	stateTimeWait:    "state.time_wait",
+}
+
+// stateAnnotations are precomputed trace annotation strings, so entering
+// a state never concatenates on the hot path.
+var stateAnnotations = [stateCount]string{
+	stateClosed:      "tcp.state.closed",
+	stateListen:      "tcp.state.listen",
+	stateSynSent:     "tcp.state.syn_sent",
+	stateSynRcvd:     "tcp.state.syn_rcvd",
+	stateEstablished: "tcp.state.established",
+	stateFinWait1:    "tcp.state.fin_wait_1",
+	stateFinWait2:    "tcp.state.fin_wait_2",
+	stateClosing:     "tcp.state.closing",
+	stateCloseWait:   "tcp.state.close_wait",
+	stateLastAck:     "tcp.state.last_ack",
+	stateTimeWait:    "tcp.state.time_wait",
+}
+
+// statefn is a per-state segment handler: every inbound segment is
+// dispatched through the connection's current statefn (the Conn.statefn
+// pattern). Handlers are method expressions, so dispatch is a single
+// indirect call with no closure allocation.
+type statefn func(c *Conn, seg *Segment)
+
+// stateHandlers maps each state to its segment handler. CLOSED and
+// LISTEN never receive segments through a Conn (the stack answers for
+// them), but are wired to a drop handler for safety. Filled in init to
+// break the handler → setState → table initialization cycle.
+var stateHandlers [stateCount]statefn
+
+func init() { stateHandlers = handlerTable() }
+
+func handlerTable() [stateCount]statefn {
+	return [stateCount]statefn{
+		stateClosed:      (*Conn).stDrop,
+		stateListen:      (*Conn).stDrop,
+		stateSynSent:     (*Conn).stSynSent,
+		stateSynRcvd:     (*Conn).stSynRcvd,
+		stateEstablished: (*Conn).stEstablished,
+		stateFinWait1:    (*Conn).stFinWait,
+		stateFinWait2:    (*Conn).stFinWait,
+		stateClosing:     (*Conn).stClosing,
+		stateCloseWait:   (*Conn).stCloseWait,
+		stateLastAck:     (*Conn).stLastAck,
+		stateTimeWait:    (*Conn).stTimeWait,
+	}
+}

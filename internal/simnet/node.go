@@ -155,6 +155,13 @@ type checkpointHook struct {
 	restore func(any)
 }
 
+// Speculative reports whether the network is inside an optimistic
+// speculative window. Components that maintain their own free lists
+// (e.g. the mtcp segment pool) must bypass them while this is true, for
+// the same reason the packet pool does: objects referenced by a
+// checkpoint must never be zeroed or reused before a rollback decision.
+func (n *Network) Speculative() bool { return n.speculative }
+
 // OnCheckpoint registers a save/restore pair invoked by the optimistic
 // executor around speculative windows. save returns an opaque snapshot of
 // the component's mutable state; restore receives that value back and

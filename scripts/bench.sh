@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh — run the benchmark suite and record a machine-readable
-# trajectory point. Runs every benchmark in simnet and experiments
+# trajectory point. Runs every benchmark in simnet, mtcp and experiments
 # (-benchmem, -count 5 so outliers are visible), converts the output to
 # JSON with scripts/benchjson, and writes it to the given file
 # (default BENCH.json).
@@ -25,7 +25,7 @@ count="${BENCH_COUNT:-5}"
 benchtime="${BENCH_TIME:-1s}"
 
 go test -run '^$' -bench . -benchmem -count "$count" -benchtime "$benchtime" \
-	-timeout 60m ./internal/simnet ./internal/experiments \
+	-timeout 60m ./internal/simnet ./internal/mtcp ./internal/experiments \
 	| tee /dev/stderr \
 	| go run ./scripts/benchjson >"$out"
 

@@ -10,7 +10,11 @@
 # byte-identical to the serial (-shards 1) run at the same seed, as must
 # a sharded -optimistic mcsim run against its serial baseline, and the
 # replicated data tier storm (mcload -sync) must dump the same totals and
-# state digest serial vs sharded.
+# state digest serial vs sharded. The segment-level TCP adds its own
+# gates: the mtcp package under the race detector, a zero-alloc pin on
+# the segment hot path, and same-seed byte-identical mcsim output per
+# congestion control algorithm (-cc reno and -cc cubic), serial and
+# sharded-optimistic.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -71,3 +75,30 @@ cmp /tmp/mc-sync-a.txt /tmp/mc-sync-b.txt
 grep -q '^lost=0 ' /tmp/mc-sync-a.txt
 grep -q '^converged: yes' /tmp/mc-sync-a.txt
 rm -f /tmp/mc-sync-a.txt /tmp/mc-sync-b.txt
+# Segment-level TCP: race-clean state machine and congestion control
+# (the mtcp suite exercises both algorithms, simultaneous open/close,
+# TIME_WAIT reuse and the wraparound transfer), and the segment hot
+# path must stay allocation-free.
+go test -race ./internal/mtcp
+go test -run 'TestSegmentPathZeroAlloc' ./internal/mtcp
+# Congestion control determinism: per algorithm, two same-seed mcsim
+# runs must be byte-identical, and the sharded-optimistic executor must
+# reproduce the serial bytes — for cubic as well as reno.
+for alg in reno cubic; do
+	go run ./cmd/mcsim -clients 2 -rounds 2 -seed 3 -metrics -cc "$alg" >/tmp/mc-cc-a.txt 2>/dev/null
+	go run ./cmd/mcsim -clients 2 -rounds 2 -seed 3 -metrics -cc "$alg" >/tmp/mc-cc-b.txt 2>/dev/null
+	cmp /tmp/mc-cc-a.txt /tmp/mc-cc-b.txt
+	go run ./cmd/mcsim -clients 2 -rounds 2 -seed 3 -metrics -cc "$alg" -optimistic >/tmp/mc-cc-c.txt 2>/dev/null
+	cmp /tmp/mc-cc-a.txt /tmp/mc-cc-c.txt
+	rm -f /tmp/mc-cc-a.txt /tmp/mc-cc-b.txt /tmp/mc-cc-c.txt
+done
+# The two algorithms must actually differ on the wire: full-fidelity
+# mcload runs with -cc reno vs -cc cubic at the same seed are each
+# internally reproducible.
+go run ./cmd/mcload -users 3 -duration 20s -seed 5 -cc reno >/tmp/mc-ccl-a.txt 2>/dev/null
+go run ./cmd/mcload -users 3 -duration 20s -seed 5 -cc reno >/tmp/mc-ccl-b.txt 2>/dev/null
+cmp /tmp/mc-ccl-a.txt /tmp/mc-ccl-b.txt
+go run ./cmd/mcload -users 3 -duration 20s -seed 5 -cc cubic >/tmp/mc-ccl-c.txt 2>/dev/null
+go run ./cmd/mcload -users 3 -duration 20s -seed 5 -cc cubic >/tmp/mc-ccl-d.txt 2>/dev/null
+cmp /tmp/mc-ccl-c.txt /tmp/mc-ccl-d.txt
+rm -f /tmp/mc-ccl-a.txt /tmp/mc-ccl-b.txt /tmp/mc-ccl-c.txt /tmp/mc-ccl-d.txt
