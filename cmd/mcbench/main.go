@@ -5,6 +5,7 @@
 //
 //	mcbench [-exp all|fig1|fig2|table1|table2|table3|table4|table5|tcp|mip|ablate]
 //	        [-seed N] [-format text|csv] [-parallel N] [-metrics] [-shards N]
+//	        [-timeline out.json] [-timeline-interval D]
 //	        [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //
 // -shards N sets the worker-lane count the sharded "scale" experiment
@@ -16,6 +17,13 @@
 // With -metrics, experiments that attach telemetry snapshots (chaos, for
 // one) additionally print one table per attached snapshot: every registry
 // metric's value over that run, in the selected -format.
+//
+// With -timeline FILE, the experiments that sample telemetry on the
+// simulation clock (chaos, syncstorm, tcp's faulted section) export one
+// time-series JSON per run next to FILE, tagged with the experiment and
+// mode ("out.json" -> "out.chaos-faults-resilient.json", ...), including
+// fault annotations and the SLO violation intervals their tables report.
+// -timeline-interval sets the sampling interval (default 250ms).
 //
 // The chaos experiment traces every transaction and emits an extra
 // E-CHAOS-CRITPATH table attributing critical-path latency to layers
@@ -60,6 +68,8 @@ func run(args []string) error {
 	shards := fs.Int("shards", 1, "worker lanes for the sharded scale experiment (output is byte-identical at any value)")
 	optimistic := fs.Bool("optimistic", false, "run the sharded scale experiment on the optimistic executor (output is byte-identical to conservative)")
 	cc := fs.String("cc", "reno", "TCP congestion control for transport-bearing experiments: reno or cubic (named-variant rows in the tcp experiment keep their own algorithms)")
+	timeline := fs.String("timeline", "", "export per-run telemetry time series as tagged JSON files next to this path (chaos, syncstorm, tcp)")
+	timelineInterval := fs.Duration("timeline-interval", experiments.TimelineInterval, "simulated-time sampling interval for -timeline and the SLO columns")
 	prof := experiments.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +83,11 @@ func run(args []string) error {
 	experiments.ScaleWorkers = *shards
 	experiments.SyncStormWorkers = *shards
 	experiments.ScaleOptimistic = *optimistic
+	if *timelineInterval <= 0 {
+		return fmt.Errorf("-timeline-interval must be > 0, got %v", *timelineInterval)
+	}
+	experiments.TimelineFile = *timeline
+	experiments.TimelineInterval = *timelineInterval
 	ccName, err := mtcp.ParseCC(*cc)
 	if err != nil {
 		return err

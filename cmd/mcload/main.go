@@ -9,6 +9,8 @@
 //	       [-trace out.json] [-trace-sample N]
 //	       [-scale] [-gateways G] [-cells C] [-stations S] [-remote M]
 //	       [-shards N] [-optimistic] [-metrics]
+//	       [-timeline out.json] [-timeline-interval D] [-slo default|FILE]
+//	       [-engine-timeline out.json]
 //	       [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //
 // With -trace FILE, every sampled operation becomes a causal span tree and
@@ -39,6 +41,20 @@
 // roll back tentative writes on timeout — the lost-update baseline.
 // Stdout (totals, lost-update count, convergence, state digest) is
 // byte-identical at any -shards value, which verify.sh checks.
+//
+// With -timeline FILE, every metric in the run's registry is sampled on
+// the simulation clock at -timeline-interval and exported as
+// deterministic time-series JSON (see internal/obs); on the sharded
+// tiers every shard's registry is sampled, prefixed s0., s1., ..., and
+// the file is byte-identical at any -shards value. -slo evaluates SLO
+// rules over the sampled series and prints the violation intervals:
+// "default" picks the built-in rule set matching the selected tier
+// (full-fidelity, -scale or -sync); any other value is a built-in set
+// name or a JSON rule file. With -scale, -engine-timeline FILE
+// additionally samples the executor's per-shard scheduling counters
+// (windows, barrier waits, steals, rollbacks, stragglers) — a
+// diagnostic that, unlike everything else, legitimately varies with
+// worker count.
 package main
 
 import (
@@ -56,6 +72,8 @@ import (
 	"mcommerce/internal/experiments"
 	"mcommerce/internal/mobiledb"
 	"mcommerce/internal/mtcp"
+	"mcommerce/internal/obs"
+	"mcommerce/internal/simnet"
 	"mcommerce/internal/trace"
 	"mcommerce/internal/wireless"
 	"mcommerce/internal/workload"
@@ -96,6 +114,10 @@ func run(args []string, w io.Writer) error {
 	shards := fs.Int("shards", 1, "worker lanes for the sharded executor (output is byte-identical at any value)")
 	optimistic := fs.Bool("optimistic", false, "with -scale, use the optimistic executor (speculative windows with checkpoint/rollback; output is byte-identical to conservative)")
 	withMetrics := fs.Bool("metrics", false, "with -scale, dump the merged telemetry registry after the run")
+	timelineFile := fs.String("timeline", "", "sample every metric on the simulation clock and write the time-series JSON here")
+	timelineInterval := fs.Duration("timeline-interval", 100*time.Millisecond, "simulated-time sampling interval for -timeline and -slo")
+	sloSpec := fs.String("slo", "", "evaluate SLO rules over the sampled timeline: default (the built-in set for the selected tier), another built-in set name, or a JSON rule file")
+	engineTimeline := fs.String("engine-timeline", "", "with -scale, write the executor's per-shard scheduling counters as time-series JSON (varies with -shards by design)")
 	prof := experiments.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +127,21 @@ func run(args []string, w io.Writer) error {
 	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if *timelineInterval <= 0 {
+		return fmt.Errorf("-timeline-interval must be > 0, got %v", *timelineInterval)
+	}
+	if *engineTimeline != "" && !*scale {
+		return fmt.Errorf("-engine-timeline requires -scale (only the sharded executor has engine counters to sample)")
+	}
+	obsCfg := obsOpts{
+		timeline: *timelineFile, interval: *timelineInterval,
+		slo: *sloSpec, engineTimeline: *engineTimeline,
+	}
+	if *sloSpec != "" && !strings.EqualFold(*sloSpec, "default") {
+		if _, err := obs.ResolveRules(*sloSpec); err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
 	}
 	if err := prof.Start(); err != nil {
 		return err
@@ -121,6 +158,7 @@ func run(args []string, w io.Writer) error {
 			policy: pol, fragile: *fragile, noChaos: *noChaos,
 			writeMean: *writeMean, syncMean: *syncMean,
 			duration: *duration, metrics: *withMetrics,
+			obs: obsCfg,
 		}, w)
 	}
 	if *scale {
@@ -129,6 +167,7 @@ func run(args []string, w io.Writer) error {
 			remote: *remote, shards: *shards, optimistic: *optimistic,
 			think: *think, duration: *duration,
 			metrics: *withMetrics, traceFile: *traceFile, traceSample: *traceSample,
+			obs: obsCfg,
 		}, w)
 	}
 
@@ -164,6 +203,11 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var tl *obs.Timeline
+	if obsCfg.active() {
+		tl = obs.NewTimeline(obsCfg.interval)
+		tl.Attach("", mc.Net)
+	}
 	if *traceFile != "" {
 		mc.Net.Tracer.EnableExport(*traceSample)
 	}
@@ -186,12 +230,101 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "bearer: %s\n", bearerName)
 	fmt.Fprint(w, report.String())
+	if err := finishObs(w, obsCfg, tl, "default"); err != nil {
+		return err
+	}
 	if *traceFile != "" {
 		if err := exportTrace(w, mc.Net.Tracer.Spans(), *traceFile, "operations"); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// obsOpts is the resolved observability flag set, shared by every tier.
+type obsOpts struct {
+	timeline       string
+	interval       time.Duration
+	slo            string
+	engineTimeline string
+}
+
+// active reports whether a timeline needs to be attached at all.
+func (o obsOpts) active() bool { return o.timeline != "" || o.slo != "" }
+
+// finishObs evaluates -slo over the sampled timeline (tierSet names the
+// built-in rule set "-slo default" resolves to on this tier), prints the
+// verdicts and writes the -timeline file.
+func finishObs(w io.Writer, o obsOpts, tl *obs.Timeline, tierSet string) error {
+	if tl == nil {
+		return nil
+	}
+	var slo []obs.Interval
+	if o.slo != "" {
+		spec := o.slo
+		if strings.EqualFold(spec, "default") {
+			spec = tierSet
+		}
+		rules, err := obs.ResolveRules(spec)
+		if err != nil {
+			return err
+		}
+		slo = obs.Evaluate(tl, rules)
+		fmt.Fprintf(w, "\nSLO verdicts (%d rules, %d violation intervals):\n", len(rules), len(slo))
+		if len(slo) == 0 {
+			fmt.Fprintln(w, "  all SLOs held")
+		}
+		for _, iv := range slo {
+			state := "resolved"
+			if !iv.Resolved {
+				state = "firing at end"
+			}
+			fmt.Fprintf(w, "  %-24s %-36s %8s .. %-8s (%s, %s)\n",
+				iv.Rule, iv.Series, iv.Start, iv.End, iv.End-iv.Start, state)
+		}
+	}
+	if o.timeline != "" {
+		f, err := os.Create(o.timeline)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSON(f, tl, slo); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		samples := 0
+		for _, ws := range tl.Worlds() {
+			if s := ws.Samples(); s > samples {
+				samples = s
+			}
+		}
+		// The output path is not part of the deterministic report;
+		// keep stdout byte-comparable across same-seed runs.
+		fmt.Fprintf(os.Stderr, "timeline: %d samples at %s -> %s\n", samples, tl.Interval(), o.timeline)
+	}
+	return nil
+}
+
+// writeEngineTimeline exports the per-shard engine counters sampled
+// during a -scale run. Stderr-style diagnostics in a file: the counters
+// vary with -shards, so the file is not byte-comparable across worker
+// counts (everything on stdout still is).
+func writeEngineTimeline(o obsOpts, world *simnet.Sharded) error {
+	if o.engineTimeline == "" {
+		return nil
+	}
+	f, err := os.Create(o.engineTimeline)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteEngineJSON(f, world, o.interval); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // scaleOpts is the resolved -scale flag set.
@@ -204,6 +337,7 @@ type scaleOpts struct {
 	metrics                   bool
 	traceFile                 string
 	traceSample               int
+	obs                       obsOpts
 }
 
 // runScale builds and runs the sharded scale world. Everything written
@@ -230,6 +364,14 @@ func runScale(o scaleOpts, w io.Writer) error {
 			sw.World.Shard(k).Tracer.EnableExport(o.traceSample)
 		}
 	}
+	var tl *obs.Timeline
+	if o.obs.active() {
+		tl = obs.NewTimeline(o.obs.interval)
+		tl.AttachSharded(sw.World)
+	}
+	if o.obs.engineTimeline != "" {
+		sw.World.EnableEngineTimeline(o.obs.interval)
+	}
 	start := time.Now()
 	rep, err := sw.Run()
 	if err != nil {
@@ -249,6 +391,12 @@ func runScale(o scaleOpts, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "total: ops=%d timeouts=%d events=%d now=%v\n",
 		rep.Ops, rep.Timeouts, rep.Executed, sw.World.Now())
+	if err := finishObs(w, o.obs, tl, "scale"); err != nil {
+		return err
+	}
+	if err := writeEngineTimeline(o.obs, sw.World); err != nil {
+		return err
+	}
 	if o.traceFile != "" {
 		if err := exportTrace(w, sw.World.Spans(), o.traceFile, "operations"); err != nil {
 			return err
@@ -271,6 +419,7 @@ type syncOpts struct {
 	fragile, noChaos, metrics bool
 	writeMean, syncMean       time.Duration
 	duration                  time.Duration
+	obs                       obsOpts
 }
 
 // runSync builds and runs the replicated data tier storm. Stdout is
@@ -296,12 +445,22 @@ func runSync(o syncOpts, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var tl *obs.Timeline
+	if o.obs.active() {
+		tl = obs.NewTimeline(o.obs.interval)
+		tl.AttachSharded(sw.World)
+	}
 	start := time.Now()
 	rep, err := sw.Run()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wall: %v (%d worker lanes)\n", time.Since(start).Round(time.Millisecond), o.shards)
+	if tl != nil {
+		for _, in := range sw.Injectors {
+			tl.IngestFaults(in)
+		}
+	}
 
 	fmt.Fprintf(w, "syncstorm: %d clusters x %d cells x %d devices = %d devices, %d-way replication, policy %s\n",
 		o.gateways, o.cells, o.devices, rep.Devices, o.replicas+1, o.policy)
@@ -319,6 +478,9 @@ func runSync(o syncOpts, w io.Writer) error {
 	h := fnv.New64a()
 	io.WriteString(h, sw.Digest())
 	fmt.Fprintf(w, "digest: %016x\n", h.Sum64())
+	if err := finishObs(w, o.obs, tl, "syncstorm"); err != nil {
+		return err
+	}
 	if o.metrics {
 		snap := sw.World.Snapshot()
 		fmt.Fprintf(w, "\ntelemetry registry (%d metrics):\n", len(snap.Entries))

@@ -7,9 +7,10 @@
 //	mcsim [-bearer wlan|cellular] [-wlan 802.11b|802.11a|802.11g|hiperlan2|bluetooth]
 //	      [-cell gprs|edge|gsm|cdma|cdma2000|wcdma] [-middleware wap|imode]
 //	      [-clients N] [-rounds N] [-seed N] [-replicas R] [-parallel N] [-faults]
-//	      [-metrics] [-metrics-format text|csv] [-shards N] [-optimistic]
+//	      [-metrics] [-metrics-format text|csv|openmetrics] [-shards N] [-optimistic]
 //	      [-db-replicas N]
 //	      [-trace out.json] [-trace-sample N]
+//	      [-timeline out.json] [-timeline-interval D] [-slo default|FILE]
 //	      [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //
 // -shards N sets the worker-lane count of the sharded executor the run
@@ -34,7 +35,23 @@
 // metric, sorted by hierarchical name (simnet.link.wan.dropped_queue.ab,
 // wap.wtp.gateway.retransmits, ...). The dump is deterministic per seed —
 // two runs at the same seed produce byte-identical trees. -metrics-format
-// csv emits the same entries as CSV for scripting.
+// csv emits the same entries as CSV for scripting; openmetrics emits the
+// OpenMetrics/Prometheus text exposition format (sanitised names,
+// `_total` counters, cumulative `le`-labelled buckets, `# EOF`), which
+// scripts/omlint validates.
+//
+// With -timeline FILE, the run's telemetry becomes a time series instead
+// of a single end-of-run snapshot: every registered metric is sampled on
+// the simulation clock at -timeline-interval (default 100ms) and written
+// as deterministic JSON — cumulative readings and per-window deltas for
+// counters, windowed p50/p99 recomputed from bucket deltas for latency
+// histograms, plus every fault-injector event as an annotation stream.
+// Two runs at the same seed write byte-identical timelines at any
+// -shards value. With -slo, the named built-in rule set ("default") or a
+// JSON rule file is evaluated over the sampled series — windowed latency
+// quantile thresholds, multi-window error-budget burn rates, value
+// bounds — and the report gains the firing/resolved intervals with exact
+// simulated timestamps; the intervals also land in the timeline JSON.
 //
 // With -db-replicas N > 0, the host computer's database gets a replicated
 // data tier (internal/repl behind core.BuildDataTier): N replica nodes
@@ -73,6 +90,7 @@ import (
 	"mcommerce/internal/experiments"
 	"mcommerce/internal/faults"
 	"mcommerce/internal/mtcp"
+	"mcommerce/internal/obs"
 	"mcommerce/internal/simnet"
 	"mcommerce/internal/trace"
 	"mcommerce/internal/webserver"
@@ -104,7 +122,10 @@ type scenario struct {
 	cc          string
 	faults      bool
 	metrics     bool
-	metricsCSV  bool
+	metricsFmt  string
+	timeline    string
+	timelineInt time.Duration
+	slo         string
 }
 
 func run(args []string) error {
@@ -123,7 +144,10 @@ func run(args []string) error {
 	packetTrace := fs.Bool("packet-trace", false, "print a low-level packet trace of the whole run to stderr (single replica only)")
 	withFaults := fs.Bool("faults", false, "inject the default fault plan (link flaps, brownout, gateway and host crashes, partition) during the run")
 	withMetrics := fs.Bool("metrics", false, "dump the full telemetry registry (every layer's counters, gauges and latency histograms) after the run")
-	metricsFormat := fs.String("metrics-format", "text", "telemetry dump format: text or csv")
+	metricsFormat := fs.String("metrics-format", "text", "telemetry dump format: text, csv or openmetrics")
+	timelineFile := fs.String("timeline", "", "sample every metric on the simulation clock and write the time-series JSON here (single replica only)")
+	timelineInterval := fs.Duration("timeline-interval", 100*time.Millisecond, "simulated-time sampling interval for -timeline and -slo")
+	sloSpec := fs.String("slo", "", "evaluate SLO rules over the sampled timeline: a built-in set name (default) or a JSON rule file")
 	dbReplicas := fs.Int("db-replicas", 0, "attach a replicated data tier with this many replicas beside the primary (0 = no data tier)")
 	shards := fs.Int("shards", 1, "worker lanes for the sharded executor (output is byte-identical at any value)")
 	optimistic := fs.Bool("optimistic", false, "use the optimistic executor (a one-shard world never speculates, so output is identical; the flag mirrors mcload)")
@@ -140,15 +164,26 @@ func run(args []string) error {
 	}
 	defer profiles.Stop()
 	switch strings.ToLower(*metricsFormat) {
-	case "text", "csv":
+	case "text", "csv", "openmetrics":
 	default:
-		return fmt.Errorf("unknown -metrics-format %q (want text or csv)", *metricsFormat)
+		return fmt.Errorf("unknown -metrics-format %q (want text, csv or openmetrics)", *metricsFormat)
 	}
 	if *replicas < 1 {
 		return fmt.Errorf("-replicas must be >= 1, got %d", *replicas)
 	}
 	if (*traceFile != "" || *packetTrace) && *replicas > 1 {
 		return fmt.Errorf("-trace and -packet-trace require -replicas 1 (traces from concurrent replicas would interleave)")
+	}
+	if *timelineFile != "" && *replicas > 1 {
+		return fmt.Errorf("-timeline requires -replicas 1 (concurrent replicas would fight over the file)")
+	}
+	if *timelineInterval <= 0 {
+		return fmt.Errorf("-timeline-interval must be > 0, got %v", *timelineInterval)
+	}
+	if *sloSpec != "" {
+		if _, err := obs.ResolveRules(*sloSpec); err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
 	}
 	if *traceSample < 1 {
 		return fmt.Errorf("-trace-sample must be >= 1, got %d", *traceSample)
@@ -165,7 +200,8 @@ func run(args []string) error {
 		cc:         ccName,
 		traceFile:  *traceFile, traceSample: *traceSample, packetTrace: *packetTrace,
 		faults:  *withFaults,
-		metrics: *withMetrics, metricsCSV: strings.EqualFold(*metricsFormat, "csv"),
+		metrics: *withMetrics, metricsFmt: strings.ToLower(*metricsFormat),
+		timeline: *timelineFile, timelineInt: *timelineInterval, slo: *sloSpec,
 	}
 	switch strings.ToLower(*bearer) {
 	case "wlan":
@@ -232,6 +268,11 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 	// use — the results cannot depend on it.
 	world := simnet.WrapNetwork(mc.Net)
 	world.SetOptimistic(sc.optimistic)
+	var tl *obs.Timeline
+	if sc.timeline != "" || sc.slo != "" {
+		tl = obs.NewTimeline(sc.timelineInt)
+		tl.AttachSharded(world)
+	}
 	if sc.packetTrace {
 		mc.Net.SetTracer(simnet.NewTextTracer(os.Stderr))
 	}
@@ -375,6 +416,53 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 		fmt.Fprintf(w, "  station %-24s battery %.4f%% used, free RAM %d MB\n",
 			cl.Station.Name()+":", (1-cl.Station.Battery())*100, cl.Station.FreeRAM()>>20)
 	}
+	if tl != nil {
+		if injector != nil {
+			tl.IngestFaults(injector)
+		}
+		var slo []obs.Interval
+		if sc.slo != "" {
+			rules, err := obs.ResolveRules(sc.slo)
+			if err != nil {
+				return err
+			}
+			slo = obs.Evaluate(tl, rules)
+			fmt.Fprintf(w, "\nSLO verdicts (%d rules, %d violation intervals):\n", len(rules), len(slo))
+			if len(slo) == 0 {
+				fmt.Fprintln(w, "  all SLOs held")
+			}
+			for _, iv := range slo {
+				state := "resolved"
+				if !iv.Resolved {
+					state = "firing at end"
+				}
+				fmt.Fprintf(w, "  %-20s %-32s %8s .. %-8s (%s, %s)\n",
+					iv.Rule, iv.Series, iv.Start, iv.End, iv.End-iv.Start, state)
+			}
+		}
+		if sc.timeline != "" {
+			f, err := os.Create(sc.timeline)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteJSON(f, tl, slo); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			samples := 0
+			for _, ws := range tl.Worlds() {
+				if s := ws.Samples(); s > samples {
+					samples = s
+				}
+			}
+			// The output path is not part of the deterministic report;
+			// keep stdout byte-comparable across same-seed runs.
+			fmt.Fprintf(os.Stderr, "timeline: %d samples at %s -> %s\n", samples, tl.Interval(), sc.timeline)
+		}
+	}
 	if sc.traceFile != "" {
 		spans := mc.Net.Tracer.Spans()
 		f, err := os.Create(sc.traceFile)
@@ -397,11 +485,19 @@ func runOne(sc scenario, seed int64, w io.Writer) error {
 	}
 	if sc.metrics {
 		snap := mc.Metrics().Snapshot()
-		fmt.Fprintf(w, "\ntelemetry registry (%d metrics):\n", len(snap.Entries))
-		if sc.metricsCSV {
+		switch sc.metricsFmt {
+		case "csv":
+			fmt.Fprintf(w, "\ntelemetry registry (%d metrics):\n", len(snap.Entries))
 			return snap.WriteCSV(w)
+		case "openmetrics":
+			// OpenMetrics expositions are self-delimited (# EOF), so no
+			// header line: the output can be piped straight to a scraper
+			// or to scripts/omlint.
+			return obs.WriteOpenMetrics(w, snap)
+		default:
+			fmt.Fprintf(w, "\ntelemetry registry (%d metrics):\n", len(snap.Entries))
+			return snap.WriteText(w)
 		}
-		return snap.WriteText(w)
 	}
 	return nil
 }

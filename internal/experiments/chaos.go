@@ -8,6 +8,7 @@ import (
 	"mcommerce/internal/core"
 	"mcommerce/internal/faults"
 	"mcommerce/internal/metrics"
+	"mcommerce/internal/obs"
 	"mcommerce/internal/simnet"
 	"mcommerce/internal/trace"
 	"mcommerce/internal/wap"
@@ -105,12 +106,18 @@ type chaosReport struct {
 	gwStats    wap.GatewayStats
 	wtpStats   wap.WTPStats
 	faultStats faults.Stats
-	faultLog   []string
+	// faultEvents is the injector's typed feed (what fired, when, which
+	// phase) — the same stream the timeline ingests as annotations.
+	faultEvents []faults.FiredEvent
 	// telemetry is the world registry's snapshot diff over the run.
 	telemetry metrics.Snapshot
 	// critpath is the per-layer critical-path attribution over every traced
 	// transaction (completed and abandoned alike).
 	critpath trace.Summary
+	// timeline is the run's sampled telemetry with fault annotations;
+	// slo holds the chaos rule set's verdicts over it.
+	timeline *obs.Timeline
+	slo      []obs.Interval
 }
 
 // amplification is total retries (application re-submissions, wireless
@@ -180,6 +187,11 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 	}
 
 	var latencies []time.Duration
+	// Observe end-to-end latency into the shared registry histogram
+	// (core.BuildMC registered it; re-requesting the name returns the
+	// same instance) so the sampled timeline and the SLO latency rules
+	// see the same distribution the table reports.
+	txnLat := mc.Net.Metrics.Scope("core.txn").Histogram("wap.latency")
 	interval := chaosHorizon / time.Duration(rounds)
 
 	for ci := 0; ci < clients; ci++ {
@@ -234,6 +246,7 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 					}
 					rep.completed++
 					latencies = append(latencies, sched.Now()-start)
+					txnLat.Observe(sched.Now() - start)
 					tr.Finish(root)
 				})
 			}
@@ -249,6 +262,12 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 		})
 	}
 
+	// Sample the world registry on the simulation clock for the whole
+	// run; the sampler quiesces with the workload, so the tail costs
+	// nothing once the last transaction drains.
+	tl := obs.NewTimeline(TimelineInterval)
+	tl.Attach("", mc.Net)
+
 	// Generous tail: the slowest resilient transaction (WTP window + app
 	// backoff) finishes well inside it.
 	pre := mc.Metrics().Snapshot()
@@ -256,6 +275,9 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 		return nil, err
 	}
 	rep.telemetry = mc.Metrics().Snapshot().Diff(pre)
+	tl.IngestFaults(in)
+	rep.timeline = tl
+	rep.slo = obs.Evaluate(tl, obs.DefaultRules("chaos"))
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	rep.p50 = percentileDur(latencies, 0.50)
@@ -264,7 +286,7 @@ func chaosRun(seed int64, clients, rounds int, mode chaosMode) (*chaosReport, er
 	rep.wtpStats = mc.WAP.WTPStats()
 	rep.stale = int(rep.gwStats.StaleHits)
 	rep.faultStats = in.Stats()
-	rep.faultLog = in.Log()
+	rep.faultEvents = in.Events()
 	rep.critpath = trace.Summarize(trace.Analyze(mc.Net.Tracer.Spans()))
 	return rep, nil
 }
@@ -287,7 +309,7 @@ func percentileDur(sorted []time.Duration, q float64) time.Duration {
 func Chaos(seed int64) []*Result {
 	const clients, rounds = 5, 12
 	res := newResult("E-CHAOS", "Fault injection: transaction completion under outages",
-		"mode", "transactions", "completed", "completion", "p50 latency", "p99 latency", "retries/tx", "stale serves", "faults applied")
+		"mode", "transactions", "completed", "completion", "p50 latency", "p99 latency", "retries/tx", "stale serves", "faults applied", "SLO violations")
 	cp := newResult("E-CHAOS-CRITPATH", "Critical-path latency attribution per layer (share of traced transaction time)",
 		"mode", "traced", "station", "wireless", "middleware", "wired", "host", "transport")
 
@@ -296,11 +318,11 @@ func Chaos(seed int64) []*Result {
 		{"faults, resilient", true, true},
 		{"faults, fragile", true, false},
 	}
-	var logged []string
+	var logged []faults.FiredEvent
 	for _, m := range modes {
 		rep, err := chaosRun(seed, clients, rounds, m)
 		if err != nil {
-			res.AddRow(m.name, "error: "+err.Error(), "-", "-", "-", "-", "-", "-", "-")
+			res.AddRow(m.name, "error: "+err.Error(), "-", "-", "-", "-", "-", "-", "-", "-")
 			cp.AddRow(m.name, "error: "+err.Error(), "-", "-", "-", "-", "-", "-")
 			continue
 		}
@@ -331,6 +353,7 @@ func Chaos(seed int64) []*Result {
 			fmt.Sprintf("%.2f", rep.amplification()),
 			fmt.Sprint(rep.stale),
 			fmt.Sprint(rep.faultStats.Total()),
+			sloCell(rep.slo),
 		)
 		res.Set(m.name+"/completion", completion)
 		res.Set(m.name+"/p50_ms", float64(rep.p50.Milliseconds()))
@@ -338,15 +361,21 @@ func Chaos(seed int64) []*Result {
 		res.Set(m.name+"/amplification", rep.amplification())
 		res.Set(m.name+"/faults", float64(rep.faultStats.Total()))
 		res.AttachMetrics(m.name, rep.telemetry)
+		res.AttachSLO(m.name, rep.slo)
+		writeTimeline(res, timelineTag("chaos", m.name), rep.timeline, rep.slo)
 		if m.faulted && len(logged) == 0 {
-			logged = rep.faultLog
+			logged = rep.faultEvents
 		}
 	}
 	res.Note("default plan: WAN flap 2s, WAN brownout 5s (rate/10, +20%% loss), gateway crash 2s (sessions+cache lost), host crash 3s, 1.5s partition, plus 3 seeded-random link events")
 	res.Note("resilient = exponential-backoff WTP retransmission, origin retries with 2s per-attempt timeouts, stale-cache degradation, 3 app-level retries with session re-establishment")
 	res.Note("fragile = single-shot WTP, no retries anywhere: every PDU lost to an outage is a lost transaction")
-	for _, l := range logged {
-		res.Note("fault: %s", l)
+	for _, ev := range logged {
+		if ev.Detail != "" {
+			res.Note("fault: %s %s %s (%s) at %s", ev.Phase, ev.Kind, ev.Target, ev.Detail, fmtDur(ev.At))
+			continue
+		}
+		res.Note("fault: %s %s %s at %s", ev.Phase, ev.Kind, ev.Target, fmtDur(ev.At))
 	}
 	cp.Note("attribution: per-boundary sweep assigning each interval of a transaction to its deepest active span's layer; shares sum to 100%% of traced time")
 	cp.Note("traced counts completed and abandoned transactions alike; abandoned ones end at their final app-level failure")

@@ -8,6 +8,7 @@ import (
 	"mcommerce/internal/core"
 	"mcommerce/internal/faults"
 	"mcommerce/internal/mobiledb"
+	"mcommerce/internal/obs"
 	"mcommerce/internal/simnet"
 	"mcommerce/internal/workload"
 )
@@ -387,7 +388,7 @@ func (sw *SyncStormWorld) Digest() string {
 func SyncStorm(seed int64) *Result {
 	r := newResult("syncstorm",
 		"disconnected-device sync under chaos: resilient policies vs fragile baseline",
-		"tier", "devices", "writes", "confirmed", "conflicts", "timeouts", "lost", "converged")
+		"tier", "devices", "writes", "confirmed", "conflicts", "timeouts", "lost", "converged", "SLO violations")
 	rows := []struct {
 		name    string
 		policy  mobiledb.Policy
@@ -406,18 +407,26 @@ func SyncStorm(seed int64) *Result {
 			r.Note("%s: build failed: %v", row.name, err)
 			continue
 		}
+		tl := obs.NewTimeline(TimelineInterval)
+		tl.AttachSharded(sw.World)
 		rep, err := sw.Run()
 		if err != nil {
 			r.Note("%s: run failed: %v", row.name, err)
 			continue
 		}
+		for _, in := range sw.Injectors {
+			tl.IngestFaults(in)
+		}
+		slo := obs.Evaluate(tl, obs.DefaultRules("syncstorm"))
+		r.AttachSLO(row.name, slo)
+		writeTimeline(r, timelineTag("syncstorm", row.name), tl, slo)
 		conv := "no"
 		if rep.Converged {
 			conv = fmt.Sprintf("+%v", rep.ConvergeAfter)
 		}
 		r.AddRow(row.name, fmt.Sprint(rep.Devices), fmt.Sprint(rep.Writes),
 			fmt.Sprint(rep.Confirmed), fmt.Sprint(rep.Conflicts),
-			fmt.Sprint(rep.Timeouts), fmt.Sprint(rep.Lost()), conv)
+			fmt.Sprint(rep.Timeouts), fmt.Sprint(rep.Lost()), conv, sloCell(slo))
 		r.Set(row.name+"/lost", float64(rep.Lost()))
 		r.Set(row.name+"/confirmed", float64(rep.Confirmed))
 		r.Set(row.name+"/conflicts", float64(rep.Conflicts))

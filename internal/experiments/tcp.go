@@ -6,6 +6,7 @@ import (
 
 	"mcommerce/internal/faults"
 	"mcommerce/internal/mtcp"
+	"mcommerce/internal/obs"
 	"mcommerce/internal/simnet"
 )
 
@@ -278,6 +279,10 @@ type faultedOutcome struct {
 	// in-order delivery at the mobile (zero if the transfer was already
 	// complete).
 	recovery []time.Duration
+	// timeline carries the run's sampled telemetry with the fault plan
+	// as annotations; slo the tcpfault rule set's verdicts over it.
+	timeline *obs.Timeline
+	slo      []obs.Interval
 }
 
 // runFaulted pushes size bytes fixed→mobile under the named variant with
@@ -296,6 +301,8 @@ func runFaulted(seed int64, variant string, size int, horizon time.Duration) fau
 	if err := in.Schedule(defaultTCPFaultPlan()); err != nil {
 		return out
 	}
+	tl := obs.NewTimeline(TimelineInterval)
+	tl.Attach("", p.net)
 
 	var fixedConn, mobileConn *mtcp.Conn
 	got := 0
@@ -397,6 +404,9 @@ func runFaulted(seed int64, variant string, size int, horizon time.Duration) fau
 			out.rtxOverhead = float64(st.Retransmits) / float64(st.SegmentsSent)
 		}
 	}
+	tl.IngestFaults(in)
+	out.timeline = tl
+	out.slo = obs.Evaluate(tl, obs.DefaultRules("tcpfault"))
 	return out
 }
 
@@ -405,7 +415,7 @@ func runFaulted(seed int64, variant string, size int, horizon time.Duration) fau
 // handoff recovery time, the two costs the paper's cited schemes attack.
 func TCPFaultPlan(seed int64) []*Result {
 	r := newResult("E-TCP(d)", "TCP variants under the default fault plan (2 MB, two wireless blackouts + wired brownout, 1% ambient loss)",
-		"variant", "completed", "time", "sender rtx overhead", "recovery after 1.5s blackout", "recovery after 2s blackout")
+		"variant", "completed", "time", "sender rtx overhead", "recovery after 1.5s blackout", "recovery after 2s blackout", "SLO violations")
 	const size = 2 << 20
 	const horizon = 2 * time.Minute
 	variants := []string{
@@ -423,7 +433,9 @@ func TCPFaultPlan(seed int64) []*Result {
 			return fmtDur(o.recovery[i])
 		}
 		r.AddRow(v, fmt.Sprint(o.completed), fmtDur(o.elapsed),
-			fmt.Sprintf("%.1f%%", o.rtxOverhead*100), rec(0), rec(1))
+			fmt.Sprintf("%.1f%%", o.rtxOverhead*100), rec(0), rec(1), sloCell(o.slo))
+		r.AttachSLO(v, o.slo)
+		writeTimeline(r, timelineTag("tcpfault", v), o.timeline, o.slo)
 		r.Set(v+"/elapsed_ms", float64(o.elapsed.Milliseconds()))
 		r.Set(v+"/rtx_overhead", o.rtxOverhead)
 		r.Set(v+"/completed", b2f(o.completed))

@@ -1,0 +1,57 @@
+package faults
+
+import "time"
+
+// Phase distinguishes the two sides of one fault event's lifecycle plus
+// the arming of a sync-crash tripwire.
+type Phase uint8
+
+// The event phases.
+const (
+	PhaseApply Phase = iota + 1 // the fault took effect
+	PhaseHeal                   // the fault's heal timer fired
+	PhaseArm                    // a sync-crash tripwire was armed (not yet a fault)
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseApply:
+		return "apply"
+	case PhaseHeal:
+		return "heal"
+	case PhaseArm:
+		return "arm"
+	default:
+		return "unknown"
+	}
+}
+
+// FiredEvent is one structured entry of the injector's event feed: what
+// fault machinery fired, against which registered target, at which
+// simulated instant. Unlike the human-readable Log, the feed is typed —
+// consumers (the obs annotation stream, the chaos experiment) correlate
+// it with telemetry without parsing strings. Feed order is execution
+// order, which is simulation-time order and deterministic per seed.
+type FiredEvent struct {
+	At     time.Duration
+	Kind   Kind
+	Target string
+	Phase  Phase
+	// Detail carries kind-specific context: iface counts for crashes,
+	// rate/loss factors for brownouts, link counts for partitions.
+	Detail string
+}
+
+// Events returns a copy of the structured event feed: one entry per
+// apply, heal and sync-crash arm, in simulation-time order. It is the
+// typed companion of Log and deterministic for a given seed and plan.
+func (in *Injector) Events() []FiredEvent {
+	return append([]FiredEvent(nil), in.events...)
+}
+
+// record appends one feed entry stamped with the current simulated time.
+func (in *Injector) record(kind Kind, target string, phase Phase, detail string) {
+	in.events = append(in.events, FiredEvent{
+		At: in.net.Sched.Now(), Kind: kind, Target: target, Phase: phase, Detail: detail,
+	})
+}

@@ -1,0 +1,58 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"mcommerce/internal/simnet"
+)
+
+// TestEventFeed checks the structured feed mirrors the plan: one apply
+// per scheduled event at its exact simulated instant, one heal at
+// apply+duration, in simulation-time order — and that the feed is typed
+// (kind, target, phase) rather than parsed from the log.
+func TestEventFeed(t *testing.T) {
+	net := simnet.NewNetwork(simnet.NewScheduler(1))
+	a := net.NewNode("a")
+	b := net.NewNode("b")
+	l := simnet.Connect(a, b, simnet.LinkConfig{Rate: simnet.Mbps, Delay: time.Millisecond})
+
+	in := NewInjector(net)
+	in.RegisterLink("ab", l)
+	in.RegisterCut("cut", l)
+	plan := NewPlan("feed").
+		Add(Event{At: 2 * time.Second, Duration: time.Second, Kind: LinkDown, Target: "ab"}).
+		Add(Event{At: 5 * time.Second, Duration: 500 * time.Millisecond, Kind: Brownout, Target: "ab", RateFactor: 0.5, ExtraLoss: 0.1}).
+		Add(Event{At: 8 * time.Second, Kind: Partition, Target: "cut"}) // permanent: no heal
+	if err := in.Schedule(plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Sched.RunFor(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []FiredEvent{
+		{At: 2 * time.Second, Kind: LinkDown, Target: "ab", Phase: PhaseApply},
+		{At: 3 * time.Second, Kind: LinkDown, Target: "ab", Phase: PhaseHeal},
+		{At: 5 * time.Second, Kind: Brownout, Target: "ab", Phase: PhaseApply, Detail: "rate*0.5 loss+0.1"},
+		{At: 5500 * time.Millisecond, Kind: Brownout, Target: "ab", Phase: PhaseHeal},
+		{At: 8 * time.Second, Kind: Partition, Target: "cut", Phase: PhaseApply, Detail: "1 links down"},
+	}
+	got := in.Events()
+	if len(got) != len(want) {
+		t.Fatalf("feed has %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], w)
+		}
+	}
+	// The feed is a copy: mutating it must not corrupt the injector.
+	got[0].Target = "mutated"
+	if in.Events()[0].Target != "ab" {
+		t.Error("Events() returned the live slice")
+	}
+	if len(in.Log()) != len(want) {
+		t.Errorf("log has %d lines, want %d (one per feed entry)", len(in.Log()), len(want))
+	}
+}

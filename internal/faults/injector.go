@@ -54,8 +54,9 @@ type Injector struct {
 	cuts   map[string][]*simnet.Link
 	syncs  map[string]*syncTarget
 
-	stats Stats
-	log   []string
+	stats  Stats
+	log    []string
+	events []FiredEvent
 }
 
 // NewInjector creates an injector over the network. Its fault counters
@@ -82,6 +83,17 @@ func NewInjector(net *simnet.Network) *Injector {
 	sc.AliasCounter("heals", &in.stats.Heals)
 	sc.AliasCounter("sync_crash_arms", &in.stats.SyncCrashArms)
 	sc.AliasCounter("sync_crashes", &in.stats.SyncCrashes)
+	// The log and event feed are append-only, so a speculative window's
+	// entries roll back by truncation. Stats are alias counters and ride
+	// the registry checkpoint.
+	type injCheckpoint struct{ logLen, evLen int }
+	net.OnCheckpoint(
+		func() any { return injCheckpoint{logLen: len(in.log), evLen: len(in.events)} },
+		func(v any) {
+			c := v.(injCheckpoint)
+			in.log = in.log[:c.logLen]
+			in.events = in.events[:c.evLen]
+		})
 	return in
 }
 
@@ -210,30 +222,36 @@ func (in *Injector) apply(e Event) {
 		l.SetDown(true)
 		in.stats.LinkDowns++
 		in.logf("link %s down", e.Target)
+		in.record(LinkDown, e.Target, PhaseApply, "")
 		heal(func() {
 			l.SetDown(false)
 			in.stats.LinkUps++
 			in.logf("link %s up", e.Target)
+			in.record(LinkDown, e.Target, PhaseHeal, "")
 		})
 	case IfaceDown:
 		i := in.ifaces[e.Target]
 		i.SetDown(true)
 		in.stats.IfaceDowns++
 		in.logf("iface %s down", e.Target)
+		in.record(IfaceDown, e.Target, PhaseApply, "")
 		heal(func() {
 			i.SetDown(false)
 			in.stats.IfaceUps++
 			in.logf("iface %s up", e.Target)
+			in.record(IfaceDown, e.Target, PhaseHeal, "")
 		})
 	case Brownout:
 		l := in.links[e.Target]
 		l.Degrade(e.RateFactor, e.ExtraLoss)
 		in.stats.Brownouts++
 		in.logf("link %s brownout (rate*%.2g loss+%.2g)", e.Target, e.RateFactor, e.ExtraLoss)
+		in.record(Brownout, e.Target, PhaseApply, fmt.Sprintf("rate*%.2g loss+%.2g", e.RateFactor, e.ExtraLoss))
 		heal(func() {
 			l.Restore()
 			in.stats.Restores++
 			in.logf("link %s restored", e.Target)
+			in.record(Brownout, e.Target, PhaseHeal, "")
 		})
 	case NodeCrash:
 		t := in.nodes[e.Target]
@@ -246,6 +264,7 @@ func (in *Injector) apply(e Event) {
 		}
 		in.stats.Crashes++
 		in.logf("node %s crash (%d ifaces down, state lost)", e.Target, len(ifaces))
+		in.record(NodeCrash, e.Target, PhaseApply, fmt.Sprintf("%d ifaces down", len(ifaces)))
 		in.dumpFlightRecorder()
 		heal(func() {
 			for _, i := range ifaces {
@@ -256,12 +275,14 @@ func (in *Injector) apply(e Event) {
 			}
 			in.stats.Restarts++
 			in.logf("node %s restart", e.Target)
+			in.record(NodeCrash, e.Target, PhaseHeal, "")
 		})
 	case SyncCrash:
 		t := in.syncs[e.Target]
 		fired := false
 		in.stats.SyncCrashArms++
 		in.logf("sync-crash %s armed", e.Target)
+		in.record(SyncCrash, e.Target, PhaseArm, "")
 		t.arm(func() {
 			if fired {
 				return
@@ -276,6 +297,7 @@ func (in *Injector) apply(e Event) {
 			}
 			in.stats.SyncCrashes++
 			in.logf("node %s sync-crash (%d ifaces down, state lost)", e.Target, len(ifaces))
+			in.record(SyncCrash, e.Target, PhaseApply, fmt.Sprintf("%d ifaces down", len(ifaces)))
 			in.dumpFlightRecorder()
 			heal(func() {
 				for _, i := range ifaces {
@@ -286,6 +308,7 @@ func (in *Injector) apply(e Event) {
 				}
 				in.stats.Restarts++
 				in.logf("node %s restart", e.Target)
+				in.record(SyncCrash, e.Target, PhaseHeal, "")
 			})
 		})
 	case Partition:
@@ -295,6 +318,7 @@ func (in *Injector) apply(e Event) {
 		}
 		in.stats.Partitions++
 		in.logf("partition %s (%d links down)", e.Target, len(links))
+		in.record(Partition, e.Target, PhaseApply, fmt.Sprintf("%d links down", len(links)))
 		in.dumpFlightRecorder()
 		heal(func() {
 			for _, l := range links {
@@ -302,6 +326,7 @@ func (in *Injector) apply(e Event) {
 			}
 			in.stats.Heals++
 			in.logf("partition %s healed", e.Target)
+			in.record(Partition, e.Target, PhaseHeal, "")
 		})
 	}
 }

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSnapshotBucketRoundTrip proves the raw distribution a Snapshot
+// carries (Bounds + Buckets) is sufficient to reproduce the histogram's
+// own quantiles exactly: feeding the snapshot's buckets back through
+// QuantileFromBuckets answers bit-for-bit what the live histogram (and
+// the snapshot's precomputed P50/P90/P99) report. This is the contract
+// the windowed percentiles in internal/obs rely on.
+func TestSnapshotBucketRoundTrip(t *testing.T) {
+	r := New()
+	h := r.Histogram("txn.latency")
+	obs := []time.Duration{
+		80 * time.Microsecond, // under the first bound
+		3 * time.Millisecond, 3 * time.Millisecond, 9 * time.Millisecond,
+		42 * time.Millisecond, 180 * time.Millisecond, 950 * time.Millisecond,
+		7 * time.Second, 11 * time.Second,
+		5 * time.Minute, // overflow bucket
+	}
+	for _, d := range obs {
+		h.Observe(d)
+	}
+
+	snap := r.Snapshot()
+	e, ok := snap.Get("txn.latency")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if len(e.Bounds) == 0 || len(e.Buckets) != len(e.Bounds)+1 {
+		t.Fatalf("snapshot buckets malformed: %d bounds, %d buckets", len(e.Bounds), len(e.Buckets))
+	}
+	var total uint64
+	for _, c := range e.Buckets {
+		total += c
+	}
+	if total != e.Count || e.Count != uint64(len(obs)) {
+		t.Fatalf("bucket counts sum %d, want count %d", total, e.Count)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 1.0} {
+		want := h.Quantile(q)
+		got := QuantileFromBuckets(e.Bounds, e.Buckets, e.Count, e.Max, q)
+		if got != want {
+			t.Errorf("q=%.2f: round-trip %v, live histogram %v", q, got, want)
+		}
+	}
+	if p := QuantileFromBuckets(e.Bounds, e.Buckets, e.Count, e.Max, 0.99); p != e.P99 {
+		t.Errorf("snapshot P99 %v != recomputed %v", e.P99, p)
+	}
+}
+
+// TestWindowedQuantilesFromDeltas pins the windowed-percentile scheme:
+// quantiles computed from bucket deltas between two snapshots equal what
+// Diff reports, and equal what a histogram fed only the window's
+// observations would report.
+func TestWindowedQuantilesFromDeltas(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Millisecond)
+	}
+	pre := r.Snapshot()
+
+	windowObs := []time.Duration{
+		40 * time.Millisecond, 40 * time.Millisecond, 450 * time.Millisecond,
+		1800 * time.Millisecond, 25 * time.Second,
+	}
+	ref := New().Histogram("ref")
+	for _, d := range windowObs {
+		h.Observe(d)
+		ref.Observe(d)
+	}
+	post := r.Snapshot()
+
+	pe, _ := pre.Get("lat")
+	ce, _ := post.Get("lat")
+	deltas := make([]uint64, len(ce.Buckets))
+	for i := range deltas {
+		deltas[i] = ce.Buckets[i] - pe.Buckets[i]
+	}
+	dCount := ce.Count - pe.Count
+	de, _ := post.Diff(pre).Get("lat")
+	if de.Count != dCount {
+		t.Fatalf("diff count %d, want %d", de.Count, dCount)
+	}
+	for _, q := range []float64{0.50, 0.99} {
+		fromDeltas := QuantileFromBuckets(ce.Bounds, deltas, dCount, ce.Max, q)
+		fromRef := ref.Quantile(q)
+		if fromDeltas != fromRef {
+			t.Errorf("q=%.2f: deltas %v, reference histogram %v", q, fromDeltas, fromRef)
+		}
+	}
+	if de.P99 != ref.Quantile(0.99) {
+		t.Errorf("Diff P99 %v != reference %v", de.P99, ref.Quantile(0.99))
+	}
+}
+
+// TestMetricViews covers the zero-alloc iteration API: views stay valid
+// across later registrations, report live values, and CopyBuckets reuses
+// its destination.
+func TestMetricViews(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat")
+	mC, mG, mH := r.Metric(0), r.Metric(1), r.Metric(2)
+	r.GaugeFunc("level", func() int64 { return 7 }) // registered after the views
+
+	c.Add(3)
+	g.Set(-2)
+	h.Observe(5 * time.Millisecond)
+	if mC.Name() != "reqs" || mC.Kind() != KindCounter || mC.Value() != 3 {
+		t.Errorf("counter view: %s %v %d", mC.Name(), mC.Kind(), mC.Value())
+	}
+	if mG.Value() != -2 {
+		t.Errorf("gauge view value %d, want -2", mG.Value())
+	}
+	if mF := r.Metric(3); mF.Value() != 7 {
+		t.Errorf("gaugefunc view value %d, want 7", mF.Value())
+	}
+	hh := mH.Histogram()
+	if hh.Count() != 1 || len(hh.Bounds()) == 0 || hh.NumBuckets() != len(hh.Bounds())+1 {
+		t.Fatalf("histogram view: count=%d bounds=%d buckets=%d", hh.Count(), len(hh.Bounds()), hh.NumBuckets())
+	}
+	buf := make([]uint64, 0, hh.NumBuckets())
+	buf = hh.CopyBuckets(buf)
+	var sum uint64
+	for _, v := range buf {
+		sum += v
+	}
+	if sum != 1 {
+		t.Errorf("copied buckets sum %d, want 1", sum)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = mC.Value()
+		_ = mG.Value()
+		buf = hh.CopyBuckets(buf)
+	})
+	if allocs != 0 {
+		t.Errorf("view read path allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -152,7 +152,21 @@ func (h Histogram) Quantile(q float64) time.Duration {
 }
 
 func (hh *hist) quantile(q float64) time.Duration {
-	if hh.count == 0 {
+	return QuantileFromBuckets(hh.bounds, hh.counts, hh.count, hh.max, q)
+}
+
+// QuantileFromBuckets computes the q-quantile from a raw bucket
+// distribution under the same deterministic upper-bound rule Histogram
+// uses: the smallest bound whose cumulative count reaches ceil(q*count),
+// with overflow-bucket observations answering max. counts may be len
+// (bounds) or len(bounds)+1 (trailing overflow bucket); count is the
+// total observation count and max the largest observation (the overflow
+// answer). It is the shared primitive behind Histogram.Quantile,
+// Snapshot.Diff and the windowed percentiles in internal/obs, so a
+// quantile computed from sampled bucket deltas is bit-for-bit the value
+// the live histogram would have reported over the same window.
+func QuantileFromBuckets(bounds []time.Duration, counts []uint64, count uint64, max time.Duration, q float64) time.Duration {
+	if count == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -161,18 +175,74 @@ func (hh *hist) quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	target := uint64(q * float64(hh.count))
-	if float64(target) < q*float64(hh.count) || target == 0 {
+	target := uint64(q * float64(count))
+	if float64(target) < q*float64(count) || target == 0 {
 		target++ // ceil, and at least the first observation
 	}
+	n := len(bounds)
+	if len(counts) < n {
+		n = len(counts)
+	}
 	var cum uint64
-	for i, c := range hh.counts[:len(hh.bounds)] {
-		cum += c
+	for i := 0; i < n; i++ {
+		cum += counts[i]
 		if cum >= target {
-			return hh.bounds[i]
+			return bounds[i]
 		}
 	}
-	return hh.max
+	return max
+}
+
+// Min returns the smallest observation (0 with no observations).
+func (h Histogram) Min() time.Duration {
+	if h.h == nil {
+		return 0
+	}
+	return h.h.min
+}
+
+// Max returns the largest observation (0 with no observations).
+func (h Histogram) Max() time.Duration {
+	if h.h == nil {
+		return 0
+	}
+	return h.h.max
+}
+
+// Bounds returns the histogram's bucket bounds. The slice is the live
+// backing array — callers must treat it as read-only. Nil for the zero
+// handle.
+func (h Histogram) Bounds() []time.Duration {
+	if h.h == nil {
+		return nil
+	}
+	return h.h.bounds
+}
+
+// NumBuckets returns len(Bounds())+1: the bounded buckets plus the +Inf
+// overflow bucket (0 for the zero handle).
+func (h Histogram) NumBuckets() int {
+	if h.h == nil {
+		return 0
+	}
+	return len(h.h.counts)
+}
+
+// CopyBuckets copies the current bucket counts (including the trailing
+// overflow bucket) into dst and returns it, reallocating only when dst
+// is too small — so a caller that reuses its slice reads the
+// distribution without allocating. Returns dst[:0] for the zero handle.
+func (h Histogram) CopyBuckets(dst []uint64) []uint64 {
+	if h.h == nil {
+		return dst[:0]
+	}
+	c := h.h.counts
+	if cap(dst) < len(c) {
+		dst = make([]uint64, len(c))
+	}
+	dst = dst[:len(c)]
+	copy(dst, c)
+	return dst
 }
 
 // DefaultLatencyBuckets are the fixed bounds used by Histogram when no
@@ -348,6 +418,48 @@ func (r *Registry) HistogramBuckets(name string, bounds []time.Duration) Histogr
 	h := &hist{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
 	r.add(entry{name: name, kind: KindHistogram, h: h})
 	return Histogram{h: h}
+}
+
+// Metric is a read-only view of one registered metric, addressed by its
+// registration index. Registration is append-only, so a Metric stays
+// valid (and cheap: two words, no allocation) however many metrics are
+// registered after it — the iteration primitive behind the zero-alloc
+// sampling path in internal/obs.
+type Metric struct {
+	r *Registry
+	i int
+}
+
+// Metric returns the i-th registered metric, in registration order
+// (deterministic: registration happens at world construction). Iterate
+// with Len.
+func (r *Registry) Metric(i int) Metric { return Metric{r: r, i: i} }
+
+// Name returns the metric's registered name.
+func (m Metric) Name() string { return m.r.entries[m.i].name }
+
+// Kind returns the metric's kind.
+func (m Metric) Kind() Kind { return m.r.entries[m.i].kind }
+
+// Value returns the current counter count or gauge level (GaugeFunc
+// entries are evaluated). Zero for histograms.
+func (m Metric) Value() int64 {
+	e := &m.r.entries[m.i]
+	switch {
+	case e.c != nil:
+		return int64(*e.c)
+	case e.gf != nil:
+		return e.gf()
+	case e.g != nil:
+		return *e.g
+	}
+	return 0
+}
+
+// Histogram returns a live handle to the metric's histogram storage (the
+// zero no-op handle for counters and gauges).
+func (m Metric) Histogram() Histogram {
+	return Histogram{h: m.r.entries[m.i].h}
 }
 
 // Scope returns a sub-registry view that prefixes every name with

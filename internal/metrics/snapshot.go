@@ -131,20 +131,19 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 			if len(pe.Buckets) != len(e.Buckets) {
 				continue // bucket layout changed; keep the absolute reading
 			}
-			d := hist{bounds: e.Bounds, counts: make([]uint64, len(e.Buckets))}
+			deltas := make([]uint64, len(e.Buckets))
 			for j := range e.Buckets {
-				d.counts[j] = e.Buckets[j] - pe.Buckets[j]
+				deltas[j] = e.Buckets[j] - pe.Buckets[j]
 			}
-			d.count = e.Count - pe.Count
-			d.sum = e.Sum - pe.Sum
 			// Min/Max are not recoverable for the window; Max falls back
 			// to the cumulative max (the quantile overflow answer), Min to
 			// zero.
-			d.max = e.Max
-			e.Count, e.Sum, e.Min, e.Max = d.count, d.sum, 0, d.max
-			e.Buckets = d.counts
-			e.P50, e.P90, e.P99 = d.quantile(0.50), d.quantile(0.90), d.quantile(0.99)
-			if d.count == 0 {
+			e.Count, e.Sum, e.Min = e.Count-pe.Count, e.Sum-pe.Sum, 0
+			e.Buckets = deltas
+			e.P50 = QuantileFromBuckets(e.Bounds, deltas, e.Count, e.Max, 0.50)
+			e.P90 = QuantileFromBuckets(e.Bounds, deltas, e.Count, e.Max, 0.90)
+			e.P99 = QuantileFromBuckets(e.Bounds, deltas, e.Count, e.Max, 0.99)
+			if e.Count == 0 {
 				e.Max = 0
 			}
 		}

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"mcommerce/internal/metrics"
+)
+
+// WriteOpenMetrics renders a snapshot in the OpenMetrics text exposition
+// format: one family per metric, `# TYPE` headers, `_total`-suffixed
+// counter samples, cumulative `le`-labelled histogram buckets with a
+// `+Inf` bucket, durations as seconds, and a terminating `# EOF`.
+// Dotted simulator names are sanitised to the OpenMetrics charset
+// ([a-zA-Z0-9_:]); collisions after sanitising are deduplicated with a
+// numeric suffix so the output never declares a family twice. Output is
+// deterministic: entries keep the snapshot's name order.
+func WriteOpenMetrics(w io.Writer, s metrics.Snapshot) error {
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]int, len(s.Entries))
+	for _, e := range s.Entries {
+		name := sanitizeOM(e.Name)
+		if n := seen[name]; n > 0 {
+			seen[name] = n + 1
+			name = name + "_" + strconv.Itoa(n+1)
+		}
+		seen[name]++
+		switch e.Kind {
+		case metrics.KindCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+			fmt.Fprintf(bw, "%s_total %d\n", name, e.Value)
+		case metrics.KindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(bw, "%s %d\n", name, e.Value)
+		case metrics.KindHistogram:
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			var cum uint64
+			for i, b := range e.Bounds {
+				if i < len(e.Buckets) {
+					cum += e.Buckets[i]
+				}
+				fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", name, omSeconds(b), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, e.Count)
+			fmt.Fprintf(bw, "%s_sum %s\n", name, omSeconds(e.Sum))
+			fmt.Fprintf(bw, "%s_count %d\n", name, e.Count)
+		}
+	}
+	fmt.Fprintf(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+// omSeconds formats a duration as OpenMetrics seconds: shortest float
+// representation that round-trips.
+func omSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// sanitizeOM maps a dotted simulator metric name onto the OpenMetrics
+// name charset: [a-zA-Z0-9_:], with a non-digit first character.
+func sanitizeOM(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+		}
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// LintOpenMetrics is the format self-check used by tests and verify.sh:
+// it re-parses an exposition produced by WriteOpenMetrics and verifies
+// the structural invariants of the format — valid metric and family
+// names, `# TYPE` before samples, contiguous families, counter samples
+// suffixed `_total`, monotone cumulative buckets whose `+Inf` count
+// equals `_count`, parseable values, and a final `# EOF` line with
+// nothing after it.
+func LintOpenMetrics(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var (
+		line      int
+		sawEOF    bool
+		family    string
+		famType   string
+		closed    = map[string]bool{} // families already ended
+		lastLe    float64
+		bucketCum int64 = -1
+		infCount  int64 = -1
+		count     int64 = -1
+	)
+	closeFamily := func() error {
+		if family == "" {
+			return nil
+		}
+		if famType == "histogram" {
+			if infCount < 0 {
+				return fmt.Errorf("histogram %s has no +Inf bucket", family)
+			}
+			if count < 0 {
+				return fmt.Errorf("histogram %s has no _count sample", family)
+			}
+			if infCount != count {
+				return fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", family, infCount, count)
+			}
+		}
+		closed[family] = true
+		family = ""
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if sawEOF {
+			return fmt.Errorf("line %d: content after # EOF", line)
+		}
+		if text == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			if err := closeFamily(); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			rest := strings.TrimPrefix(text, "# TYPE ")
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				return fmt.Errorf("line %d: malformed TYPE line", line)
+			}
+			name, typ := rest[:sp], rest[sp+1:]
+			if !validOMName(name) {
+				return fmt.Errorf("line %d: invalid family name %q", line, name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				return fmt.Errorf("line %d: unknown type %q", line, typ)
+			}
+			if closed[name] {
+				return fmt.Errorf("line %d: family %s interleaved (declared twice)", line, name)
+			}
+			family, famType = name, typ
+			lastLe, bucketCum, infCount, count = -1, -1, -1, -1
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			return fmt.Errorf("line %d: unexpected comment %q", line, text)
+		}
+		// Sample line: name[{labels}] value
+		name, labels, valStr, err := splitSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if !validOMName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", line, name)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", line, valStr)
+		}
+		if family == "" {
+			return fmt.Errorf("line %d: sample %s before any # TYPE", line, name)
+		}
+		switch famType {
+		case "counter":
+			if name != family+"_total" {
+				return fmt.Errorf("line %d: counter sample %s must be %s_total", line, name, family)
+			}
+			if val < 0 {
+				return fmt.Errorf("line %d: negative counter %s", line, name)
+			}
+		case "gauge":
+			if name != family {
+				return fmt.Errorf("line %d: gauge sample %s outside family %s", line, name, family)
+			}
+		case "histogram":
+			switch name {
+			case family + "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: bucket without le label", line)
+				}
+				var bound float64
+				if le == "+Inf" {
+					if infCount >= 0 {
+						return fmt.Errorf("line %d: duplicate +Inf bucket", line)
+					}
+					infCount = int64(val)
+					bound = 0 // not compared
+				} else {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q", line, le)
+					}
+					if infCount >= 0 {
+						return fmt.Errorf("line %d: finite bucket after +Inf", line)
+					}
+					if lastLe >= 0 && bound <= lastLe {
+						return fmt.Errorf("line %d: le %q not increasing", line, le)
+					}
+					lastLe = bound
+				}
+				if bucketCum >= 0 && int64(val) < bucketCum {
+					return fmt.Errorf("line %d: bucket counts not cumulative (%d < %d)", line, int64(val), bucketCum)
+				}
+				bucketCum = int64(val)
+			case family + "_sum":
+				// seconds; any float fine
+			case family + "_count":
+				count = int64(val)
+			default:
+				return fmt.Errorf("line %d: sample %s outside histogram family %s", line, name, family)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawEOF {
+		return fmt.Errorf("missing # EOF terminator")
+	}
+	// The final family is closed by EOF.
+	if err := closeFamily(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func validOMName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitSample parses `name value` or `name{k="v",...} value`.
+func splitSample(text string) (name string, labels map[string]string, val string, err error) {
+	if br := strings.IndexByte(text, '{'); br >= 0 {
+		name = text[:br]
+		end := strings.IndexByte(text[br:], '}')
+		if end < 0 {
+			return "", nil, "", fmt.Errorf("unterminated label set")
+		}
+		labels = map[string]string{}
+		for _, kv := range strings.Split(text[br+1:br+end], ",") {
+			eq := strings.IndexByte(kv, '=')
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("malformed label %q", kv)
+			}
+			v := kv[eq+1:]
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, "", fmt.Errorf("unquoted label value %q", v)
+			}
+			labels[kv[:eq]] = v[1 : len(v)-1]
+		}
+		rest := strings.TrimPrefix(text[br+end+1:], " ")
+		return name, labels, rest, nil
+	}
+	sp := strings.IndexByte(text, ' ')
+	if sp < 0 {
+		return "", nil, "", fmt.Errorf("no value on sample line")
+	}
+	return text[:sp], nil, text[sp+1:], nil
+}

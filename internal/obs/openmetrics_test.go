@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mcommerce/internal/metrics"
+)
+
+func omSnapshot() metrics.Snapshot {
+	r := metrics.New()
+	r.Counter("web.server.origin-1.requests").Add(42)
+	r.Gauge("mtcp.phone.cwnd").Set(-3) // gauges may go anywhere
+	h := r.Histogram("core.txn.wap.latency")
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * 10 * time.Millisecond)
+	}
+	return r.Snapshot()
+}
+
+func TestWriteOpenMetricsSelfCheck(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteOpenMetrics(&b, omSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := LintOpenMetrics(strings.NewReader(out)); err != nil {
+		t.Fatalf("exporter output fails its own lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE web_server_origin_1_requests counter\n",
+		"web_server_origin_1_requests_total 42\n",
+		"# TYPE mtcp_phone_cwnd gauge\n",
+		"mtcp_phone_cwnd -3\n",
+		"# TYPE core_txn_wap_latency histogram\n",
+		"core_txn_wap_latency_count 100\n",
+		`le="+Inf"} 100`,
+		"# EOF\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "-1_requests") || strings.Contains(out, ".") && !strings.Contains(out, "le=") {
+		t.Errorf("unsanitised name leaked:\n%s", out)
+	}
+}
+
+func TestWriteOpenMetricsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	s := omSnapshot()
+	if err := WriteOpenMetrics(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOpenMetrics(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same snapshot produced different expositions")
+	}
+}
+
+func TestOpenMetricsNameCollisionDedup(t *testing.T) {
+	r := metrics.New()
+	r.Counter("a.b").Inc()
+	r.Counter("a-b").Inc() // sanitises to the same family name
+	var b bytes.Buffer
+	if err := WriteOpenMetrics(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE a_b counter") || !strings.Contains(out, "# TYPE a_b_2 counter") {
+		t.Fatalf("collision not deduplicated:\n%s", out)
+	}
+	if err := LintOpenMetrics(strings.NewReader(out)); err != nil {
+		t.Fatalf("deduplicated output fails lint: %v", err)
+	}
+}
+
+func TestLintRejectsMalformedExpositions(t *testing.T) {
+	cases := map[string]string{
+		"missing EOF":        "# TYPE x counter\nx_total 1\n",
+		"content after EOF":  "# EOF\nx 1\n",
+		"sample before TYPE": "x 1\n# EOF\n",
+		"bad family name":    "# TYPE 9x counter\n9x_total 1\n# EOF\n",
+		"counter not _total": "# TYPE x counter\nx 1\n# EOF\n",
+		"negative counter":   "# TYPE x counter\nx_total -1\n# EOF\n",
+		"interleaved family": "# TYPE x counter\nx_total 1\n# TYPE y gauge\ny 1\n# TYPE x counter\nx_total 2\n# EOF\n",
+		"unknown type":       "# TYPE x untyped\nx 1\n# EOF\n",
+		"bad value":          "# TYPE x gauge\nx one\n# EOF\n",
+		"non-monotone buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"0.2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n# EOF\n",
+		"le not increasing": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.2\"} 1\nh_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n# EOF\n",
+		"+Inf != count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n# EOF\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_sum 1\nh_count 1\n# EOF\n",
+	}
+	for name, src := range cases {
+		if err := LintOpenMetrics(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: lint accepted malformed exposition:\n%s", name, src)
+		}
+	}
+	// And the empty-but-terminated exposition is valid.
+	if err := LintOpenMetrics(strings.NewReader("# EOF\n")); err != nil {
+		t.Errorf("empty exposition rejected: %v", err)
+	}
+}

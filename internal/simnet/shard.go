@@ -89,6 +89,18 @@ type Sharded struct {
 	cRollbacks  uint64
 	cStragglers uint64
 
+	// Engine timeline (EnableEngineTimeline): per-shard cumulative
+	// counters plus boundary samples, so the PR 6 machinery is
+	// observable over simulated time and per shard, not just as run
+	// totals. engPer[k] is written only by the task that owns shard k
+	// (conservative: under shardExec.mu; optimistic: by the exclusive
+	// claimant or the single decider thread), and samples append under
+	// the same ownership.
+	engInterval time.Duration
+	engPer      []engCounters
+	engNext     []time.Duration
+	engSamples  []EngineSample
+
 	now     time.Duration
 	errs    []error
 	stopped atomic.Bool
@@ -167,6 +179,75 @@ func (w *Sharded) initEngine() {
 	sc.AliasCounter("steals", &w.cSteals)
 	sc.AliasCounter("rollbacks", &w.cRollbacks)
 	sc.AliasCounter("stragglers", &w.cStragglers)
+}
+
+// engCounters is one shard's cumulative engine activity.
+type engCounters struct {
+	windows, barrier, steals uint64
+}
+
+// EngineSample is one engine-timeline reading: shard Shard's cumulative
+// window, synchronization and steal counters at simulated instant At,
+// plus the world-wide optimistic rollback and straggler totals at that
+// moment. Like EngineSnapshot, samples are lane-variant by design —
+// steals depend on the worker count — so they are exported separately
+// from the deterministic world timeline and never folded into Snapshot.
+type EngineSample struct {
+	At                    time.Duration
+	Shard                 int
+	Windows, BarrierWaits uint64
+	Steals                uint64
+	Rollbacks, Stragglers uint64
+}
+
+// EnableEngineTimeline arms per-shard engine sampling: each shard
+// records an EngineSample at the first window boundary at or past every
+// interval tick of its own progress. Zero disables. Call before Run.
+func (w *Sharded) EnableEngineTimeline(interval time.Duration) {
+	w.engInterval = interval
+	if w.engPer == nil {
+		w.engPer = make([]engCounters, len(w.shards))
+		w.engNext = make([]time.Duration, len(w.shards))
+	}
+}
+
+// EngineTimeline returns the samples recorded so far, sorted by
+// (instant, shard) so the listing is stable even though lanes append in
+// completion order.
+func (w *Sharded) EngineTimeline() []EngineSample {
+	out := append([]EngineSample(nil), w.engSamples...)
+	slices.SortFunc(out, func(a, b EngineSample) int {
+		if a.At != b.At {
+			if a.At < b.At {
+				return -1
+			}
+			return 1
+		}
+		return a.Shard - b.Shard
+	})
+	return out
+}
+
+// engWindow credits shard k with n completed windows ending at t and
+// samples the timeline when a tick is due. Callers own shard k's engine
+// row (see engPer).
+func (w *Sharded) engWindow(k, n int, t time.Duration) {
+	if w.engPer == nil {
+		return
+	}
+	w.engPer[k].windows += uint64(n)
+	if w.engInterval <= 0 || t < w.engNext[k] {
+		return
+	}
+	w.engNext[k] = t + w.engInterval
+	w.engSamples = append(w.engSamples, EngineSample{
+		At: t, Shard: k,
+		Windows:      w.engPer[k].windows,
+		BarrierWaits: w.engPer[k].barrier,
+		Steals:       w.engPer[k].steals,
+		Rollbacks:    w.cRollbacks,
+		Stragglers:   w.cStragglers,
+	})
 }
 
 // EngineSnapshot captures the engine-internals registry: window counts,
@@ -474,6 +555,9 @@ func (e *shardExec) loop(lane int) {
 			e.active++
 			if k%e.lanes != lane {
 				e.w.cSteals++
+				if e.w.engPer != nil {
+					e.w.engPer[k].steals++
+				}
 			}
 			e.mu.Unlock()
 			if run {
@@ -591,6 +675,9 @@ func (e *shardExec) publish(k int, run bool) {
 		for _, pr := range e.inPairs[k] {
 			if p.win%pr.period == 0 {
 				e.w.cBarrier++
+				if e.w.engPer != nil {
+					e.w.engPer[k].barrier++
+				}
 			}
 		}
 		p.drained = true
@@ -609,6 +696,15 @@ func (e *shardExec) publish(k int, run bool) {
 		return
 	}
 	p.win++
+	if e.w.engPer != nil {
+		t := e.deadline
+		if e.width > 0 {
+			if tt := e.start + time.Duration(p.win)*e.width; tt < t {
+				t = tt
+			}
+		}
+		e.w.engWindow(k, 1, t)
+	}
 	p.drained = false
 	if p.win >= e.numWin {
 		p.done = true

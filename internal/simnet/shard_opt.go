@@ -211,6 +211,9 @@ func (st *optState) decide() {
 	if st.rollback {
 		// The previous window's replay just finished; commit it.
 		w.cWindows += uint64(len(w.shards) * st.replayWins)
+		for k := range w.shards {
+			w.engWindow(k, st.replayWins, st.end)
+		}
 		st.T = st.end
 		st.rollback = false
 	}
@@ -243,6 +246,9 @@ func (st *optState) runShards(g int, end time.Duration) {
 		}
 		if k%st.lanes != g {
 			atomic.AddUint64(&w.cSteals, 1)
+			if w.engPer != nil {
+				w.engPer[k].steals++ // shard k is exclusively claimed
+			}
 		}
 		if w.errs[k] != nil {
 			continue
@@ -280,6 +286,9 @@ func (st *optState) verdict() {
 		st.ck = worldCkpt{}
 		st.rollback = false
 		w.cWindows += uint64(len(w.shards))
+		for k := range w.shards {
+			w.engWindow(k, 1, st.end)
+		}
 		st.T = st.end
 		return
 	}
@@ -314,6 +323,9 @@ func (st *optState) injectAll() {
 		for s := range w.shards {
 			if s != k && w.rings[s][k] != nil {
 				w.cBarrier++
+				if w.engPer != nil {
+					w.engPer[k].barrier++
+				}
 			}
 		}
 	}

@@ -26,6 +26,7 @@ benchtime="${BENCH_TIME:-1s}"
 
 go test -run '^$' -bench . -benchmem -count "$count" -benchtime "$benchtime" \
 	-timeout 60m ./internal/simnet ./internal/mtcp ./internal/experiments \
+	./internal/obs \
 	| tee /dev/stderr \
 	| go run ./scripts/benchjson >"$out"
 

@@ -1,0 +1,39 @@
+// Command omlint validates an OpenMetrics text exposition read from
+// stdin (or the files named as arguments) against the structural rules
+// the obs exporter promises: valid names, typed contiguous families,
+// `_total` counters, monotone cumulative buckets with a matching +Inf,
+// and a final `# EOF`. Used by verify.sh as the format self-check for
+// `mcsim -metrics -metrics-format openmetrics`.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mcommerce/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		lint("<stdin>", os.Stdin)
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lint(path, f)
+		f.Close()
+	}
+}
+
+func lint(name string, r io.Reader) {
+	if err := obs.LintOpenMetrics(r); err != nil {
+		fmt.Fprintf(os.Stderr, "omlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("omlint: %s: ok\n", name)
+}

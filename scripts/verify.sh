@@ -14,7 +14,11 @@
 # gates: the mtcp package under the race detector, a zero-alloc pin on
 # the segment hot path, and same-seed byte-identical mcsim output per
 # congestion control algorithm (-cc reno and -cc cubic), serial and
-# sharded-optimistic.
+# sharded-optimistic. The telemetry timeline adds the observability
+# gates: internal/obs under the race detector, the OpenMetrics
+# exposition linted by scripts/omlint, and same-seed -timeline exports
+# byte-identical run to run (mcsim -faults with the SLO engine on) and
+# across worker-lane counts (mcload -scale, -shards 1 vs 4).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -25,7 +29,7 @@ go test ./...
 go test -race ./internal/experiments ./internal/simnet ./internal/faults/... \
 	./internal/metrics/... ./internal/core/... ./internal/trace/... \
 	./internal/database/... ./internal/mobiledb/... ./internal/repl/... \
-	./internal/workload/...
+	./internal/workload/... ./internal/obs/...
 go run ./cmd/mcsim -faults -clients 3 -rounds 3 -seed 1 >/dev/null
 go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics >/tmp/mc-metrics-a.txt
 go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics >/tmp/mc-metrics-b.txt
@@ -92,6 +96,30 @@ for alg in reno cubic; do
 	cmp /tmp/mc-cc-a.txt /tmp/mc-cc-c.txt
 	rm -f /tmp/mc-cc-a.txt /tmp/mc-cc-b.txt /tmp/mc-cc-c.txt
 done
+# Observability: the sampler must stay allocation-free on the steady
+# path, the OpenMetrics exposition must pass its own lint (the report
+# preamble is stripped; the exposition starts at the first TYPE line),
+# and timeline exports must be deterministic — same-seed faulted runs
+# with the SLO engine byte-identical, and the sharded scale tier's
+# timeline byte-identical at 1 and 4 worker lanes.
+go test -run 'TestTimelineSampleZeroAlloc' ./internal/obs
+go run ./cmd/mcsim -clients 2 -rounds 2 -seed 1 -metrics -metrics-format openmetrics 2>/dev/null \
+	| sed -n '/^# TYPE /,$p' >/tmp/mc-om.txt
+go run ./scripts/omlint /tmp/mc-om.txt
+rm -f /tmp/mc-om.txt
+go run ./cmd/mcsim -faults -clients 3 -rounds 3 -seed 1 \
+	-timeline /tmp/mc-tl-a.json -slo default >/tmp/mc-tl-out-a.txt 2>/dev/null
+go run ./cmd/mcsim -faults -clients 3 -rounds 3 -seed 1 \
+	-timeline /tmp/mc-tl-b.json -slo default >/tmp/mc-tl-out-b.txt 2>/dev/null
+cmp /tmp/mc-tl-a.json /tmp/mc-tl-b.json
+cmp /tmp/mc-tl-out-a.txt /tmp/mc-tl-out-b.txt
+rm -f /tmp/mc-tl-a.json /tmp/mc-tl-b.json /tmp/mc-tl-out-a.txt /tmp/mc-tl-out-b.txt
+go run ./cmd/mcload -scale -seed 7 -gateways 3 -cells 2 -stations 20 \
+	-duration 5s -think 300ms -shards 1 -timeline /tmp/mc-tl-s1.json >/dev/null 2>&1
+go run ./cmd/mcload -scale -seed 7 -gateways 3 -cells 2 -stations 20 \
+	-duration 5s -think 300ms -shards 4 -timeline /tmp/mc-tl-s4.json >/dev/null 2>&1
+cmp /tmp/mc-tl-s1.json /tmp/mc-tl-s4.json
+rm -f /tmp/mc-tl-s1.json /tmp/mc-tl-s4.json
 # The two algorithms must actually differ on the wire: full-fidelity
 # mcload runs with -cc reno vs -cc cubic at the same seed are each
 # internally reproducible.
