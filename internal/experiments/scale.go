@@ -282,6 +282,7 @@ func (sw *ScaleWorld) Report() *ScaleReport {
 		Executed: sw.World.Executed(),
 		Clusters: make([]ScaleCluster, sw.Cfg.Gateways),
 	}
+	r.Cascades, r.OverflowMigrations = sw.World.WheelStats()
 	for c := range r.Clusters {
 		cl := &r.Clusters[c]
 		cl.Served = sw.Echos[c].Served
@@ -318,7 +319,12 @@ type ScaleReport struct {
 	Executed uint64
 	Ops      uint64
 	Timeouts uint64
-	Clusters []ScaleCluster
+	// Scheduler timing-wheel traffic summed over shards: higher-level
+	// slot cascades and overflow-heap migrations (deterministic and
+	// worker-lane-invariant, like Executed).
+	Cascades           uint64
+	OverflowMigrations uint64
+	Clusters           []ScaleCluster
 }
 
 // Scale is the registry experiment: a modest population demonstrating
@@ -355,8 +361,10 @@ func Scale(seed int64) *Result {
 	r.Set("ops", float64(rep.Ops))
 	r.Set("timeouts", float64(rep.Timeouts))
 	r.Set("executed", float64(rep.Executed))
-	r.Note("stations=%d shards=%d lookahead=%v ops=%d timeouts=%d",
-		rep.Stations, rep.Shards, sw.World.Lookahead(), rep.Ops, rep.Timeouts)
+	r.Set("wheel_cascades", float64(rep.Cascades))
+	r.Set("wheel_overflow_migrations", float64(rep.OverflowMigrations))
+	r.Note("stations=%d shards=%d lookahead=%v ops=%d timeouts=%d wheel_cascades=%d",
+		rep.Stations, rep.Shards, sw.World.Lookahead(), rep.Ops, rep.Timeouts, rep.Cascades)
 	r.AttachMetrics("scale", sw.World.Snapshot())
 	return r
 }

@@ -430,6 +430,9 @@ func SyncStorm(seed int64) *Result {
 		r.Set(row.name+"/lost", float64(rep.Lost()))
 		r.Set(row.name+"/confirmed", float64(rep.Confirmed))
 		r.Set(row.name+"/conflicts", float64(rep.Conflicts))
+		casc, migr := sw.World.WheelStats()
+		r.Set(row.name+"/wheel_cascades", float64(casc))
+		r.Set(row.name+"/wheel_overflow_migrations", float64(migr))
 		converged := 0.0
 		if rep.Converged {
 			converged = 1

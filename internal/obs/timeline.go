@@ -152,8 +152,9 @@ func (t *Timeline) attach(prefix string, net *simnet.Network, quiesce bool) *Wor
 }
 
 // samplerTick is the scheduler callback: take one sample, then re-arm
-// unless this world quiesced. Package-level func + pointer arg keeps
-// the re-arm allocation-free (Scheduler.AfterCall contract).
+// unless this world quiesced. Package-level func + pointer arg keeps the
+// re-arm allocation-free, and Rearm reclaims the firing slot in place so
+// the sampler cycles one arena slot for the whole run.
 func samplerTick(arg any) {
 	ws := arg.(*WorldSampler)
 	ws.sample()
@@ -163,7 +164,7 @@ func samplerTick(arg any) {
 		// is over and re-arming would tick through a dead horizon.
 		return
 	}
-	ws.net.Sched.AfterCall(ws.tl.interval, samplerTick, ws)
+	ws.net.Sched.Rearm(ws.tl.interval, samplerTick, ws)
 }
 
 // WorldSampler records one world's registry into per-series rings.

@@ -263,3 +263,43 @@ func BenchmarkRouterForwarding(b *testing.B) {
 		b.Fatalf("delivered %d/%d", got, b.N)
 	}
 }
+
+// BenchmarkTimerChurn1M measures an After+Cancel+re-arm mix against a
+// standing population of one million live timers — the m-commerce shape:
+// every virtual station keeps a think-time or session timer armed, so the
+// queue depth tracks the user population, not the throughput. The /wheel
+// leg runs the production timing-wheel scheduler; /heap runs the
+// pre-wheel 4-ary heap kept as the ordering oracle in scheduler_ref_test,
+// so the speedup the wheel claims is measured, not remembered.
+func BenchmarkTimerChurn1M(b *testing.B) {
+	const live = 1 << 20
+	fn := func() {}
+	b.Run("wheel", func(b *testing.B) {
+		s := NewScheduler(1)
+		timers := make([]Timer, live)
+		for i := range timers {
+			timers[i] = s.After(time.Duration(1+i%1000)*time.Millisecond+time.Hour, fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := i & (live - 1)
+			timers[j].Cancel()
+			timers[j] = s.After(time.Duration(1+i%997)*time.Millisecond, fn)
+		}
+	})
+	b.Run("heap", func(b *testing.B) {
+		s := &refScheduler{}
+		timers := make([]refTimer, live)
+		for i := range timers {
+			timers[i] = s.After(time.Duration(1+i%1000)*time.Millisecond+time.Hour, fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := i & (live - 1)
+			timers[j].Cancel()
+			timers[j] = s.After(time.Duration(1+i%997)*time.Millisecond, fn)
+		}
+	})
+}

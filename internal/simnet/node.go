@@ -185,6 +185,11 @@ func NewNetwork(s *Scheduler) *Network {
 	sc.GaugeFunc("executed", func() int64 { return int64(s.Executed()) })
 	sc.GaugeFunc("pending", func() int64 { return int64(s.Pending()) })
 	sc.GaugeFunc("now_ns", func() int64 { return int64(s.Now()) })
+	// Timing-wheel traffic: both counters rewind with the scheduler
+	// checkpoint, so they stay identical across worker-lane counts and
+	// under optimistic rollback like executed/pending above.
+	sc.GaugeFunc("wheel_cascades", func() int64 { return int64(s.Cascades()) })
+	sc.GaugeFunc("wheel_overflow_migrations", func() int64 { return int64(s.OverflowMigrations()) })
 	return n
 }
 

@@ -275,6 +275,18 @@ func (w *Sharded) notePairDelay(src, dst int, d time.Duration) {
 // NumShards returns the shard count.
 func (w *Sharded) NumShards() int { return len(w.shards) }
 
+// WheelStats sums the per-shard schedulers' timing-wheel traffic:
+// higher-level slot cascades and overflow-heap migrations. Both rewind
+// with scheduler checkpoints, so the totals are identical at any worker
+// lane count and under optimistic rollback.
+func (w *Sharded) WheelStats() (cascades, overflowMigrations uint64) {
+	for _, sh := range w.shards {
+		cascades += sh.Sched.Cascades()
+		overflowMigrations += sh.Sched.OverflowMigrations()
+	}
+	return cascades, overflowMigrations
+}
+
 // Shard returns shard k's network; builders create nodes and intra-shard
 // links on it directly.
 func (w *Sharded) Shard(k int) *Network { return w.shards[k] }

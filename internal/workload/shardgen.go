@@ -133,7 +133,10 @@ func NewFlows(nd *simnet.Node, name string, cfg FlowConfig) (*Flows, error) {
 func (f *Flows) Stations() int { return len(f.stations) }
 
 // fire issues one operation: start a (sampled) trace root, send the
-// request under it, arm the timeout. Runs on the owning shard only.
+// request under it, arm the timeout. Runs on the owning shard only. The
+// timeout reclaims the just-fired think timer's slot via Rearm, so the
+// station's whole lifecycle cycles one arena slot plus the delivery
+// events.
 func (st *flowStation) fire() {
 	f := st.f
 	st.pending = true
@@ -143,7 +146,7 @@ func (st *flowStation) fire() {
 	prev := tracer.Swap(st.ctx)
 	f.u.Send(st.port, st.target, nil, f.cfg.ReqBytes)
 	tracer.Swap(prev)
-	st.timeout = f.node.Sched().AfterCall(f.cfg.Timeout, flowExpire, st)
+	st.timeout = f.node.Sched().Rearm(f.cfg.Timeout, flowExpire, st)
 }
 
 // reply completes the pending operation and schedules the next think.
@@ -162,7 +165,7 @@ func (st *flowStation) reply(from simnet.Addr, body any, bytes int) {
 	tracer.Finish(st.ctx)
 	st.ctx = trace.Context{}
 	think := time.Duration(sched.Rand().ExpFloat64() * float64(f.cfg.ThinkMean))
-	sched.AfterCall(think, flowFire, st)
+	sched.Rearm(think, flowFire, st)
 }
 
 // expire abandons the pending operation and moves on.
@@ -179,7 +182,7 @@ func (st *flowStation) expire() {
 	st.ctx = trace.Context{}
 	sched := f.node.Sched()
 	think := time.Duration(sched.Rand().ExpFloat64() * float64(f.cfg.ThinkMean))
-	sched.AfterCall(think, flowFire, st)
+	sched.Rearm(think, flowFire, st)
 }
 
 // Echo is a minimal request/reply service for the scale workload: every
@@ -187,6 +190,42 @@ func (st *flowStation) expire() {
 // workload.echo.<name>.served.
 type Echo struct {
 	Served uint64
+
+	u         *simnet.UDP
+	net       *simnet.Network
+	respBytes int
+	// freeReplies recycles delayed-reply records like the simnet packet
+	// pools: releases are skipped inside speculative windows so a record
+	// referenced by a checkpointed pending event is never overwritten
+	// before a rollback replays it.
+	freeReplies []*echoReply
+}
+
+// echoReply is the pooled argument of a delayed echo response: immutable
+// between schedule and fire, so rollback replays re-send it identically.
+type echoReply struct {
+	e  *Echo
+	to simnet.Addr
+}
+
+func echoReplySend(a any) {
+	r := a.(*echoReply)
+	e := r.e
+	e.u.Send(EchoPort, r.to, nil, e.respBytes)
+	if !e.net.Speculative() {
+		e.freeReplies = append(e.freeReplies, r)
+	}
+}
+
+// allocReply pops a recycled reply record or grows the pool.
+func (e *Echo) allocReply(to simnet.Addr) *echoReply {
+	if n := len(e.freeReplies); n > 0 {
+		r := e.freeReplies[n-1]
+		e.freeReplies = e.freeReplies[:n-1]
+		r.to = to
+		return r
+	}
+	return &echoReply{e: e, to: to}
 }
 
 // ServeEcho binds the echo service to EchoPort on nd.
@@ -211,22 +250,21 @@ func ServeEcho(nd *simnet.Node, name string, respBytes int) (*Echo, error) {
 // periods (a reply timer crossing a period boundary emits early in the
 // next one); the engine verifies every drained record and fails
 // deterministically on a violation, so a bad combination is caught, not
-// silently wrong. The reply closure captures only immutable values, so
-// rollback replays re-execute it identically.
+// silently wrong. Each response schedules a pooled reply record through a
+// package-level callback (no per-response closure) and reclaims the
+// request's delivery slot via Rearm, so the delayed-echo path allocates
+// nothing in steady state.
 func ServeEchoDelayed(nd *simnet.Node, name string, respBytes int, delay time.Duration) (*Echo, error) {
 	if delay <= 0 {
 		return nil, fmt.Errorf("workload: delayed echo %q needs delay > 0", name)
 	}
-	e := &Echo{}
 	u := simnet.UDPOf(nd)
+	e := &Echo{u: u, net: nd.Network(), respBytes: respBytes}
 	nd.Network().Metrics.Instance("workload.echo."+metrics.Sanitize(name)).AliasCounter("served", &e.Served)
 	sched := nd.Sched()
 	if err := u.Listen(EchoPort, func(from simnet.Addr, body any, bytes int) {
 		e.Served++
-		reply := from
-		sched.AfterCall(delay, func(any) {
-			u.Send(EchoPort, reply, nil, respBytes)
-		}, nil)
+		sched.Rearm(delay, echoReplySend, e.allocReply(from))
 	}); err != nil {
 		return nil, err
 	}

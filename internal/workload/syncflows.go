@@ -254,7 +254,7 @@ func (d *syncDevice) write() {
 		f.Writes++
 	}
 	think := time.Duration(rng.ExpFloat64() * float64(f.cfg.WriteMean))
-	sched.AfterCall(think, syncDevWrite, d)
+	sched.Rearm(think, syncDevWrite, d)
 }
 
 // sync opens a session if there is anything to upload and none in flight.
@@ -263,7 +263,7 @@ func (d *syncDevice) sync() {
 	sched := f.node.Sched()
 	reschedule := func() {
 		think := time.Duration(sched.Rand().ExpFloat64() * float64(f.cfg.SyncMean))
-		sched.AfterCall(think, syncDevSync, d)
+		sched.Rearm(think, syncDevSync, d)
 	}
 	if d.session != nil {
 		reschedule()
@@ -287,7 +287,7 @@ func (d *syncDevice) sync() {
 	tracer := f.node.Network().Tracer
 	d.ctx = tracer.StartTrace("mobiledb.sync.device", trace.LayerStation)
 	d.send()
-	d.timeout = sched.AfterCall(f.cfg.Timeout, syncDevExpire, d)
+	d.timeout = sched.Rearm(f.cfg.Timeout, syncDevExpire, d)
 }
 
 // send ships the current session to the current target under the session
@@ -326,7 +326,7 @@ func (d *syncDevice) reply(from simnet.Addr, body any, bytes int) {
 		}
 		tracer.Annotate(d.ctx, "redirect")
 		d.retryT.Cancel()
-		d.retryT = sched.AfterCall(f.cfg.RetryDelay, syncDevResend, d)
+		d.retryT = sched.Rearm(f.cfg.RetryDelay, syncDevResend, d)
 		return
 	}
 	d.timeout.Cancel()
@@ -339,7 +339,7 @@ func (d *syncDevice) reply(from simnet.Addr, body any, bytes int) {
 	d.ctx = trace.Context{}
 	d.session = nil
 	think := time.Duration(sched.Rand().ExpFloat64() * float64(f.cfg.SyncMean))
-	sched.AfterCall(think, syncDevSync, d)
+	sched.Rearm(think, syncDevSync, d)
 }
 
 // expire abandons the in-flight session. Resilient devices keep their
@@ -365,7 +365,7 @@ func (d *syncDevice) expire() {
 	d.target = (d.target + 1) % len(f.cfg.Tier)
 	sched := f.node.Sched()
 	think := time.Duration(sched.Rand().ExpFloat64() * float64(f.cfg.SyncMean))
-	sched.AfterCall(think, syncDevSync, d)
+	sched.Rearm(think, syncDevSync, d)
 }
 
 // syncReqBytes mirrors the core wire-size model for sync requests, kept

@@ -23,11 +23,12 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH.json}"
 count="${BENCH_COUNT:-5}"
 benchtime="${BENCH_TIME:-1s}"
+commit="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
 
 go test -run '^$' -bench . -benchmem -count "$count" -benchtime "$benchtime" \
 	-timeout 60m ./internal/simnet ./internal/mtcp ./internal/experiments \
 	./internal/obs \
 	| tee /dev/stderr \
-	| go run ./scripts/benchjson >"$out"
+	| go run ./scripts/benchjson -commit "$commit" >"$out"
 
 echo "bench.sh: wrote $out" >&2

@@ -1,0 +1,156 @@
+// Command benchgate compares a `go test -bench` text output against a
+// checked-in baseline and fails the build on regression. It guards the
+// scheduler hot paths in verify.sh: each gated benchmark's mean ns/op
+// must stay within the baseline's tolerance band, and declared speedup
+// ratios (the timing wheel vs the reference heap at a million live
+// timers) must hold their floor.
+//
+//	go test -run '^$' -bench 'AfterStep$|TimerChurn1M' -benchtime 200ms ./internal/simnet > out.txt
+//	go run ./scripts/benchgate -baseline scripts/bench_baseline.json out.txt
+//
+// The baseline file pins absolute ns/op on the machine that recorded it,
+// so the tolerance is deliberately wide (default 30%): the gate exists
+// to catch algorithmic regressions — a slipped fast path, an accidental
+// O(log n) — not scheduler jitter. Ratio gates are machine-independent.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in expectation set.
+type Baseline struct {
+	// Note documents where the numbers came from.
+	Note string `json:"note,omitempty"`
+	// Tolerance is the allowed fractional slowdown over a pinned ns/op
+	// (0.30 = fail only when more than 30% slower than baseline).
+	Tolerance float64 `json:"tolerance"`
+	// NsPerOp pins benchmark names (sub-benchmark paths included, procs
+	// suffix excluded) to their recorded mean ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// MinSpeedup requires mean(Num) / mean(Den) >= Min, comparing two
+	// benchmarks from the same run — immune to host speed differences.
+	MinSpeedup []SpeedupGate `json:"min_speedup,omitempty"`
+}
+
+// SpeedupGate is one required ratio between two measured benchmarks.
+type SpeedupGate struct {
+	Num string  `json:"num"`
+	Den string  `json:"den"`
+	Min float64 `json:"min"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline JSON file (required)")
+	flag.Parse()
+	if *baselinePath == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline baseline.json benchoutput.txt")
+		os.Exit(2)
+	}
+	var base Baseline
+	raw, err := os.ReadFile(*baselinePath)
+	if err == nil {
+		err = json.Unmarshal(raw, &base)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	if base.Tolerance <= 0 {
+		base.Tolerance = 0.30
+	}
+	means, err := parseMeans(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	failed := false
+	for name, want := range base.NsPerOp {
+		got, ok := means[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: not present in benchmark output\n", name)
+			failed = true
+			continue
+		}
+		limit := want * (1 + base.Tolerance)
+		if got > limit {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.2f ns/op exceeds baseline %.2f +%d%% (limit %.2f)\n",
+				name, got, want, int(base.Tolerance*100), limit)
+			failed = true
+		} else {
+			fmt.Printf("benchgate: ok %s: %.2f ns/op (baseline %.2f, limit %.2f)\n", name, got, want, limit)
+		}
+	}
+	for _, g := range base.MinSpeedup {
+		num, okN := means[g.Num]
+		den, okD := means[g.Den]
+		if !okN || !okD {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL speedup %s / %s: benchmark missing from output\n", g.Num, g.Den)
+			failed = true
+			continue
+		}
+		ratio := num / den
+		if ratio < g.Min {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL speedup %s / %s = %.2fx, need >= %.2fx\n",
+				g.Num, g.Den, ratio, g.Min)
+			failed = true
+		} else {
+			fmt.Printf("benchgate: ok speedup %s / %s = %.2fx (floor %.2fx)\n", g.Num, g.Den, ratio, g.Min)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseMeans reads benchmark lines ("BenchmarkX-8  N  12.3 ns/op ...")
+// and returns mean ns/op per benchmark name with the procs suffix
+// stripped, averaging over -count repetitions.
+func parseMeans(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op for %s: %q", name, fields[i])
+				}
+				sums[name] += v
+				counts[name]++
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	means := make(map[string]float64, len(sums))
+	for n, s := range sums {
+		means[n] = s / float64(counts[n])
+	}
+	return means, nil
+}

@@ -15,8 +15,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -38,10 +40,16 @@ type Entry struct {
 
 // Doc is the whole document.
 type Doc struct {
-	Goos    string  `json:"goos,omitempty"`
-	Goarch  string  `json:"goarch,omitempty"`
-	CPU     string  `json:"cpu,omitempty"`
-	Entries []Entry `json:"benchmarks"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Commit and GoVersion pin the build a trajectory point measured:
+	// the commit hash comes from the -commit flag (bench.sh passes git
+	// rev-parse), the Go version from the toolchain that ran benchjson
+	// (the same one that ran the benchmarks).
+	Commit    string  `json:"commit,omitempty"`
+	GoVersion string  `json:"go_version,omitempty"`
+	Entries   []Entry `json:"benchmarks"`
 	// Warning is set when the benchmarks reported a single-core host:
 	// lane-count ratios then measure engine overhead, not parallel
 	// speedup, and must not be read as multi-core scaling.
@@ -52,11 +60,15 @@ type Doc struct {
 }
 
 func main() {
+	commit := flag.String("commit", "", "commit hash to record in the context block")
+	flag.Parse()
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	doc.Commit = *commit
+	doc.GoVersion = runtime.Version()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {

@@ -44,6 +44,14 @@ else
 	go run ./scripts/tracecheck /tmp/mc-trace-a.json
 fi
 rm -f /tmp/mc-trace-a.json /tmp/mc-trace-b.json
+# Scheduler bench-regression gate: the hot-path benchmarks must stay
+# within the checked-in baseline's 30% tolerance band, and the timing
+# wheel must hold its >=2x advantage over the reference heap with a
+# million live timers (the ratio gate is host-independent).
+go test -run '^$' -bench 'BenchmarkSchedulerAfterStep$|BenchmarkTimerChurn1M' \
+	-benchtime 200ms ./internal/simnet >/tmp/mc-bench-gate.txt
+go run ./scripts/benchgate -baseline scripts/bench_baseline.json /tmp/mc-bench-gate.txt
+rm -f /tmp/mc-bench-gate.txt
 # Sharded execution: the ownership race test (8 shards driving their
 # metrics registries and trace rings concurrently) must be race-clean,
 # and a sharded run must be byte-identical to a serial run of the same
